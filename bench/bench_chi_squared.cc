@@ -1,0 +1,100 @@
+// Microbenchmarks for the chi-squared statistic: the dense 2^k sum versus
+// the paper's sparse occupied-cells rewrite (Section 4), across itemset
+// sizes — the ablation for the "massaged formula" design choice.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+
+#include "core/chi_squared_test.h"
+#include "stats/chi_squared_distribution.h"
+#include "core/contingency_table.h"
+#include "datagen/rng.h"
+#include "itemset/count_provider.h"
+
+namespace corrmine {
+namespace {
+
+TransactionDatabase MakeData(ItemId num_items, size_t num_baskets,
+                             uint64_t seed) {
+  datagen::Rng rng(seed);
+  TransactionDatabase db(num_items);
+  for (size_t b = 0; b < num_baskets; ++b) {
+    std::vector<ItemId> basket;
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextBernoulli(0.3)) basket.push_back(i);
+    }
+    auto st = db.AddBasket(std::move(basket));
+    CORRMINE_CHECK(st.ok());
+  }
+  return db;
+}
+
+Itemset FirstK(int k) {
+  std::vector<ItemId> items;
+  for (int i = 0; i < k; ++i) items.push_back(static_cast<ItemId>(i));
+  return Itemset(items);
+}
+
+void BM_ChiSquaredDense(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto db = MakeData(16, 4096, 42);
+  BitmapCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, FirstK(k));
+  CORRMINE_CHECK(table.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeChiSquared(*table).statistic);
+  }
+  state.counters["cells"] = static_cast<double>(table->num_cells());
+}
+BENCHMARK(BM_ChiSquaredDense)->DenseRange(2, 14, 3);
+
+void BM_ChiSquaredSparse(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto db = MakeData(16, 4096, 42);
+  auto table = SparseContingencyTable::Build(db, FirstK(k));
+  CORRMINE_CHECK(table.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeChiSquared(*table).statistic);
+  }
+  state.counters["occupied"] =
+      static_cast<double>(table->occupied_cells().size());
+}
+BENCHMARK(BM_ChiSquaredSparse)->DenseRange(2, 14, 3);
+
+void BM_DenseTableBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto db = MakeData(16, 4096, 42);
+  BitmapCountProvider provider(db);
+  Itemset s = FirstK(k);
+  for (auto _ : state) {
+    auto table = ContingencyTable::Build(provider, s);
+    benchmark::DoNotOptimize(table.ok());
+  }
+}
+BENCHMARK(BM_DenseTableBuild)->DenseRange(2, 8, 2);
+
+void BM_SparseTableBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto db = MakeData(16, 4096, 42);
+  Itemset s = FirstK(k);
+  for (auto _ : state) {
+    auto table = SparseContingencyTable::Build(db, s);
+    benchmark::DoNotOptimize(table.ok());
+  }
+}
+BENCHMARK(BM_SparseTableBuild)->DenseRange(2, 8, 2);
+
+void BM_ChiSquaredCriticalValue(benchmark::State& state) {
+  double alpha = 0.95;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::ChiSquaredCriticalValue(alpha, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ChiSquaredCriticalValue)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace corrmine
+
+BENCHMARK_MAIN();

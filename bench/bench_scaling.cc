@@ -1,0 +1,97 @@
+// Scaling behaviour of the full mining pipeline: wall clock and per-level
+// statistics as the basket count and the item count grow, on Quest data
+// with proportional parameters. Complements the paper's single-point
+// timing (Section 5.3) with the curves a systems reader would ask for.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "core/chi_squared_miner.h"
+#include "datagen/quest_generator.h"
+#include "io/table_printer.h"
+#include "itemset/count_provider.h"
+
+namespace corrmine {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Row {
+  uint64_t baskets;
+  uint32_t items;
+  double gen_seconds;
+  double index_seconds;
+  double mine_seconds;
+  uint64_t candidates;
+  uint64_t significant;
+};
+
+Row RunOnce(uint64_t baskets, uint32_t items, uint32_t patterns) {
+  datagen::QuestOptions quest;
+  quest.num_transactions = baskets;
+  quest.num_items = items;
+  quest.num_patterns = patterns;
+  auto start = std::chrono::steady_clock::now();
+  auto db = datagen::GenerateQuestData(quest);
+  CORRMINE_CHECK(db.ok());
+  Row row{baskets, items, SecondsSince(start), 0, 0, 0, 0};
+
+  start = std::chrono::steady_clock::now();
+  BitmapCountProvider provider(*db);
+  row.index_seconds = SecondsSince(start);
+
+  MinerOptions options;
+  options.support.min_count = static_cast<uint64_t>(
+      0.05 * static_cast<double>(db->num_baskets()));
+  options.support.cell_fraction = 0.25 + 1e-9;
+  start = std::chrono::steady_clock::now();
+  auto result = MineCorrelations(provider, db->num_items(), options);
+  CORRMINE_CHECK(result.ok());
+  row.mine_seconds = SecondsSince(start);
+  for (const LevelStats& level : result->levels) {
+    row.candidates += level.candidates;
+    row.significant += level.significant;
+  }
+  return row;
+}
+
+void Emit(io::TablePrinter* table, const Row& row) {
+  table->AddRow({std::to_string(row.baskets), std::to_string(row.items),
+                 io::FormatDouble(row.gen_seconds, 3),
+                 io::FormatDouble(row.index_seconds, 3),
+                 io::FormatDouble(row.mine_seconds, 3),
+                 std::to_string(row.candidates),
+                 std::to_string(row.significant)});
+}
+
+}  // namespace
+}  // namespace corrmine
+
+int main() {
+  using namespace corrmine;
+  io::TablePrinter table({"baskets", "items", "gen s", "index s", "mine s",
+                          "cand", "sig"});
+
+  // Basket-count sweep at the Table 5 item space.
+  for (uint64_t baskets : {12500, 25000, 50000, 100000}) {
+    Emit(&table, RunOnce(baskets, 870, 140));
+  }
+  // Item-count sweep at fixed baskets (patterns scale with items to keep
+  // the frequent-item fraction comparable).
+  for (uint32_t items : {200, 400, 800, 1600}) {
+    Emit(&table, RunOnce(50000, items, items / 6));
+  }
+
+  std::cout << "== Mining pipeline scaling (quest data, s = 5%) ==\n\n";
+  table.Print(std::cout);
+  std::cout << "\nmine time is dominated by level-2 candidate evaluation "
+               "(popcounts scale\nlinearly in baskets; candidate count "
+               "quadratically in frequent items).\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Regenerates Table 3 of the paper: the support-confidence analysis of all
+// 45 census pairs — four cell supports (percent) and eight directed
+// confidences, with the paper's thresholds (support 1%, confidence 0.5).
+// Since the generator was calibrated against the paper's own pairwise
+// joints, the printed supports double as a paper-vs-measured check.
+
+#include "common/logging.h"
+#include <iostream>
+#include <string>
+
+#include "datagen/census_generator.h"
+#include "io/table_printer.h"
+#include "itemset/count_provider.h"
+#include "mining/association_rules.h"
+
+int main() {
+  using namespace corrmine;
+  using datagen::kCensusNumItems;
+
+  auto db = datagen::GenerateCensusData();
+  CORRMINE_CHECK(db.ok()) << db.status().ToString();
+  BitmapCountProvider provider(*db);
+  const auto& model = datagen::CensusModel::Paper();
+
+  std::cout << "== Table 3: support-confidence over all census pairs ==\n"
+            << "supports in percent (cutoff 1%); confidences (cutoff 0.5) "
+               "marked '!' when\nthe rule passes both tests. 'paper s_ab' "
+               "is the published joint support.\n\n";
+
+  io::TablePrinter table({"a", "b", "s_ab", "paper s_ab", "s_!ab", "s_a!b",
+                          "s_!a!b", "a=>b", "!a=>b", "a=>!b", "!a=>!b",
+                          "b=>a", "!b=>a", "b=>!a", "!b=>!a"});
+
+  auto conf_cell = [](double conf, double support) {
+    std::string cell = io::FormatDouble(conf, 2);
+    if (conf >= 0.5 && support >= 0.01) cell += "!";
+    return cell;
+  };
+
+  for (int a = 0; a < kCensusNumItems; ++a) {
+    for (int b = a + 1; b < kCensusNumItems; ++b) {
+      auto ct = ContingencyTable::Build(
+          provider, Itemset{static_cast<ItemId>(a), static_cast<ItemId>(b)});
+      CORRMINE_CHECK(ct.ok());
+      auto pair = AnalyzePair(*ct);
+      CORRMINE_CHECK(pair.ok());
+      table.AddRow({
+          "i" + std::to_string(a),
+          "i" + std::to_string(b),
+          io::FormatPercent(pair->s_ab, 1),
+          io::FormatPercent(model.PairJoint(a, b), 1),
+          io::FormatPercent(pair->s_nab, 1),
+          io::FormatPercent(pair->s_anb, 1),
+          io::FormatPercent(pair->s_nanb, 1),
+          conf_cell(pair->a_to_b, pair->s_ab),
+          conf_cell(pair->na_to_b, pair->s_nab),
+          conf_cell(pair->a_to_nb, pair->s_anb),
+          conf_cell(pair->na_to_nb, pair->s_nanb),
+          conf_cell(pair->b_to_a, pair->s_ab),
+          conf_cell(pair->nb_to_a, pair->s_anb),
+          conf_cell(pair->b_to_na, pair->s_nab),
+          conf_cell(pair->nb_to_na, pair->s_nanb),
+      });
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPaper's observation to verify: every pair has all four "
+               "cells above 1% support,\nso support-confidence mining "
+               "floods the analyst while the chi-squared test\n(Table 2) "
+               "cleanly separates correlated from uncorrelated pairs.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Regenerates Table 4 of the paper: correlated word sets in a news corpus
+// with their chi-squared values and the major dependence (the cell driving
+// the correlation, split into words present / words absent). Runs the full
+// chi-squared/support miner over the generated corpus up to triples, then
+// prints headline pairs and the strongest minimal triples.
+
+#include "common/logging.h"
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/chi_squared_miner.h"
+#include "core/fraction_estimator.h"
+#include "core/interest.h"
+#include "datagen/text_generator.h"
+#include "io/table_printer.h"
+#include "itemset/count_provider.h"
+
+namespace {
+
+std::string WordsOf(const corrmine::Itemset& s,
+                    const corrmine::ItemDictionary& dict) {
+  std::string out;
+  for (corrmine::ItemId item : s) {
+    if (!out.empty()) out += " ";
+    auto name = dict.Name(item);
+    out += name.ok() ? *name : ("w" + std::to_string(item));
+  }
+  return out;
+}
+
+// Splits a major-dependence cell into the words present / absent.
+std::pair<std::string, std::string> SplitCell(
+    const corrmine::Itemset& s, uint32_t mask,
+    const corrmine::ItemDictionary& dict) {
+  std::string includes, omits;
+  for (size_t j = 0; j < s.size(); ++j) {
+    auto name = dict.Name(s.item(j));
+    std::string word = name.ok() ? *name : ("w" + std::to_string(s.item(j)));
+    std::string& target = ((mask >> j) & 1) ? includes : omits;
+    if (!target.empty()) target += " ";
+    target += word;
+  }
+  return {includes, omits};
+}
+
+}  // namespace
+
+int main() {
+  using namespace corrmine;
+
+  auto corpus = datagen::GenerateTextCorpus();
+  CORRMINE_CHECK(corpus.ok()) << corpus.status().ToString();
+  const TransactionDatabase& db = corpus->database;
+  std::cout << "== Table 4: word correlations in the generated news corpus "
+               "==\n"
+            << "documents: " << db.num_baskets()
+            << ", vocabulary after 10% document-frequency pruning: "
+            << db.num_items() << " (paper: 91 docs, 416 words)\n\n";
+
+  BitmapCountProvider provider(db);
+  MinerOptions options;
+  options.support.min_count = 5;
+  options.support.cell_fraction = 0.25 + 1e-9;
+  options.max_level = 3;
+  // Section 3.3: cells with expected value below 1 are ignored — with
+  // n = 91 and eight cells per triple, unmasked low-expectation corners
+  // otherwise dominate the statistic.
+  options.chi2.min_expected_cell = 1.0;
+  auto result = MineCorrelations(provider, db.num_items(), options);
+  CORRMINE_CHECK(result.ok()) << result.status().ToString();
+
+  std::vector<const CorrelationRule*> pairs;
+  std::vector<const CorrelationRule*> triples;
+  for (const CorrelationRule& rule : result->significant) {
+    (rule.itemset.size() == 2 ? pairs : triples).push_back(&rule);
+  }
+  auto by_chi2 = [](const CorrelationRule* a, const CorrelationRule* b) {
+    return a->chi2.statistic > b->chi2.statistic;
+  };
+  std::sort(pairs.begin(), pairs.end(), by_chi2);
+  std::sort(triples.begin(), triples.end(), by_chi2);
+
+  io::TablePrinter table({"correlated words", "chi2", "major dep. includes",
+                          "major dep. omits"});
+  auto add_rules = [&](const std::vector<const CorrelationRule*>& rules,
+                       size_t limit) {
+    for (size_t i = 0; i < rules.size() && i < limit; ++i) {
+      const CorrelationRule& rule = *rules[i];
+      auto [includes, omits] =
+          SplitCell(rule.itemset, rule.major_dependence.mask,
+                    db.dictionary());
+      table.AddRow({WordsOf(rule.itemset, db.dictionary()),
+                    io::FormatDouble(rule.chi2.statistic, 3), includes,
+                    omits});
+    }
+  };
+  add_rules(pairs, 8);
+  add_rules(triples, 6);
+  table.Print(std::cout);
+
+  // The paper's aggregate claims ("10% of all word pairs are correlated",
+  // "more than 10% of all triples") checked by uniform sampling — the
+  // triple space is too large to enumerate cheaply.
+  for (int level = 2; level <= 3; ++level) {
+    FractionEstimateOptions fraction_options;
+    fraction_options.samples = 3000;
+    fraction_options.chi2 = options.chi2;
+    auto estimate = EstimateCorrelatedFraction(provider, db.num_items(),
+                                               level, fraction_options);
+    CORRMINE_CHECK(estimate.ok());
+    std::cout << "\nestimated fraction of correlated size-" << level
+              << " itemsets: "
+              << io::FormatPercent(estimate->fraction, 1) << "% +- "
+              << io::FormatPercent(2.0 * estimate->std_error, 1)
+              << "% (paper: ~10% of pairs; >10% of triples)";
+  }
+  std::cout << "\n";
+
+  size_t total_pairs =
+      static_cast<size_t>(db.num_items()) * (db.num_items() - 1) / 2;
+  std::cout << "\nminimal correlated pairs: " << pairs.size() << " of "
+            << total_pairs << " ("
+            << io::FormatPercent(
+                   static_cast<double>(pairs.size()) /
+                       static_cast<double>(total_pairs),
+                   1)
+            << "%; paper: 8329 of 86320 ~ 10%)\n";
+  std::cout << "minimal correlated triples: " << triples.size() << "\n";
+  if (!pairs.empty() && !triples.empty()) {
+    std::cout << "max pair chi2 " << pairs[0]->chi2.statistic
+              << " vs max triple chi2 " << triples[0]->chi2.statistic
+              << " (paper: pairs up to 91.0, no minimal triple above 10)\n";
+  }
+  return 0;
+}

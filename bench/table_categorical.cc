@@ -1,0 +1,64 @@
+// The "non-collapsed" analysis the paper's Section 5.1 calls for but never
+// runs: chi-squared dependencies between multi-valued census attributes,
+// with (r-1)(c-1) degrees of freedom and per-category dominant cells. The
+// binary collapse in Table 2 can only say "transport and marital status
+// are correlated"; the categorical table localizes *which* categories
+// drive it (e.g. carpooling vs. not driving behave differently).
+
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "datagen/categorical_census.h"
+#include "io/table_printer.h"
+#include "mining/categorical_miner.h"
+
+int main() {
+  using namespace corrmine;
+
+  datagen::CategoricalCensusOptions options;
+  auto db = datagen::GenerateCategoricalCensus(options);
+  CORRMINE_CHECK(db.ok()) << db.status().ToString();
+
+  std::cout << "== Non-collapsed census dependencies (Section 5.1 "
+               "extension) ==\n"
+            << "n = " << db->num_rows() << " persons, "
+            << db->num_attributes() << " multi-valued attributes\n\n";
+
+  io::TablePrinter attrs({"attribute", "categories"});
+  for (int a = 0; a < db->num_attributes(); ++a) {
+    std::string categories;
+    for (const std::string& c : db->attribute(a).categories) {
+      if (!categories.empty()) categories += " | ";
+      categories += c;
+    }
+    attrs.AddRow({db->attribute(a).name, categories});
+  }
+  attrs.Print(std::cout);
+
+  CategoricalMinerOptions miner;
+  miner.min_expected_cell = 1.0;
+  auto deps = MineCategoricalDependencies(*db, miner);
+  CORRMINE_CHECK(deps.ok()) << deps.status().ToString();
+
+  std::cout << "\nsignificant dependencies (by Cramer's V):\n\n";
+  io::TablePrinter table({"a", "b", "chi2", "dof", "Cramer V",
+                          "dominant cell", "interest"});
+  for (const CategoricalDependency& dep : *deps) {
+    const auto& a = db->attribute(dep.attribute_a);
+    const auto& b = db->attribute(dep.attribute_b);
+    table.AddRow({a.name, b.name, io::FormatDouble(dep.chi_squared, 1),
+                  std::to_string(dep.dof),
+                  io::FormatDouble(dep.cramers_v, 3),
+                  a.categories[dep.dominant_category_a] + " x " +
+                      b.categories[dep.dominant_category_b],
+                  io::FormatDouble(dep.dominant_interest, 2)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nreading: the military x age dependency localizes to the "
+               "veteran x over-40 cell\n(the paper's Example 4), while "
+               "binary mining could never separate 'carpools'\nfrom 'does "
+               "not drive' in the transport column.\n";
+  return 0;
+}

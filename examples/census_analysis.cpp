@@ -1,0 +1,94 @@
+// Census analysis: the paper's Section 5.1 workflow on the synthetic
+// census population — compare the chi-squared/interest view of an item
+// pair with the support-confidence view, then mine the whole item space
+// and walk the resulting correlation border.
+
+#include <iostream>
+#include <string>
+
+#include "core/border.h"
+#include "core/chi_squared_miner.h"
+#include "core/interest.h"
+#include "datagen/census_generator.h"
+#include "io/table_printer.h"
+#include "itemset/count_provider.h"
+#include "mining/association_rules.h"
+
+int main() {
+  using namespace corrmine;
+
+  auto db = datagen::GenerateCensusData();
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  BitmapCountProvider provider(*db);
+
+  // --- Single-pair deep dive: military service (i2) x age (i7). ---
+  auto table = ContingencyTable::Build(provider, Itemset{2, 7});
+  if (!table.ok()) {
+    std::cerr << table.status().ToString() << "\n";
+    return 1;
+  }
+  ChiSquaredResult chi2 = ComputeChiSquared(*table);
+  std::cout << "military service x age bracket (items i2, i7):\n"
+            << "  chi2 = " << chi2.statistic << " (95% cutoff 3.84) -> "
+            << (chi2.SignificantAt(0.95) ? "correlated" : "independent")
+            << "\n  rule-of-thumb valid: "
+            << (chi2.validity.RuleOfThumbSatisfied() ? "yes" : "no") << "\n";
+
+  std::cout << "  cell interests (O/E):\n";
+  for (const CellInterest& cell : ComputeCellInterests(*table)) {
+    std::cout << "    "
+              << FormatCellPattern(table->itemset(), cell.mask)
+              << "  O=" << cell.observed << "  E=" << cell.expected
+              << "  I=" << cell.interest << "\n";
+  }
+  CellInterest major = MajorDependenceCell(*table);
+  std::cout << "  dominant dependence: "
+            << FormatCellPattern(table->itemset(), major.mask)
+            << " — in the paper's words, being a veteran goes with being "
+               "over 40.\n\n";
+
+  auto pair = AnalyzePair(*table);
+  if (pair.ok()) {
+    std::cout << "support-confidence view of the same pair (cutoffs 1% / "
+                 "0.5):\n"
+              << "  conf(i2 => i7) = " << pair->a_to_b << "\n"
+              << "  conf(i7 => i2) = " << pair->b_to_a << "\n"
+              << "  conf(!i2 => !i7) = " << pair->na_to_nb << "\n"
+              << "  all four cells supported — every direction looks like "
+                 "a 'rule',\n  which is exactly the ambiguity the paper's "
+                 "Example 4 criticizes.\n\n";
+  }
+
+  // --- Full mining pass and border inspection. ---
+  MinerOptions options;
+  options.support.min_count = static_cast<uint64_t>(
+      0.01 * static_cast<double>(db->num_baskets()));
+  options.support.cell_fraction = 0.25 + 1e-9;
+  auto result = MineCorrelations(provider, db->num_items(), options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<Itemset> sets;
+  for (const CorrelationRule& rule : result->significant) {
+    sets.push_back(rule.itemset);
+  }
+  CorrelationBorder border(std::move(sets));
+
+  std::cout << "mined " << result->significant.size()
+            << " minimal correlated itemsets; border size " << border.size()
+            << "\n";
+  std::cout << "uncorrelated pairs (the interesting absences, like the "
+               "paper's {i1,i4}):\n";
+  for (ItemId a = 0; a < db->num_items(); ++a) {
+    for (ItemId b = a + 1; b < db->num_items(); ++b) {
+      if (!border.IsAboveBorder(Itemset{a, b})) {
+        std::cout << "  {i" << a << ", i" << b << "}\n";
+      }
+    }
+  }
+  return 0;
+}

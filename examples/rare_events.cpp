@@ -1,0 +1,102 @@
+// Rare-event mining: the paper's fire-code inspector scenario (Section 1).
+// Fires — and the conditions leading to them — are rare, so the framework
+// needed is "anti-support": only rarely occurring combinations are
+// interesting. The paper notes chi-squared cannot serve this regime
+// (Section 4: the statistic is inaccurate for very rare events); the
+// rare-pair miner uses Fisher's exact test instead, which stays valid at
+// any count.
+//
+// We synthesize building inspection records: each basket is a building,
+// items are conditions and outcomes. Aluminum wiring (rare) genuinely
+// raises fire risk; sprinklers lower it; everything else is noise.
+
+#include <iostream>
+#include <string>
+
+#include "datagen/rng.h"
+#include "io/table_printer.h"
+#include "itemset/count_provider.h"
+#include "mining/rare_pairs.h"
+
+int main() {
+  using namespace corrmine;
+
+  // Item space.
+  enum Item : ItemId {
+    kFire = 0,            // The rare outcome.
+    kAluminumWiring = 1,  // Rare, causally linked to fire.
+    kKnobAndTube = 2,     // Rare, mildly linked.
+    kSprinklers = 3,      // Common, protective (negative link).
+    kBrickFacade = 4,     // Common, irrelevant.
+    kElevator = 5,        // Common, irrelevant.
+    kRooftopHvac = 6,     // Occasional, irrelevant.
+    kNumItems = 7,
+  };
+  const char* names[kNumItems] = {
+      "fire",     "aluminum-wiring", "knob-and-tube", "sprinklers",
+      "brick",    "elevator",        "rooftop-hvac"};
+
+  datagen::Rng rng(2026);
+  TransactionDatabase db(kNumItems);
+  for (ItemId i = 0; i < kNumItems; ++i) db.dictionary().GetOrAdd(names[i]);
+
+  const int kBuildings = 20000;
+  for (int b = 0; b < kBuildings; ++b) {
+    std::vector<ItemId> record;
+    bool aluminum = rng.NextBernoulli(0.015);
+    bool knob = rng.NextBernoulli(0.02);
+    bool sprinklers = rng.NextBernoulli(0.6);
+    if (aluminum) record.push_back(kAluminumWiring);
+    if (knob) record.push_back(kKnobAndTube);
+    if (sprinklers) record.push_back(kSprinklers);
+    if (rng.NextBernoulli(0.5)) record.push_back(kBrickFacade);
+    if (rng.NextBernoulli(0.3)) record.push_back(kElevator);
+    if (rng.NextBernoulli(0.1)) record.push_back(kRooftopHvac);
+
+    double fire_risk = 0.004;           // Base rate: 0.4% of buildings.
+    if (aluminum) fire_risk += 0.10;    // Strong causal link.
+    if (knob) fire_risk += 0.02;
+    if (sprinklers) fire_risk *= 0.5;   // Protective.
+    if (rng.NextBernoulli(fire_risk)) record.push_back(kFire);
+
+    auto status = db.AddBasket(std::move(record));
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  BitmapCountProvider provider(db);
+  std::cout << "inspected " << db.num_baskets() << " buildings; "
+            << provider.CountAllPresent(Itemset{kFire})
+            << " had fires\n\n";
+
+  RarePairOptions options;
+  options.max_item_fraction = 0.05;  // Anti-support: rare items only.
+  options.max_p_value = 0.01;
+  auto results = MineRarePairs(provider, db.num_items(), options);
+  if (!results.ok()) {
+    std::cerr << results.status().ToString() << "\n";
+    return 1;
+  }
+
+  io::TablePrinter table({"rare pair", "observed", "interest", "p-value",
+                          "reading"});
+  for (const RarePairResult& result : *results) {
+    std::string label;
+    for (ItemId item : result.pair) {
+      if (!label.empty()) label += " + ";
+      label += names[item];
+    }
+    std::string reading = result.joint_interest > 1.0
+                              ? "co-occur more than chance"
+                              : "repel each other";
+    table.AddRow({label, std::to_string(result.count_both),
+                  io::FormatDouble(result.joint_interest, 2),
+                  io::FormatDouble(result.p_value, 6), reading});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(aluminum wiring should head the list; the irrelevant "
+               "rare conditions should be absent)\n";
+  return 0;
+}

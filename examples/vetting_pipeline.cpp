@@ -1,0 +1,84 @@
+// Vetting pipeline: mine correlation rules level-wise, then re-examine
+// each finding with the Monte Carlo exact independence test before
+// trusting it. This is the workflow the paper's Section 3.3 points
+// toward: the chi-squared approximation finds candidates fast, the exact
+// test (valid at any expected cell count) confirms or rejects the
+// borderline ones.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/chi_squared_miner.h"
+#include "datagen/text_generator.h"
+#include "io/table_printer.h"
+#include "itemset/count_provider.h"
+#include "stats/permutation_test.h"
+
+int main() {
+  using namespace corrmine;
+
+  // A small corpus keeps expected cell counts low — exactly the regime
+  // where the asymptotic p-values are shaky and vetting earns its keep.
+  datagen::TextCorpusOptions corpus_options;
+  corpus_options.num_documents = 60;
+  auto corpus = datagen::GenerateTextCorpus(corpus_options);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  const TransactionDatabase& db = corpus->database;
+  BitmapCountProvider provider(db);
+
+  MinerOptions miner;
+  miner.support.min_count = 4;
+  miner.support.cell_fraction = 0.25 + 1e-9;
+  miner.max_level = 2;
+  auto result = MineCorrelations(provider, db.num_items(), miner);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "chi-squared miner reported " << result->significant.size()
+            << " correlated pairs over " << db.num_baskets()
+            << " documents; vetting the 12 weakest with the exact test\n\n";
+
+  // Vet the *weakest* findings — the strong ones are beyond doubt.
+  std::sort(result->significant.begin(), result->significant.end(),
+            [](const CorrelationRule& a, const CorrelationRule& b) {
+              return a.chi2.statistic < b.chi2.statistic;
+            });
+
+  io::TablePrinter table({"pair", "chi2", "asymptotic p", "exact p",
+                          "verdict"});
+  int confirmed = 0;
+  int rejected = 0;
+  for (size_t i = 0; i < result->significant.size() && i < 12; ++i) {
+    const CorrelationRule& rule = result->significant[i];
+    stats::PermutationTestOptions exact_options;
+    exact_options.rounds = 2000;
+    auto exact =
+        stats::PermutationIndependenceTest(db, rule.itemset, exact_options);
+    if (!exact.ok()) {
+      std::cerr << exact.status().ToString() << "\n";
+      return 1;
+    }
+    bool holds = exact->p_value < 0.05;
+    holds ? ++confirmed : ++rejected;
+    std::string words;
+    for (ItemId item : rule.itemset) {
+      if (!words.empty()) words += " + ";
+      auto name = db.dictionary().Name(item);
+      words += name.ok() ? *name : std::to_string(item);
+    }
+    table.AddRow({words, io::FormatDouble(rule.chi2.statistic, 2),
+                  io::FormatDouble(rule.chi2.p_value, 4),
+                  io::FormatDouble(exact->p_value, 4),
+                  holds ? "confirmed" : "REJECTED"});
+  }
+  table.Print(std::cout);
+  std::cout << "\n" << confirmed << " confirmed, " << rejected
+            << " rejected by the exact test — rejected rows are the "
+               "approximation error\nthe paper's Section 3.3 warns about "
+               "at small expected cell counts.\n";
+  return 0;
+}

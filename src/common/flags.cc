@@ -1,0 +1,90 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace corrmine {
+
+StatusOr<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  bool flags_done = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || arg.size() < 2 || arg.compare(0, 2, "--") != 0) {
+      if (arg == "--" && !flags_done) {
+        flags_done = true;
+        continue;
+      }
+      parser.positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("malformed flag: " + arg);
+      }
+      parser.flags_[name] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc) {
+      std::string next = argv[i + 1];
+      if (next.size() < 2 || next.compare(0, 2, "--") != 0) {
+        parser.flags_[body] = next;
+        ++i;
+        continue;
+      }
+    }
+    parser.flags_[body] = "";
+  }
+  return parser;
+}
+
+bool FlagParser::HasFlag(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+StatusOr<uint64_t> FlagParser::GetUint64(const std::string& name,
+                                         uint64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t value, ParseUint64(it->second));
+  return value;
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& name,
+                                       double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  CORRMINE_ASSIGN_OR_RETURN(double value, ParseDouble(it->second));
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty()) return true;
+  std::string lower = ToLowerAscii(it->second);
+  return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+std::vector<std::string> FlagParser::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,58 @@
+#ifndef CORRMINE_COMMON_LOGGING_H_
+#define CORRMINE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace corrmine {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits on destruction. `fatal` aborts the
+/// process after emitting (used by CORRMINE_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define CORRMINE_LOG(level)                                              \
+  ::corrmine::internal_logging::LogMessage(::corrmine::LogLevel::level, \
+                                           __FILE__, __LINE__)
+
+/// Invariant check that is active in all build modes. Prefer this over
+/// assert() for conditions guarding memory safety or data integrity.
+#define CORRMINE_CHECK(cond)                                          \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::corrmine::internal_logging::LogMessage(                         \
+        ::corrmine::LogLevel::kError, __FILE__, __LINE__,             \
+        /*fatal=*/true)                                               \
+        << "Check failed: " #cond " "
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_COMMON_LOGGING_H_

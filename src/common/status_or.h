@@ -1,0 +1,76 @@
+#ifndef CORRMINE_COMMON_STATUS_OR_H_
+#define CORRMINE_COMMON_STATUS_OR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace corrmine {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Accessing the value of an errored StatusOr is a programming
+/// error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success) or a status (failure), so
+  /// that `return value;` and `return Status::...;` both work.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates an expression yielding StatusOr<T>; on error propagates the
+/// status, otherwise assigns the value to `lhs`.
+#define CORRMINE_ASSIGN_OR_RETURN(lhs, expr)       \
+  CORRMINE_ASSIGN_OR_RETURN_IMPL(                  \
+      CORRMINE_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define CORRMINE_CONCAT_IMPL_(a, b) a##b
+#define CORRMINE_CONCAT_(a, b) CORRMINE_CONCAT_IMPL_(a, b)
+#define CORRMINE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_COMMON_STATUS_OR_H_

@@ -1,0 +1,36 @@
+#ifndef CORRMINE_COMMON_STRING_UTIL_H_
+#define CORRMINE_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace corrmine {
+
+/// Splits `input` on any of the characters in `delims`, discarding empty
+/// pieces (so runs of delimiters collapse).
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          std::string_view delims = " \t");
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimString(std::string_view input);
+
+/// Parses a non-negative decimal integer; rejects trailing garbage.
+StatusOr<uint64_t> ParseUint64(std::string_view token);
+
+/// Parses a floating point value; rejects trailing garbage.
+StatusOr<double> ParseDouble(std::string_view token);
+
+/// Lower-cases ASCII characters.
+std::string ToLowerAscii(std::string_view input);
+
+/// Joins pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,68 @@
+#include "core/batch_tables.h"
+
+#include <unordered_map>
+
+namespace corrmine {
+
+StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
+    const TransactionDatabase& db, const std::vector<Itemset>& candidates) {
+  if (db.num_baskets() == 0) {
+    return Status::FailedPrecondition("batch build over empty database");
+  }
+  for (const Itemset& s : candidates) {
+    if (s.empty() ||
+        static_cast<int>(s.size()) > SparseContingencyTable::kMaxItems) {
+      return Status::InvalidArgument("invalid candidate itemset size");
+    }
+    if (s.items().back() >= db.num_items()) {
+      return Status::OutOfRange("candidate item out of range");
+    }
+  }
+
+  // One pattern-count map per candidate, all filled in a single scan.
+  std::vector<std::unordered_map<uint32_t, uint64_t>> pattern_counts(
+      candidates.size());
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    const std::vector<ItemId>& basket = db.basket(row);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const Itemset& s = candidates[c];
+      uint32_t mask = 0;
+      size_t bi = 0;
+      for (size_t j = 0; j < s.size(); ++j) {
+        ItemId target = s.item(j);
+        while (bi < basket.size() && basket[bi] < target) ++bi;
+        if (bi < basket.size() && basket[bi] == target) {
+          mask |= uint32_t{1} << j;
+          ++bi;
+        }
+      }
+      // The merge cursor cannot be reused across candidates (different
+      // targets), so reset per candidate.
+      ++pattern_counts[c][mask];
+    }
+  }
+
+  std::vector<SparseContingencyTable> tables;
+  tables.reserve(candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const Itemset& s = candidates[c];
+    std::vector<uint64_t> item_counts(s.size());
+    for (size_t j = 0; j < s.size(); ++j) {
+      item_counts[j] = db.ItemCount(s.item(j));
+    }
+    std::vector<SparseContingencyTable::Cell> cells;
+    cells.reserve(pattern_counts[c].size());
+    for (const auto& [mask, count] : pattern_counts[c]) {
+      cells.push_back(SparseContingencyTable::Cell{mask, count});
+    }
+    CORRMINE_ASSIGN_OR_RETURN(
+        SparseContingencyTable table,
+        SparseContingencyTable::FromCells(
+            s, IndependenceModel(db.num_baskets(), std::move(item_counts)),
+            std::move(cells)));
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+}  // namespace corrmine

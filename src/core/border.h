@@ -1,0 +1,42 @@
+#ifndef CORRMINE_CORE_BORDER_H_
+#define CORRMINE_CORE_BORDER_H_
+
+#include <vector>
+
+#include "itemset/itemset.h"
+
+namespace corrmine {
+
+/// The border of correlation (Section 2.2): because chi-squared significance
+/// is upward closed, the minimal correlated itemsets partition the lattice —
+/// everything above (a superset of) a border element is correlated,
+/// everything else visited by the search was not. The border therefore
+/// "encodes all the useful information about the interesting itemsets".
+class CorrelationBorder {
+ public:
+  CorrelationBorder() = default;
+
+  /// Builds from a set of correlated itemsets, keeping only the minimal
+  /// ones (those with no proper subset also in the input).
+  explicit CorrelationBorder(std::vector<Itemset> correlated_sets);
+
+  /// The minimal correlated itemsets, lexicographically sorted.
+  const std::vector<Itemset>& minimal_sets() const { return minimal_; }
+
+  size_t size() const { return minimal_.size(); }
+  bool empty() const { return minimal_.empty(); }
+
+  /// True iff `s` is a superset of (or equal to) some border element — by
+  /// upward closure, exactly the itemsets known to be correlated.
+  bool IsAboveBorder(const Itemset& s) const;
+
+  /// True iff `s` is itself one of the minimal sets.
+  bool IsOnBorder(const Itemset& s) const;
+
+ private:
+  std::vector<Itemset> minimal_;
+};
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_BORDER_H_

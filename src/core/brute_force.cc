@@ -1,0 +1,106 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace corrmine {
+
+namespace {
+
+/// Enumerates all size-k subsets of {0..num_items-1} in lexicographic order.
+void ForEachItemset(ItemId num_items, int k,
+                    const std::function<void(const Itemset&)>& fn) {
+  std::vector<ItemId> combo(k);
+  for (int i = 0; i < k; ++i) combo[i] = static_cast<ItemId>(i);
+  if (k > static_cast<int>(num_items)) return;
+  while (true) {
+    fn(Itemset(std::vector<ItemId>(combo)));
+    int pos = k - 1;
+    while (pos >= 0 &&
+           combo[pos] == num_items - static_cast<ItemId>(k - pos)) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++combo[pos];
+    for (int j = pos + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+StatusOr<MiningResult> MineCorrelationsBruteForce(
+    const CountProvider& provider, ItemId num_items,
+    const MinerOptions& options, int max_level) {
+  if (provider.num_baskets() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  MiningResult result;
+  uint64_t n = provider.num_baskets();
+
+  std::vector<uint64_t> item_counts(num_items);
+  for (ItemId i = 0; i < num_items; ++i) {
+    item_counts[i] = provider.CountAllPresent(Itemset{i});
+  }
+
+  max_level = std::min(max_level, ContingencyTable::kMaxItems);
+  std::map<Itemset, bool> not_sig_prev;  // NOTSIG at the previous level.
+  Status failure = Status::OK();
+
+  for (int level = 2; level <= max_level; ++level) {
+    LevelStats stats;
+    stats.level = level;
+    stats.possible_itemsets = BinomialCount(num_items, level);
+    std::map<Itemset, bool> not_sig_here;
+
+    ForEachItemset(num_items, level, [&](const Itemset& s) {
+      if (!failure.ok()) return;
+      // Candidate?
+      if (level == 2) {
+        if (!PairPassesLevelOne(item_counts[s.item(0)],
+                                item_counts[s.item(1)], n, options.support,
+                                options.level_one)) {
+          return;
+        }
+      } else {
+        for (const Itemset& subset : s.SubsetsMissingOne()) {
+          if (!not_sig_prev.count(subset)) return;
+        }
+      }
+      ++stats.candidates;
+      auto table_or = ContingencyTable::Build(provider, s);
+      if (!table_or.ok()) {
+        failure = table_or.status();
+        return;
+      }
+      const ContingencyTable& table = *table_or;
+      if (!HasCellSupport(table, options.support)) {
+        ++stats.discards;
+        return;
+      }
+      ChiSquaredResult chi2 = ComputeChiSquared(table, options.chi2);
+      if (chi2.SignificantAt(options.confidence_level)) {
+        ++stats.significant;
+        result.significant.push_back(
+            CorrelationRule{s, chi2, MajorDependenceCell(table)});
+      } else {
+        ++stats.not_significant;
+        not_sig_here.emplace(s, true);
+      }
+    });
+    if (!failure.ok()) return failure;
+
+    result.levels.push_back(stats);
+    if (not_sig_here.empty() && stats.candidates == 0) break;
+    not_sig_prev = std::move(not_sig_here);
+  }
+  // Trim trailing all-zero levels so the shape matches the level-wise miner,
+  // which stops as soon as CAND is empty.
+  while (!result.levels.empty() && result.levels.back().candidates == 0) {
+    result.levels.pop_back();
+  }
+  return result;
+}
+
+}  // namespace corrmine

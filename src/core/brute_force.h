@@ -1,0 +1,24 @@
+#ifndef CORRMINE_CORE_BRUTE_FORCE_H_
+#define CORRMINE_CORE_BRUTE_FORCE_H_
+
+#include "core/chi_squared_miner.h"
+
+namespace corrmine {
+
+/// Exhaustive reference implementation of Algorithm x2-support's output
+/// semantics, used to validate the level-wise and random-walk miners on
+/// small inputs. Enumerates every itemset up to `max_level` and applies the
+/// recursive definition directly:
+///   candidate(S), |S| = 2:  the level-1 pruning admits the pair;
+///   candidate(S), |S| > 2:  every (|S|-1)-subset is NOTSIG;
+///   NOTSIG(S) = candidate(S) and supported(S) and not correlated(S);
+///   SIG(S)    = candidate(S) and supported(S) and correlated(S).
+///
+/// Exponential in the number of items — test-sized inputs only.
+StatusOr<MiningResult> MineCorrelationsBruteForce(
+    const CountProvider& provider, ItemId num_items,
+    const MinerOptions& options = {}, int max_level = 6);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_BRUTE_FORCE_H_

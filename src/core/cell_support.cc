@@ -1,0 +1,56 @@
+#include "core/cell_support.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace corrmine {
+
+uint64_t RequiredSupportedCells(const CellSupportPolicy& policy,
+                                double num_cells) {
+  CORRMINE_CHECK(policy.cell_fraction > 0.0 && policy.cell_fraction <= 1.0)
+      << "cell_fraction must be in (0,1], got " << policy.cell_fraction;
+  double required = std::ceil(policy.cell_fraction * num_cells - 1e-9);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(required));
+}
+
+bool HasCellSupport(const ContingencyTable& table,
+                    const CellSupportPolicy& policy) {
+  uint64_t required = RequiredSupportedCells(
+      policy, static_cast<double>(table.num_cells()));
+  return table.CellsWithCountAtLeast(policy.min_count) >= required;
+}
+
+bool HasCellSupport(const SparseContingencyTable& table,
+                    const CellSupportPolicy& policy) {
+  uint64_t required = RequiredSupportedCells(policy, table.TotalCellCount());
+  return table.CellsWithCountAtLeast(policy.min_count) >= required;
+}
+
+bool PairPassesLevelOne(uint64_t count_a, uint64_t count_b, uint64_t n,
+                        const CellSupportPolicy& policy,
+                        LevelOnePruning mode) {
+  switch (mode) {
+    case LevelOnePruning::kNone:
+      return true;
+    case LevelOnePruning::kFigure1Strict:
+      return count_a > policy.min_count && count_b > policy.min_count;
+    case LevelOnePruning::kFeasibilityBound: {
+      // Upper-bound each cell of the 2x2 table by its margins; a cell can
+      // only reach min_count if its bound does.
+      uint64_t s = policy.min_count;
+      uint64_t not_a = n - count_a;
+      uint64_t not_b = n - count_b;
+      uint64_t feasible = 0;
+      if (std::min(count_a, count_b) >= s) ++feasible;  // ab
+      if (std::min(count_a, not_b) >= s) ++feasible;    // a, not-b
+      if (std::min(not_a, count_b) >= s) ++feasible;    // not-a, b
+      if (std::min(not_a, not_b) >= s) ++feasible;      // neither
+      return feasible >= RequiredSupportedCells(policy, 4.0);
+    }
+  }
+  return true;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,61 @@
+#ifndef CORRMINE_CORE_CELL_SUPPORT_H_
+#define CORRMINE_CORE_CELL_SUPPORT_H_
+
+#include <cstdint>
+
+#include "core/contingency_table.h"
+
+namespace corrmine {
+
+/// The paper's generalization of support (Section 4): "a set of items S has
+/// support s at the p% level if at least p% of the cells in the contingency
+/// table for S have value s". Unlike support-confidence support, this looks
+/// at *all* cells (absence included), which is what makes negative
+/// dependence minable; expressing p as a fraction of cells is what makes it
+/// downward closed.
+struct CellSupportPolicy {
+  /// s: minimum observed count a cell needs to count as supported.
+  uint64_t min_count = 1;
+  /// p: required fraction of supported cells, in (0, 1]. The special
+  /// level-1 pruning is only sound for p > 0.25.
+  double cell_fraction = 0.25 + 1e-9;
+};
+
+/// Number of cells required for a table with `num_cells` cells to pass the
+/// policy: ceil(p * num_cells), at least 1.
+uint64_t RequiredSupportedCells(const CellSupportPolicy& policy,
+                                double num_cells);
+
+/// Whether the dense table passes the support test.
+bool HasCellSupport(const ContingencyTable& table,
+                    const CellSupportPolicy& policy);
+
+/// Whether the sparse table passes the support test (unoccupied cells can
+/// never reach min_count >= 1).
+bool HasCellSupport(const SparseContingencyTable& table,
+                    const CellSupportPolicy& policy);
+
+/// Level-1 pruning strategies for candidate pairs (Section 4 / Figure 1).
+enum class LevelOnePruning {
+  /// Figure 1, step 3 verbatim: keep {a, b} only when O(a) > s and
+  /// O(b) > s. This is what the paper's Table 5 candidate counts imply.
+  kFigure1Strict,
+  /// The prose justification made exact: bound each of the four cells by
+  /// its margins and keep the pair iff enough cells could possibly reach s.
+  /// Strictly weaker pruning than kFigure1Strict but never discards a pair
+  /// that could pass the support test.
+  kFeasibilityBound,
+  /// No level-1 pruning; every pair becomes a candidate.
+  kNone,
+};
+
+/// Applies the selected level-1 strategy to the pair {a, b} given the item
+/// occurrence counts and database size n. Returns true when the pair should
+/// be kept as a candidate.
+bool PairPassesLevelOne(uint64_t count_a, uint64_t count_b, uint64_t n,
+                        const CellSupportPolicy& policy,
+                        LevelOnePruning mode);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_CELL_SUPPORT_H_

@@ -1,0 +1,173 @@
+#include "core/chi_squared_miner.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "hash/itemset_set.h"
+
+namespace corrmine {
+
+uint64_t BinomialCount(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  unsigned __int128 result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+    if (result > UINT64_MAX) return UINT64_MAX;
+  }
+  return static_cast<uint64_t>(result);
+}
+
+namespace {
+
+Status ValidateOptions(const MinerOptions& options) {
+  if (!(options.confidence_level > 0.0 && options.confidence_level < 1.0)) {
+    return Status::InvalidArgument("confidence_level must be in (0,1)");
+  }
+  if (!(options.support.cell_fraction > 0.0 &&
+        options.support.cell_fraction <= 1.0)) {
+    return Status::InvalidArgument("support cell_fraction must be in (0,1]");
+  }
+  return Status::OK();
+}
+
+/// Streams the candidates of the next level without materializing CAND
+/// (the full candidate set at level 3 of a dense dataset can dwarf memory;
+/// the original implementation ran in 32 MB). Joins sorted NOTSIG sets
+/// sharing all but their last item, verifies every |S|-1 subset against
+/// the perfect-hash set (Figure 1, Step 8), and hands each surviving
+/// candidate to `visit`. `visit` returns a Status; the first failure stops
+/// the stream.
+Status StreamCandidates(const std::vector<Itemset>& not_sig,
+                        const hash::ItemsetPerfectSet& not_sig_set,
+                        const std::function<Status(Itemset)>& visit) {
+  for (size_t i = 0; i < not_sig.size(); ++i) {
+    for (size_t j = i + 1; j < not_sig.size(); ++j) {
+      const Itemset& a = not_sig[i];
+      const Itemset& b = not_sig[j];
+      // Sorted order means join partners with a common (k-1)-prefix are
+      // adjacent; once prefixes diverge, no later b matches a.
+      bool shared_prefix = true;
+      for (size_t t = 0; t + 1 < a.size(); ++t) {
+        if (a.item(t) != b.item(t)) {
+          shared_prefix = false;
+          break;
+        }
+      }
+      if (!shared_prefix) break;
+      Itemset joined = a.Union(b);
+      if (joined.size() != a.size() + 1) continue;
+      bool all_subsets_present = true;
+      for (const Itemset& subset : joined.SubsetsMissingOne()) {
+        if (!not_sig_set.Contains(subset)) {
+          all_subsets_present = false;
+          break;
+        }
+      }
+      if (all_subsets_present) {
+        CORRMINE_RETURN_NOT_OK(visit(std::move(joined)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
+                                        ItemId num_items,
+                                        const MinerOptions& options) {
+  CORRMINE_RETURN_NOT_OK(ValidateOptions(options));
+  if (provider.num_baskets() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  MiningResult result;
+
+  // Step 1: count O(i) for every item.
+  uint64_t n = provider.num_baskets();
+  std::vector<uint64_t> item_counts(num_items);
+  for (ItemId i = 0; i < num_items; ++i) {
+    item_counts[i] = provider.CountAllPresent(Itemset{i});
+  }
+
+  const int max_level = options.max_level > 0
+                            ? std::min(options.max_level,
+                                       ContingencyTable::kMaxItems)
+                            : ContingencyTable::kMaxItems;
+
+  // NOTSIG of the level being processed feeds the next level's candidate
+  // stream; SIG is appended to the output as discovered.
+  std::vector<Itemset> not_sig;
+  hash::ItemsetPerfectSet not_sig_set;
+
+  for (int level = 2; level <= max_level; ++level) {
+    LevelStats stats;
+    stats.level = level;
+    stats.possible_itemsets = BinomialCount(num_items, level);
+
+    std::vector<Itemset> next_not_sig;
+    hash::ItemsetPerfectSet next_not_sig_set;
+    // Skip NOTSIG bookkeeping when this is the last level we will visit —
+    // nothing consumes it, and on dense data it is the memory high-water
+    // mark — unless the caller asked for the frontier.
+    const bool keep_not_sig = level < max_level || options.keep_frontier;
+
+    // Steps 6-7 for one candidate: support test, then chi-squared routes
+    // into SIG or (if another level follows) NOTSIG.
+    auto evaluate = [&](Itemset s) -> Status {
+      ++stats.candidates;
+      CORRMINE_ASSIGN_OR_RETURN(ContingencyTable table,
+                                ContingencyTable::Build(provider, s));
+      if (!HasCellSupport(table, options.support)) {
+        ++stats.discards;
+        return Status::OK();
+      }
+      ChiSquaredResult chi2 = ComputeChiSquared(table, options.chi2);
+      if (chi2.SignificantAt(options.confidence_level)) {
+        ++stats.significant;
+        result.significant.push_back(
+            CorrelationRule{std::move(s), chi2, MajorDependenceCell(table)});
+      } else {
+        ++stats.not_significant;
+        if (keep_not_sig) {
+          next_not_sig_set.Insert(s);
+          next_not_sig.push_back(std::move(s));
+        }
+      }
+      return Status::OK();
+    };
+
+    if (level == 2) {
+      // Step 3: level-2 candidates via level-1 pruning.
+      for (ItemId a = 0; a < num_items; ++a) {
+        for (ItemId b = a + 1; b < num_items; ++b) {
+          if (PairPassesLevelOne(item_counts[a], item_counts[b], n,
+                                 options.support, options.level_one)) {
+            CORRMINE_RETURN_NOT_OK(evaluate(Itemset{a, b}));
+          }
+        }
+      }
+    } else {
+      CORRMINE_RETURN_NOT_OK(
+          StreamCandidates(not_sig, not_sig_set, evaluate));
+    }
+
+    bool exhausted = stats.candidates == 0;
+    if (!exhausted) result.levels.push_back(stats);
+
+    // Step 8: the surviving NOTSIG list seeds the next level.
+    std::sort(next_not_sig.begin(), next_not_sig.end());
+    if (exhausted) break;
+    not_sig = std::move(next_not_sig);
+    not_sig_set = std::move(next_not_sig_set);
+    if (not_sig.size() < 2 || level == max_level) break;
+  }
+
+  if (options.keep_frontier) {
+    result.frontier = std::move(not_sig);
+  }
+  return result;
+}
+
+}  // namespace corrmine

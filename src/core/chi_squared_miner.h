@@ -1,0 +1,95 @@
+#ifndef CORRMINE_CORE_CHI_SQUARED_MINER_H_
+#define CORRMINE_CORE_CHI_SQUARED_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/cell_support.h"
+#include "core/chi_squared_test.h"
+#include "core/interest.h"
+#include "itemset/count_provider.h"
+
+namespace corrmine {
+
+/// Options for the chi-squared/support mining algorithm (Figure 1 of the
+/// paper).
+struct MinerOptions {
+  /// Significance level alpha for the chi-squared cutoff; 0.95 gives the
+  /// paper's 3.84 cutoff under the single-dof policy.
+  double confidence_level = 0.95;
+
+  /// The generalized support pruning parameters (s and p).
+  CellSupportPolicy support;
+
+  /// How pairs are pre-pruned before level 2 (Figure 1 step 3).
+  LevelOnePruning level_one = LevelOnePruning::kFigure1Strict;
+
+  /// Statistic options (expected-value masking, dof policy).
+  ChiSquaredOptions chi2;
+
+  /// Stop after this level even if candidates remain; 0 = no limit (the
+  /// dense contingency-table cap still applies).
+  int max_level = 0;
+
+  /// When true, the search additionally returns the *frontier*: the
+  /// supported-but-uncorrelated itemsets (NOTSIG) of the final level
+  /// processed. Together with the minimal correlated sets this bounds the
+  /// correlation border from both sides — useful for analysis and for
+  /// seeding random walks. Costs the memory of keeping the last NOTSIG
+  /// alive.
+  bool keep_frontier = false;
+};
+
+/// A mined rule: a supported, minimally correlated itemset together with
+/// its test result and the cell that drives the correlation.
+struct CorrelationRule {
+  Itemset itemset;
+  ChiSquaredResult chi2;
+  CellInterest major_dependence;
+};
+
+/// Per-level bookkeeping — exactly the columns of the paper's Table 5.
+struct LevelStats {
+  int level = 0;
+  /// C(|I|, level): itemsets that would be examined with no pruning.
+  uint64_t possible_itemsets = 0;
+  /// |CAND|: itemsets actually examined.
+  uint64_t candidates = 0;
+  /// Candidates discarded by the support test.
+  uint64_t discards = 0;
+  /// |SIG|: supported and correlated (output) itemsets at this level.
+  uint64_t significant = 0;
+  /// |NOTSIG|: supported but uncorrelated itemsets at this level.
+  uint64_t not_significant = 0;
+};
+
+struct MiningResult {
+  /// The border: minimal correlated, supported itemsets, in discovery
+  /// order (level by level).
+  std::vector<CorrelationRule> significant;
+  std::vector<LevelStats> levels;
+  /// Supported, uncorrelated itemsets of the last processed level (only
+  /// populated when MinerOptions::keep_frontier is set), sorted
+  /// lexicographically.
+  std::vector<Itemset> frontier;
+};
+
+/// Runs Algorithm x2-support (Figure 1): level-wise search over the itemset
+/// lattice, keeping supported-but-uncorrelated sets (NOTSIG) as the frontier
+/// and emitting supported, minimally correlated sets (SIG).
+///
+/// `provider` answers subset counts over the same database the marginals
+/// come from; pass a BitmapCountProvider for large inputs. The search uses
+/// dense contingency tables, so it stops at itemsets of
+/// ContingencyTable::kMaxItems items.
+StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
+                                        ItemId num_items,
+                                        const MinerOptions& options = {});
+
+/// C(n, k) saturated at UINT64_MAX (used for LevelStats::possible_itemsets).
+uint64_t BinomialCount(uint64_t n, uint64_t k);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_CHI_SQUARED_MINER_H_

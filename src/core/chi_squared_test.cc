@@ -1,0 +1,120 @@
+#include "core/chi_squared_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/chi_squared_distribution.h"
+
+namespace corrmine {
+
+namespace {
+
+int64_t ResolveDof(DofPolicy policy, int k) {
+  switch (policy) {
+    case DofPolicy::kPaperSingle:
+      return 1;
+    case DofPolicy::kIndependenceModel:
+      CORRMINE_CHECK(k <= 30)
+          << "kIndependenceModel dof overflows for k > 30";
+      return (int64_t{1} << k) - 1 - k;
+  }
+  return 1;
+}
+
+double PValue(double statistic, int64_t dof) {
+  return stats::ChiSquaredPValue(statistic, static_cast<int>(dof));
+}
+
+/// Per-cell term of the selected statistic; `observed` may be zero.
+double CellTerm(const ChiSquaredOptions& options, double observed,
+                double expected) {
+  switch (options.statistic) {
+    case IndependenceStatistic::kPearsonChiSquared: {
+      double diff = std::fabs(observed - expected);
+      if (options.yates_correction) diff = std::max(0.0, diff - 0.5);
+      return diff * diff / expected;
+    }
+    case IndependenceStatistic::kLikelihoodRatioG:
+      if (observed <= 0.0) return 0.0;
+      return 2.0 * observed * std::log(observed / expected);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ChiSquaredResult ComputeChiSquared(const ContingencyTable& table,
+                                   const ChiSquaredOptions& options) {
+  ChiSquaredResult result;
+  result.dof = ResolveDof(options.dof_policy, table.num_items());
+
+  double statistic = 0.0;
+  uint64_t considered = 0;
+  uint64_t above_five = 0;
+  for (uint32_t mask = 0; mask < table.num_cells(); ++mask) {
+    double e = table.Expected(mask);
+    if (e < options.min_expected_cell || e <= 0.0) {
+      ++result.validity.masked_cells;
+      continue;
+    }
+    ++considered;
+    if (e <= 1.0) result.validity.all_expected_above_one = false;
+    if (e > 5.0) ++above_five;
+    statistic += CellTerm(options,
+                          static_cast<double>(table.Observed(mask)), e);
+  }
+  result.validity.fraction_expected_above_five =
+      considered == 0 ? 0.0
+                      : static_cast<double>(above_five) /
+                            static_cast<double>(considered);
+  result.validity.exact = true;
+  result.statistic = statistic;
+  result.p_value = PValue(statistic, result.dof);
+  return result;
+}
+
+ChiSquaredResult ComputeChiSquared(const SparseContingencyTable& table,
+                                   const ChiSquaredOptions& options) {
+  ChiSquaredResult result;
+  result.dof = ResolveDof(options.dof_policy, table.num_items());
+
+  // Pearson: an unoccupied cell contributes (0 - E)^2 / E = E, and the
+  // expected values over all 2^k cells sum to n, so unoccupied cells
+  // contribute n - sum_{occupied} E in aggregate — the paper's Section 4
+  // rewrite. The G statistic's unoccupied cells contribute exactly 0, so
+  // no aggregate term is needed there. Masked occupied cells are dropped
+  // entirely; see ChiSquaredOptions for the masking semantics.
+  double statistic = 0.0;
+  double occupied_expected_total = 0.0;
+  uint64_t considered = 0;
+  uint64_t above_five = 0;
+  for (const SparseContingencyTable::Cell& cell : table.occupied_cells()) {
+    double e = table.Expected(cell.mask);
+    occupied_expected_total += e;
+    if (e < options.min_expected_cell || e <= 0.0) {
+      ++result.validity.masked_cells;
+      continue;
+    }
+    ++considered;
+    if (e <= 1.0) result.validity.all_expected_above_one = false;
+    if (e > 5.0) ++above_five;
+    statistic += CellTerm(options,
+                          static_cast<double>(cell.observed), e);
+  }
+  if (options.statistic == IndependenceStatistic::kPearsonChiSquared) {
+    double n = static_cast<double>(table.n());
+    statistic += std::max(0.0, n - occupied_expected_total);
+  }
+
+  result.validity.fraction_expected_above_five =
+      considered == 0 ? 0.0
+                      : static_cast<double>(above_five) /
+                            static_cast<double>(considered);
+  result.validity.exact = false;  // Unoccupied cells were not inspected.
+  result.statistic = statistic;
+  result.p_value = PValue(statistic, result.dof);
+  return result;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,112 @@
+#ifndef CORRMINE_CORE_CHI_SQUARED_TEST_H_
+#define CORRMINE_CORE_CHI_SQUARED_TEST_H_
+
+#include <cstdint>
+
+#include "core/contingency_table.h"
+
+namespace corrmine {
+
+/// How many degrees of freedom to attribute to the k-way binary test.
+enum class DofPolicy {
+  /// The paper's convention (Appendix A): one degree of freedom regardless
+  /// of k, giving the 3.84 cutoff at the 95% level. Required for the upward
+  /// closure theorem the mining algorithm relies on.
+  kPaperSingle,
+  /// The conventional count for a saturated 2^k table with k fitted
+  /// marginals: 2^k - 1 - k (equals 1 when k = 2). Only supported for
+  /// k <= 30.
+  kIndependenceModel,
+};
+
+/// Which goodness-of-fit statistic to compute. Both are asymptotically
+/// chi-squared distributed and both are upward closed in the itemset
+/// lattice (Pearson by the paper's Theorem 1; the likelihood-ratio G by
+/// the log-sum inequality), so either can drive the miner.
+enum class IndependenceStatistic {
+  /// Pearson's chi-squared: sum (O-E)^2 / E — the paper's choice.
+  kPearsonChiSquared,
+  /// Likelihood-ratio G = 2 * sum O * ln(O/E). Unoccupied cells contribute
+  /// exactly 0, so the sparse representation computes it with no closed-
+  /// form correction at all.
+  kLikelihoodRatioG,
+};
+
+struct ChiSquaredOptions {
+  IndependenceStatistic statistic =
+      IndependenceStatistic::kPearsonChiSquared;
+
+  /// Cells with expected value below this are excluded from the statistic —
+  /// the paper's Section 3.3 workaround for the normal-approximation
+  /// breakdown on rare cells. 0 disables masking.
+  ///
+  /// On the sparse representation only *occupied* cells are maskable; the
+  /// aggregate contribution of unoccupied cells (each equal to its expected
+  /// value) is always included. Those contributions are individually below
+  /// the threshold, so the discrepancy vs. the dense path is bounded by the
+  /// total expectation mass of unoccupied low-expectation cells.
+  double min_expected_cell = 0.0;
+
+  /// Yates' continuity correction: replace (O-E)^2 with
+  /// (max(0, |O-E| - 0.5))^2 in the Pearson statistic. The standard
+  /// textbook remedy for the same small-count bias Section 3.3 worries
+  /// about; conventionally applied to 2x2 tables only, but available for
+  /// any size here. Always *reduces* the statistic, so a corrected
+  /// significance verdict is the conservative one. Ignored for the G
+  /// statistic. On the sparse representation the correction applies to
+  /// occupied cells only (the closed-form aggregate for unoccupied cells
+  /// stays uncorrected). Note the corrected statistic is no longer
+  /// guaranteed upward closed, so the miner should not combine it with
+  /// deep-lattice searches.
+  bool yates_correction = false;
+
+  DofPolicy dof_policy = DofPolicy::kPaperSingle;
+};
+
+/// Diagnostics for the chi-squared approximation quality (Moore's rule of
+/// thumb quoted in Section 3.3).
+struct ChiSquaredValidity {
+  /// True when every (unmasked) cell has expected value > 1.
+  bool all_expected_above_one = true;
+  /// Fraction of (unmasked) cells with expected value > 5.
+  double fraction_expected_above_five = 0.0;
+  /// Cells excluded by ChiSquaredOptions::min_expected_cell.
+  uint64_t masked_cells = 0;
+  /// False when the diagnostics only cover occupied cells (sparse path).
+  bool exact = true;
+
+  /// Moore's textbook conditions: all expectations > 1 and at least 80% > 5.
+  bool RuleOfThumbSatisfied() const {
+    return all_expected_above_one && fraction_expected_above_five >= 0.8;
+  }
+};
+
+struct ChiSquaredResult {
+  double statistic = 0.0;
+  int64_t dof = 1;
+  /// Upper-tail p-value of `statistic` at `dof`.
+  double p_value = 1.0;
+  ChiSquaredValidity validity;
+
+  /// True when the statistic exceeds the chi-squared cutoff at the given
+  /// confidence level (paper usage: SignificantAt(0.95) checks against 3.84
+  /// under the single-dof policy).
+  bool SignificantAt(double confidence_level) const {
+    return p_value < 1.0 - confidence_level;
+  }
+};
+
+/// Pearson chi-squared over a dense table: sum (O-E)^2 / E across cells.
+ChiSquaredResult ComputeChiSquared(const ContingencyTable& table,
+                                   const ChiSquaredOptions& options = {});
+
+/// Chi-squared over the sparse table using the paper's massaged formula
+/// (Section 4): contributions of unoccupied cells collapse into a closed
+/// form, so only occupied cells are touched:
+///   chi2 = sum_occupied O^2/E - n            (no masking)
+ChiSquaredResult ComputeChiSquared(const SparseContingencyTable& table,
+                                   const ChiSquaredOptions& options = {});
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_CHI_SQUARED_TEST_H_

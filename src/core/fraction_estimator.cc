@@ -1,0 +1,61 @@
+#include "core/fraction_estimator.h"
+
+#include <cmath>
+
+#include "datagen/rng.h"
+
+namespace corrmine {
+
+StatusOr<FractionEstimate> EstimateCorrelatedFraction(
+    const CountProvider& provider, ItemId num_items, int level,
+    const FractionEstimateOptions& options) {
+  if (provider.num_baskets() == 0) {
+    return Status::FailedPrecondition("estimating over an empty database");
+  }
+  if (level < 2 || level > ContingencyTable::kMaxItems) {
+    return Status::InvalidArgument("level must be in [2, dense-table cap]");
+  }
+  if (num_items < static_cast<ItemId>(level)) {
+    return Status::InvalidArgument("fewer items than the itemset size");
+  }
+  if (options.samples < 1) {
+    return Status::InvalidArgument("samples must be positive");
+  }
+
+  datagen::Rng rng(options.seed);
+  int correlated = 0;
+  for (int sample = 0; sample < options.samples; ++sample) {
+    // Uniform size-`level` subset via partial Fisher-Yates over item ids
+    // (rejection-free: sample distinct ids directly).
+    std::vector<ItemId> items;
+    while (static_cast<int>(items.size()) < level) {
+      ItemId candidate = static_cast<ItemId>(rng.NextBelow(num_items));
+      bool duplicate = false;
+      for (ItemId existing : items) {
+        if (existing == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) items.push_back(candidate);
+    }
+    CORRMINE_ASSIGN_OR_RETURN(
+        ContingencyTable table,
+        ContingencyTable::Build(provider, Itemset(std::move(items))));
+    if (ComputeChiSquared(table, options.chi2)
+            .SignificantAt(options.confidence_level)) {
+      ++correlated;
+    }
+  }
+
+  FractionEstimate estimate;
+  estimate.samples = options.samples;
+  estimate.fraction = static_cast<double>(correlated) /
+                      static_cast<double>(options.samples);
+  estimate.std_error = std::sqrt(
+      estimate.fraction * (1.0 - estimate.fraction) /
+      static_cast<double>(options.samples));
+  return estimate;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,43 @@
+#ifndef CORRMINE_CORE_INTEREST_H_
+#define CORRMINE_CORE_INTEREST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/contingency_table.h"
+
+namespace corrmine {
+
+/// Per-cell dependence diagnostics (Section 3.1): the interest
+/// I(r) = O(r)/E[r] measures how far a cell deviates from independence
+/// (values above 1 are positive dependence, below 1 negative), and the
+/// cell's chi-squared contribution (O-E)^2/E identifies the *major
+/// dependence* driving a correlation.
+struct CellInterest {
+  uint32_t mask = 0;        ///< Presence pattern (bit j = j-th item present).
+  uint64_t observed = 0;    ///< O(r).
+  double expected = 0.0;    ///< E[r].
+  double interest = 1.0;    ///< O(r)/E[r]; +inf if E[r] = 0 and O(r) > 0.
+  double contribution = 0;  ///< (O(r)-E[r])^2 / E[r].
+};
+
+/// Interest and contribution for every cell of a dense table, in mask order.
+std::vector<CellInterest> ComputeCellInterests(const ContingencyTable& table);
+
+/// The cell with the largest chi-squared contribution — the paper's "major
+/// dependence" (used in Tables 2 and 4 and Example 4).
+CellInterest MajorDependenceCell(const ContingencyTable& table);
+
+/// The cell whose interest is farthest from 1 (the paper notes this is
+/// typically the same cell as MajorDependenceCell).
+CellInterest MostExtremeInterestCell(const ContingencyTable& table);
+
+/// Renders a cell pattern like "{i2, !i7}": items present are listed by
+/// name (from `dict`, falling back to "i<id>"), absent ones prefixed with
+/// '!'.
+std::string FormatCellPattern(const Itemset& s, uint32_t mask,
+                              const ItemDictionary* dict = nullptr);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_INTEREST_H_

@@ -1,0 +1,122 @@
+#include "core/random_walk_miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "hash/universal_hash.h"
+
+namespace corrmine {
+
+namespace {
+
+struct Evaluation {
+  bool supported = false;
+  bool correlated = false;
+  ChiSquaredResult chi2;
+  CellInterest major;
+};
+
+StatusOr<Evaluation> Evaluate(const CountProvider& provider, const Itemset& s,
+                              const MinerOptions& options) {
+  Evaluation eval;
+  CORRMINE_ASSIGN_OR_RETURN(ContingencyTable table,
+                            ContingencyTable::Build(provider, s));
+  eval.supported = HasCellSupport(table, options.support);
+  eval.chi2 = ComputeChiSquared(table, options.chi2);
+  eval.correlated = eval.chi2.SignificantAt(options.confidence_level);
+  eval.major = MajorDependenceCell(table);
+  return eval;
+}
+
+}  // namespace
+
+StatusOr<MiningResult> MineCorrelationsRandomWalk(
+    const CountProvider& provider, ItemId num_items,
+    const RandomWalkOptions& options) {
+  if (provider.num_baskets() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  if (num_items < 2) {
+    return Status::InvalidArgument("random walk needs at least two items");
+  }
+  MiningResult result;
+  hash::SplitMix64 rng(options.seed);
+  const MinerOptions& miner = options.miner;
+  uint64_t n = provider.num_baskets();
+
+  std::vector<uint64_t> item_counts(num_items);
+  for (ItemId i = 0; i < num_items; ++i) {
+    item_counts[i] = provider.CountAllPresent(Itemset{i});
+  }
+
+  int max_size = std::min(options.max_itemset_size,
+                          ContingencyTable::kMaxItems);
+  std::set<Itemset> found;
+
+  for (int walk = 0; walk < options.num_walks; ++walk) {
+    // Random start pair, subject to the same level-1 pruning as the
+    // level-wise search; a handful of rejection-sampling tries per walk.
+    ItemId a = 0;
+    ItemId b = 0;
+    bool have_pair = false;
+    for (int tries = 0; tries < 64 && !have_pair; ++tries) {
+      a = static_cast<ItemId>(rng.NextBelow(num_items));
+      b = static_cast<ItemId>(rng.NextBelow(num_items));
+      have_pair = a != b &&
+                  PairPassesLevelOne(item_counts[a], item_counts[b], n,
+                                     miner.support, miner.level_one);
+    }
+    if (!have_pair) continue;
+
+    Itemset current{a, b};
+    while (true) {
+      CORRMINE_ASSIGN_OR_RETURN(Evaluation eval,
+                                Evaluate(provider, current, miner));
+      if (!eval.supported) break;  // Left the supported region; abandon.
+      if (eval.correlated) {
+        // Crossed the border: minimize by greedy removal while a supported,
+        // correlated immediate subset exists (upward closure makes the
+        // result minimal among supported sets).
+        Itemset minimal = current;
+        ChiSquaredResult chi2 = eval.chi2;
+        CellInterest major = eval.major;
+        bool shrunk = true;
+        while (shrunk && minimal.size() > 2) {
+          shrunk = false;
+          for (const Itemset& subset : minimal.SubsetsMissingOne()) {
+            CORRMINE_ASSIGN_OR_RETURN(Evaluation sub_eval,
+                                      Evaluate(provider, subset, miner));
+            if (sub_eval.supported && sub_eval.correlated) {
+              minimal = subset;
+              chi2 = sub_eval.chi2;
+              major = sub_eval.major;
+              shrunk = true;
+              break;
+            }
+          }
+        }
+        // Optional high-chi2 pruning: overwhelming correlations are
+        // "probably so obvious as to be uninteresting" (Section 4).
+        bool interesting = options.max_chi_squared <= 0.0 ||
+                           chi2.statistic <= options.max_chi_squared;
+        if (interesting && found.insert(minimal).second) {
+          result.significant.push_back(CorrelationRule{minimal, chi2, major});
+        }
+        break;
+      }
+      if (static_cast<int>(current.size()) >= max_size) break;
+      // Step up the lattice: add a random absent item.
+      ItemId next = static_cast<ItemId>(rng.NextBelow(num_items));
+      int tries = 0;
+      while (current.Contains(next) && tries++ < 64) {
+        next = static_cast<ItemId>(rng.NextBelow(num_items));
+      }
+      if (current.Contains(next)) break;
+      current = current.WithItem(next);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,44 @@
+#ifndef CORRMINE_CORE_RANDOM_WALK_MINER_H_
+#define CORRMINE_CORE_RANDOM_WALK_MINER_H_
+
+#include <cstdint>
+
+#include "core/chi_squared_miner.h"
+
+namespace corrmine {
+
+/// Options for the random-walk alternative to the level-wise search.
+struct RandomWalkOptions {
+  /// Shared mining parameters (support, significance, statistic options).
+  MinerOptions miner;
+  /// Number of independent walks up the lattice.
+  int num_walks = 1000;
+  /// Walks abandon after reaching this itemset size without crossing the
+  /// border (also bounded by the dense contingency-table cap).
+  int max_itemset_size = 8;
+  /// Section 4's non-level-wise pruning idea: "prune itemsets with very
+  /// high chi2 values, under the theory that these correlations are
+  /// probably so obvious as to be uninteresting". Not downward closed, so
+  /// the level-wise algorithm cannot use it — but a walk can simply drop
+  /// crossings whose statistic exceeds the ceiling. 0 disables.
+  double max_chi_squared = 0.0;
+  uint64_t seed = 0x9a11ce5ULL;
+};
+
+/// The random-walk algorithm the paper sketches (Sections 2.1 and 6,
+/// following Gunopulos et al. [14]): each walk starts from a random
+/// supported pair and adds random items while the current set stays
+/// supported and uncorrelated; the moment it crosses the correlation border
+/// the walk stops and the crossing set is minimized (greedy item removal,
+/// which by upward closure yields a truly minimal correlated set).
+///
+/// Produces a *subset* of the border per run — walks that repeatedly land on
+/// the same minimal sets are deduplicated. With enough walks relative to the
+/// border size, the full border is recovered with high probability.
+StatusOr<MiningResult> MineCorrelationsRandomWalk(
+    const CountProvider& provider, ItemId num_items,
+    const RandomWalkOptions& options = {});
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_RANDOM_WALK_MINER_H_

@@ -1,0 +1,68 @@
+#include "cube/datacube.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace corrmine {
+
+StatusOr<DataCube> DataCube::Build(const TransactionDatabase& db,
+                                   int max_dimension) {
+  if (max_dimension < 1 || max_dimension > 4) {
+    return Status::InvalidArgument(
+        "datacube dimension must be in [1, 4]; larger cubes are "
+        "combinatorially explosive on dense baskets");
+  }
+  DataCube cube(max_dimension, db.num_baskets());
+
+  // Recursively enumerate subsets of each basket up to the dimension bound.
+  std::vector<ItemId> scratch;
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    const std::vector<ItemId>& basket = db.basket(row);
+    // Iterative nested enumeration by dimension to avoid recursion overhead.
+    for (size_t i = 0; i < basket.size(); ++i) {
+      ++cube.counts_[Itemset{basket[i]}];
+      if (max_dimension < 2) continue;
+      for (size_t j = i + 1; j < basket.size(); ++j) {
+        ++cube.counts_[Itemset{basket[i], basket[j]}];
+        if (max_dimension < 3) continue;
+        for (size_t k = j + 1; k < basket.size(); ++k) {
+          ++cube.counts_[Itemset{basket[i], basket[j], basket[k]}];
+          if (max_dimension < 4) continue;
+          for (size_t l = k + 1; l < basket.size(); ++l) {
+            ++cube.counts_[Itemset{basket[i], basket[j], basket[k],
+                                   basket[l]}];
+          }
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+StatusOr<uint64_t> DataCube::Count(const Itemset& s) const {
+  if (s.empty()) return num_baskets_;
+  if (static_cast<int>(s.size()) > max_dimension_) {
+    return Status::OutOfRange("itemset exceeds materialized cube dimension");
+  }
+  auto it = counts_.find(s);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t CubeCountProvider::CountAllPresent(const Itemset& s) const {
+  if (static_cast<int>(s.size()) <= cube_.max_dimension()) {
+    auto count = cube_.Count(s);
+    CORRMINE_CHECK(count.ok()) << count.status().ToString();
+    return *count;
+  }
+  CORRMINE_CHECK(fallback_ != nullptr)
+      << "cube query beyond materialized dimension with no fallback "
+         "database";
+  uint64_t count = 0;
+  for (size_t row = 0; row < fallback_->num_baskets(); ++row) {
+    if (fallback_->BasketContainsAll(row, s)) ++count;
+  }
+  return count;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,68 @@
+#ifndef CORRMINE_CUBE_DATACUBE_H_
+#define CORRMINE_CUBE_DATACUBE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status_or.h"
+#include "itemset/count_provider.h"
+#include "itemset/itemset.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine {
+
+/// A count datacube (Gray et al. [13]) over the item space: materializes
+/// O(S) = |{baskets containing all of S}| for every itemset S up to a
+/// dimension bound, in one pass over the database. The paper observes
+/// (Sections 2.1 and 6) that the random-walk algorithm "has a natural
+/// implementation in terms of a datacube of the count values for
+/// contingency tables" — this module provides that backing store: any
+/// contingency table over <= max_dimension items assembles from cube cells
+/// with no further data passes.
+class DataCube {
+ public:
+  /// Builds the cube. Cost is sum over baskets of C(|b|, <=d); keep
+  /// max_dimension small (2 or 3) for dense baskets.
+  static StatusOr<DataCube> Build(const TransactionDatabase& db,
+                                  int max_dimension);
+
+  int max_dimension() const { return max_dimension_; }
+  uint64_t num_baskets() const { return num_baskets_; }
+
+  /// O(S) for |S| <= max_dimension (0 when S never occurs). Errors if S is
+  /// larger than the materialized dimension.
+  StatusOr<uint64_t> Count(const Itemset& s) const;
+
+  /// Number of materialized (non-zero) cells.
+  size_t num_cells() const { return counts_.size(); }
+
+ private:
+  DataCube(int max_dimension, uint64_t num_baskets)
+      : max_dimension_(max_dimension), num_baskets_(num_baskets) {}
+
+  int max_dimension_;
+  uint64_t num_baskets_;
+  std::unordered_map<Itemset, uint64_t, ItemsetHasher> counts_;
+};
+
+/// CountProvider view over a datacube: answers small-set counts from the
+/// cube and (optionally) falls back to scanning the database for sets larger
+/// than the materialized dimension.
+class CubeCountProvider : public CountProvider {
+ public:
+  /// `cube` must outlive the provider. `fallback_db` may be null; then
+  /// queries beyond the cube's dimension abort.
+  CubeCountProvider(const DataCube& cube, const TransactionDatabase* fallback_db)
+      : cube_(cube), fallback_(fallback_db) {}
+
+  uint64_t num_baskets() const override { return cube_.num_baskets(); }
+  uint64_t CountAllPresent(const Itemset& s) const override;
+
+ private:
+  const DataCube& cube_;
+  const TransactionDatabase* fallback_;
+};
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CUBE_DATACUBE_H_

@@ -1,0 +1,102 @@
+#include "datagen/categorical_census.h"
+
+#include <array>
+#include <cmath>
+
+#include "datagen/rng.h"
+#include "linalg/sym_matrix.h"
+#include "stats/normal.h"
+
+namespace corrmine::datagen {
+
+namespace {
+
+// Latent dimensions the attributes are carved from; the correlation
+// structure is hand-set to echo the binary census model's headline
+// dependencies (veteran <-> older, citizenship <-> nativity, marital <->
+// age, transport <-> marital).
+enum Latent {
+  kTransportL = 0,
+  kAgeL = 1,
+  kChildrenL = 2,
+  kMilitaryL = 3,
+  kCitizenL = 4,
+  kMaritalL = 5,
+  kNumLatent = 6,
+};
+
+linalg::SymMatrix LatentCorrelation() {
+  // Bucket 0 of each attribute sits at the LOW end of its latent, so the
+  // signs below encode: veterans (military bucket 1, high) skew over 40
+  // (age bucket 2, high); married (marital bucket 0, low) skews older and
+  // toward driving alone (transport bucket 0, low) and more children
+  // (children bucket 2, high); immigrants (citizenship bucket 2, high)
+  // skew toward larger families.
+  linalg::SymMatrix corr = linalg::SymMatrix::Identity(kNumLatent);
+  corr.Set(kMilitaryL, kAgeL, 0.55);
+  corr.Set(kMaritalL, kAgeL, -0.45);
+  corr.Set(kChildrenL, kMaritalL, -0.5);
+  corr.Set(kTransportL, kMaritalL, 0.3);
+  corr.Set(kTransportL, kAgeL, -0.25);
+  corr.Set(kCitizenL, kChildrenL, 0.1);
+  return linalg::NearestCorrelationMatrix(corr);
+}
+
+// Maps a latent standard normal to a category via ascending cumulative
+// fractions (the last bucket absorbs the remainder).
+uint8_t Bucket(double z, std::initializer_list<double> cumulative) {
+  uint8_t index = 0;
+  for (double c : cumulative) {
+    if (z <= stats::NormalQuantile(c)) return index;
+    ++index;
+  }
+  return index;
+}
+
+}  // namespace
+
+StatusOr<CategoricalDatabase> GenerateCategoricalCensus(
+    const CategoricalCensusOptions& options) {
+  if (options.num_persons == 0) {
+    return Status::InvalidArgument("num_persons must be positive");
+  }
+  std::vector<CategoricalAttribute> attributes = {
+      {"transport", {"drives alone", "carpools", "does not drive"}},
+      {"age", {"25 or younger", "26 to 40", "over 40"}},
+      {"children", {"none", "one or two", "three or more"}},
+      {"military", {"never served", "veteran"}},
+      {"citizenship", {"born in the US", "naturalized", "not a citizen"}},
+      {"marital", {"married", "single", "divorced or widowed"}},
+  };
+  CORRMINE_ASSIGN_OR_RETURN(CategoricalDatabase db,
+                            CategoricalDatabase::Create(attributes));
+
+  linalg::SymMatrix corr = LatentCorrelation();
+  CORRMINE_ASSIGN_OR_RETURN(std::vector<double> chol,
+                            linalg::CholeskyFactor(corr));
+
+  Rng rng(options.seed);
+  std::array<double, kNumLatent> iid;
+  std::array<double, kNumLatent> z;
+  for (uint64_t person = 0; person < options.num_persons; ++person) {
+    for (double& v : iid) v = rng.NextGaussian();
+    for (int i = 0; i < kNumLatent; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j <= i; ++j) {
+        sum += chol[static_cast<size_t>(i) * kNumLatent + j] * iid[j];
+      }
+      z[i] = sum;
+    }
+    std::vector<uint8_t> row(attributes.size());
+    row[0] = Bucket(z[kTransportL], {0.18, 0.30});     // alone|carpool|none
+    row[1] = Bucket(z[kAgeL], {0.28, 0.615});          // <=25|26-40|>40
+    row[2] = Bucket(z[kChildrenL], {0.55, 0.902});     // 0|1-2|3+
+    row[3] = Bucket(z[kMilitaryL], {0.893});           // never|veteran
+    row[4] = Bucket(z[kCitizenL], {0.896, 0.934});     // US-born|nat|non
+    row[5] = Bucket(z[kMaritalL], {0.252, 0.70});      // married|single|d/w
+    CORRMINE_RETURN_NOT_OK(db.AddRow(std::move(row)));
+  }
+  return db;
+}
+
+}  // namespace corrmine::datagen

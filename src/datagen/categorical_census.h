@@ -1,0 +1,36 @@
+#ifndef CORRMINE_DATAGEN_CATEGORICAL_CENSUS_H_
+#define CORRMINE_DATAGEN_CATEGORICAL_CENSUS_H_
+
+#include <cstdint>
+
+#include "common/status_or.h"
+#include "itemset/categorical_database.h"
+
+namespace corrmine::datagen {
+
+struct CategoricalCensusOptions {
+  uint64_t num_persons = 30370;
+  uint64_t seed = 1997;
+};
+
+/// Generates the "non-collapsed" variant of the census population the
+/// paper's Section 5.1 wishes for: instead of flattening each question to
+/// a binary item, multi-valued attributes keep their categories, so an
+/// r x c chi-squared table can localize dependency to category pairs
+/// (e.g. "carpools" vs "does not drive" behave differently against
+/// marital status, which the binary collapse hides).
+///
+/// Attributes (derived from one latent correlated-normal vector per
+/// person, so the dependencies echo the binary census model):
+///   transport  : drives alone | carpools | does not drive
+///   age        : 25 or younger | 26 to 40 | over 40
+///   children   : none | one or two | three or more
+///   military   : never served | veteran
+///   citizenship: born in the US | naturalized | not a citizen
+///   marital    : married | single | divorced or widowed
+StatusOr<CategoricalDatabase> GenerateCategoricalCensus(
+    const CategoricalCensusOptions& options = {});
+
+}  // namespace corrmine::datagen
+
+#endif  // CORRMINE_DATAGEN_CATEGORICAL_CENSUS_H_

@@ -1,0 +1,175 @@
+#include "datagen/census_generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "datagen/rng.h"
+#include "stats/normal.h"
+#include "stats/tetrachoric.h"
+
+namespace corrmine::datagen {
+
+const std::array<CensusItem, kCensusNumItems>& CensusItems() {
+  static const std::array<CensusItem, kCensusNumItems> kItems = {{
+      {"drives alone", "does not drive, carpools"},
+      {"male or less than 3 children", "3 or more children"},
+      {"never served in the military", "veteran"},
+      {"native speaker of English", "not a native speaker"},
+      {"not a U.S. citizen", "U.S. citizen"},
+      {"born in the U.S.", "born abroad"},
+      {"married", "single, divorced, widowed"},
+      {"no more than 40 years old", "more than 40 years old"},
+      {"male", "female"},
+      {"householder", "dependent, boarder, renter"},
+  }};
+  return kItems;
+}
+
+namespace {
+
+/// One pair row of the paper's Table 3: joint percentages of
+/// (a&b, !a&b, a&!b, !a&!b). Together with symmetry these determine the
+/// full pairwise joint distribution of the 10 items.
+struct PairRow {
+  int a;
+  int b;
+  double ab;    // % of persons with both a and b.
+  double nab;   // % with b but not a.
+  double anb;   // % with a but not b.
+  double nanb;  // % with neither.
+};
+
+constexpr PairRow kPaperPairs[] = {
+    {0, 1, 16.6, 73.6, 1.4, 8.5},  {0, 2, 15.0, 74.3, 3.0, 7.7},
+    {0, 3, 16.0, 72.9, 1.9, 9.2},  {0, 4, 1.1, 5.5, 16.9, 76.5},
+    {0, 5, 16.1, 73.5, 1.9, 8.5},  {0, 6, 7.1, 18.1, 10.8, 64.0},
+    {0, 7, 9.7, 51.9, 8.2, 30.2},  {0, 8, 9.6, 36.7, 8.3, 45.3},
+    {0, 9, 10.3, 30.5, 7.7, 51.6}, {1, 2, 79.6, 9.7, 10.6, 0.1},
+    {1, 3, 79.9, 9.0, 10.3, 0.8},  {1, 4, 6.0, 0.6, 84.2, 9.2},
+    {1, 5, 80.7, 8.9, 9.5, 1.0},   {1, 6, 21.3, 3.9, 68.9, 6.0},
+    {1, 7, 59.3, 2.3, 30.9, 7.5},  {1, 8, 46.3, 0.0, 43.8, 9.8},
+    {1, 9, 35.5, 5.3, 54.7, 4.6},  {2, 3, 78.9, 10.0, 10.4, 0.7},
+    {2, 4, 6.5, 0.1, 82.8, 10.6},  {2, 5, 79.3, 10.3, 10.0, 0.4},
+    {2, 6, 20.1, 5.1, 69.2, 5.6},  {2, 7, 58.9, 2.7, 30.4, 8.0},
+    {2, 8, 36.5, 9.9, 52.9, 0.8},  {2, 9, 33.9, 6.9, 55.4, 3.8},
+    {3, 4, 1.6, 5.0, 87.3, 6.1},   {3, 5, 85.4, 4.2, 3.4, 7.0},
+    {3, 6, 21.6, 3.6, 67.3, 7.5},  {3, 7, 54.1, 7.6, 34.8, 3.6},
+    {3, 8, 40.8, 5.6, 48.1, 5.6},  {3, 9, 36.2, 4.5, 52.6, 6.6},
+    {4, 5, 0.0, 89.6, 6.6, 3.8},   {4, 6, 2.5, 22.7, 4.1, 70.7},
+    {4, 7, 4.7, 57.0, 1.9, 36.4},  {4, 8, 3.3, 43.0, 3.3, 50.4},
+    {4, 9, 2.6, 38.2, 4.0, 55.2},  {5, 6, 21.2, 4.0, 68.4, 6.4},
+    {5, 7, 54.9, 6.7, 34.6, 3.7},  {5, 8, 41.2, 5.1, 48.4, 5.3},
+    {5, 9, 36.4, 4.4, 53.2, 6.0},  {6, 7, 9.0, 52.7, 16.2, 22.2},
+    {6, 8, 12.7, 33.6, 12.5, 41.2}, {6, 9, 11.9, 28.8, 13.3, 46.0},
+    {7, 8, 29.9, 16.4, 31.7, 22.0}, {7, 9, 16.1, 24.6, 45.5, 13.8},
+    {8, 9, 19.4, 21.4, 27.0, 32.3},
+};
+
+}  // namespace
+
+CensusModel::CensusModel() {
+  // Accumulate marginals as averages over the pair rows (each item appears
+  // in 9 rows; row-to-row inconsistencies are rounding noise in the paper's
+  // published percentages).
+  std::array<double, kCensusNumItems> sums{};
+  std::array<int, kCensusNumItems> hits{};
+  for (auto& row : joint_) row.fill(0.0);
+
+  for (const PairRow& row : kPaperPairs) {
+    double p_ab = row.ab / 100.0;
+    double p_a = (row.ab + row.anb) / 100.0;
+    double p_b = (row.ab + row.nab) / 100.0;
+    joint_[row.a][row.b] = p_ab;
+    joint_[row.b][row.a] = p_ab;
+    sums[row.a] += p_a;
+    sums[row.b] += p_b;
+    ++hits[row.a];
+    ++hits[row.b];
+  }
+  for (int i = 0; i < kCensusNumItems; ++i) {
+    marginals_[i] = sums[i] / hits[i];
+  }
+}
+
+const CensusModel& CensusModel::Paper() {
+  static const CensusModel* kModel = new CensusModel();
+  return *kModel;
+}
+
+double CensusModel::PairJoint(int i, int j) const {
+  CORRMINE_CHECK(i != j && i >= 0 && j >= 0 && i < kCensusNumItems &&
+                 j < kCensusNumItems)
+      << "PairJoint index out of range";
+  return joint_[i][j];
+}
+
+StatusOr<linalg::SymMatrix> BuildCensusLatentCorrelation(
+    const CensusModel& model) {
+  linalg::SymMatrix raw = linalg::SymMatrix::Identity(kCensusNumItems);
+  for (int i = 0; i < kCensusNumItems; ++i) {
+    for (int j = i + 1; j < kCensusNumItems; ++j) {
+      CORRMINE_ASSIGN_OR_RETURN(
+          double rho,
+          stats::TetrachoricCorrelation(model.Marginal(i), model.Marginal(j),
+                                        model.PairJoint(i, j)));
+      raw.Set(i, j, rho);
+    }
+  }
+  return linalg::NearestCorrelationMatrix(raw);
+}
+
+StatusOr<TransactionDatabase> GenerateCensusData(
+    const CensusOptions& options) {
+  if (options.num_persons == 0) {
+    return Status::InvalidArgument("num_persons must be positive");
+  }
+  const CensusModel& model = CensusModel::Paper();
+  CORRMINE_ASSIGN_OR_RETURN(linalg::SymMatrix corr,
+                            BuildCensusLatentCorrelation(model));
+  CORRMINE_ASSIGN_OR_RETURN(std::vector<double> chol,
+                            linalg::CholeskyFactor(corr));
+
+  std::array<double, kCensusNumItems> thresholds;
+  for (int i = 0; i < kCensusNumItems; ++i) {
+    thresholds[i] = stats::NormalQuantile(1.0 - model.Marginal(i));
+  }
+
+  TransactionDatabase db(kCensusNumItems);
+  for (int i = 0; i < kCensusNumItems; ++i) {
+    db.dictionary().GetOrAdd("i" + std::to_string(i));
+  }
+
+  Rng rng(options.seed);
+  std::array<double, kCensusNumItems> z;
+  std::array<bool, kCensusNumItems> present;
+  for (uint64_t person = 0; person < options.num_persons; ++person) {
+    // Correlated normals: z = L * iid.
+    std::array<double, kCensusNumItems> iid;
+    for (double& v : iid) v = rng.NextGaussian();
+    for (int i = 0; i < kCensusNumItems; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j <= i; ++j) {
+        sum += chol[static_cast<size_t>(i) * kCensusNumItems + j] * iid[j];
+      }
+      z[i] = sum;
+    }
+    for (int i = 0; i < kCensusNumItems; ++i) {
+      present[i] = z[i] > thresholds[i];
+    }
+    // Structural zeros the paper reports exactly: a male respondent cannot
+    // have given birth to 3+ children (so i8 forces i1), and being born in
+    // the U.S. confers citizenship (so i5 forces !i4).
+    if (present[8]) present[1] = true;
+    if (present[5]) present[4] = false;
+
+    std::vector<ItemId> basket;
+    for (ItemId i = 0; i < kCensusNumItems; ++i) {
+      if (present[i]) basket.push_back(i);
+    }
+    CORRMINE_RETURN_NOT_OK(db.AddBasket(std::move(basket)));
+  }
+  return db;
+}
+
+}  // namespace corrmine::datagen

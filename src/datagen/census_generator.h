@@ -1,0 +1,75 @@
+#ifndef CORRMINE_DATAGEN_CENSUS_GENERATOR_H_
+#define CORRMINE_DATAGEN_CENSUS_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status_or.h"
+#include "itemset/transaction_database.h"
+#include "linalg/sym_matrix.h"
+
+namespace corrmine::datagen {
+
+/// The paper's census item space (Table 1): 10 binary attributes collapsed
+/// from PUMS census questions.
+struct CensusItem {
+  const char* attribute;      // Value when the item is present.
+  const char* non_attribute;  // Value when absent.
+};
+
+inline constexpr int kCensusNumItems = 10;
+
+/// Attribute labels exactly as printed in the paper's Table 1 / Section 5.1.
+const std::array<CensusItem, kCensusNumItems>& CensusItems();
+
+/// Calibration targets for the synthetic census population. The original
+/// PUMS extract is unavailable, so the model is fit to the statistics the
+/// paper itself publishes: the pairwise joint distribution of all 45 item
+/// pairs (Table 3's four support percentages per pair, which determine the
+/// full 2x2 joint) and the marginals they imply.
+class CensusModel {
+ public:
+  /// The paper's published numbers.
+  static const CensusModel& Paper();
+
+  /// P(item i). Derived from the pairwise table (rows are consistent).
+  double Marginal(int i) const { return marginals_[i]; }
+
+  /// P(i and j) for i != j.
+  double PairJoint(int i, int j) const;
+
+ private:
+  friend StatusOr<linalg::SymMatrix> BuildCensusLatentCorrelation(
+      const CensusModel& model);
+  CensusModel();
+
+  std::array<double, kCensusNumItems> marginals_;
+  std::array<std::array<double, kCensusNumItems>, kCensusNumItems> joint_;
+};
+
+/// Latent Gaussian-copula correlation matrix reproducing the model's
+/// pairwise joints when standard normals are thresholded at the marginal
+/// quantiles: per pair a tetrachoric solve, then projection to the nearest
+/// positive semi-definite correlation matrix.
+StatusOr<linalg::SymMatrix> BuildCensusLatentCorrelation(
+    const CensusModel& model);
+
+struct CensusOptions {
+  /// The paper's n.
+  uint64_t num_persons = 30370;
+  uint64_t seed = 1997;
+};
+
+/// Samples a synthetic census population matching CensusModel::Paper():
+/// correlated latent normals (Cholesky of the copula matrix) thresholded
+/// per item, plus structural-zero fixups for the logically impossible cells
+/// the paper reports as exact zeros ("3+ children" conjoined with "male";
+/// "not a U.S. citizen" conjoined with "born in the U.S."). The returned
+/// database carries item names "i0".."i9" in its dictionary.
+StatusOr<TransactionDatabase> GenerateCensusData(
+    const CensusOptions& options = {});
+
+}  // namespace corrmine::datagen
+
+#endif  // CORRMINE_DATAGEN_CENSUS_GENERATOR_H_

@@ -1,0 +1,149 @@
+#include "datagen/quest_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "datagen/rng.h"
+
+namespace corrmine::datagen {
+
+namespace {
+
+struct Pattern {
+  std::vector<ItemId> items;
+  double corruption = 0.5;
+};
+
+Status Validate(const QuestOptions& o) {
+  if (o.num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  if (o.num_items < 2) {
+    return Status::InvalidArgument("num_items must be at least 2");
+  }
+  if (o.avg_transaction_size <= 0 || o.avg_pattern_size <= 0) {
+    return Status::InvalidArgument("average sizes must be positive");
+  }
+  if (o.num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (o.correlation_level < 0.0 || o.correlation_level > 1.0) {
+    return Status::InvalidArgument("correlation_level must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+std::vector<Pattern> GeneratePatterns(const QuestOptions& o, Rng* rng) {
+  std::vector<Pattern> patterns;
+  patterns.reserve(o.num_patterns);
+  for (uint32_t p = 0; p < o.num_patterns; ++p) {
+    uint64_t size = std::max<uint64_t>(1, rng->NextPoisson(o.avg_pattern_size));
+    size = std::min<uint64_t>(size, o.num_items);
+    Pattern pattern;
+
+    // Inherit an exponentially-distributed fraction from the predecessor.
+    if (p > 0 && o.correlation_level > 0.0) {
+      const std::vector<ItemId>& prev = patterns.back().items;
+      double frac = std::min(1.0, rng->NextExponential(o.correlation_level));
+      uint64_t take = std::min<uint64_t>(
+          static_cast<uint64_t>(std::llround(frac * static_cast<double>(size))),
+          prev.size());
+      // Sample `take` distinct items from prev by partial shuffle indices.
+      std::vector<ItemId> pool = prev;
+      for (uint64_t t = 0; t < take; ++t) {
+        uint64_t pick = t + rng->NextBelow(pool.size() - t);
+        std::swap(pool[t], pool[pick]);
+        pattern.items.push_back(pool[t]);
+      }
+    }
+    while (pattern.items.size() < size) {
+      ItemId candidate = static_cast<ItemId>(rng->NextBelow(o.num_items));
+      if (std::find(pattern.items.begin(), pattern.items.end(), candidate) ==
+          pattern.items.end()) {
+        pattern.items.push_back(candidate);
+      }
+    }
+    double corruption = o.corruption_mean + o.corruption_sd *
+                                                rng->NextGaussian();
+    pattern.corruption = std::clamp(corruption, 0.0, 1.0);
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+/// Weighted pattern picker over exponential weights via a cumulative table.
+class PatternPicker {
+ public:
+  PatternPicker(size_t count, Rng* rng) {
+    cumulative_.reserve(count);
+    double total = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      total += rng->NextExponential(1.0);
+      cumulative_.push_back(total);
+    }
+  }
+
+  size_t Pick(Rng* rng) const {
+    double u = rng->NextDouble() * cumulative_.back();
+    return static_cast<size_t>(
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+        cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+StatusOr<TransactionDatabase> GenerateQuestData(const QuestOptions& options) {
+  CORRMINE_RETURN_NOT_OK(Validate(options));
+  Rng rng(options.seed);
+  std::vector<Pattern> patterns = GeneratePatterns(options, &rng);
+  PatternPicker picker(patterns.size(), &rng);
+
+  TransactionDatabase db(options.num_items);
+  std::vector<ItemId> carried;  // Pattern instance deferred from overflow.
+
+  for (uint64_t t = 0; t < options.num_transactions; ++t) {
+    uint64_t target_size = std::max<uint64_t>(
+        1, rng.NextPoisson(options.avg_transaction_size));
+    std::vector<ItemId> txn;
+
+    if (!carried.empty()) {
+      txn.insert(txn.end(), carried.begin(), carried.end());
+      carried.clear();
+    }
+
+    int guard = 0;
+    while (txn.size() < target_size && guard++ < 1000) {
+      const Pattern& pattern = patterns[picker.Pick(&rng)];
+      // Corrupt: drop random items while the draw stays below the level.
+      std::vector<ItemId> instance = pattern.items;
+      while (!instance.empty() &&
+             rng.NextDouble() < pattern.corruption) {
+        uint64_t victim = rng.NextBelow(instance.size());
+        instance[victim] = instance.back();
+        instance.pop_back();
+      }
+      if (instance.empty()) continue;
+
+      if (txn.size() + instance.size() > target_size && !txn.empty()) {
+        // Overflow: keep anyway half the time, else defer to the next
+        // transaction.
+        if (rng.NextBernoulli(0.5)) {
+          txn.insert(txn.end(), instance.begin(), instance.end());
+        } else {
+          carried = std::move(instance);
+        }
+        break;
+      }
+      txn.insert(txn.end(), instance.begin(), instance.end());
+    }
+    CORRMINE_RETURN_NOT_OK(db.AddBasket(std::move(txn)));
+  }
+  return db;
+}
+
+}  // namespace corrmine::datagen

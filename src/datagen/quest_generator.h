@@ -1,0 +1,49 @@
+#ifndef CORRMINE_DATAGEN_QUEST_GENERATOR_H_
+#define CORRMINE_DATAGEN_QUEST_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status_or.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine::datagen {
+
+/// Parameters of the IBM Quest synthetic market-basket generator
+/// (Agrawal & Srikant, VLDB'94, Section 4.1) — re-implemented from the
+/// published description because the original binary is proprietary. The
+/// paper's Section 5.3 experiment uses 99 997 baskets over 870 items with
+/// average basket size 20 and average pattern size 4.
+struct QuestOptions {
+  uint64_t num_transactions = 99997;
+  uint32_t num_items = 870;
+  /// |T|: mean of the Poisson transaction-size distribution.
+  double avg_transaction_size = 20.0;
+  /// |I|: mean size of the potentially-large itemsets.
+  double avg_pattern_size = 4.0;
+  /// |L|: number of potentially-large itemsets seeded into the data.
+  uint32_t num_patterns = 2000;
+  /// Fraction of each pattern inherited from its predecessor (exponentially
+  /// distributed with this mean).
+  double correlation_level = 0.5;
+  /// Corruption per pattern ~ N(mean, sd) clipped to [0, 1]; the original
+  /// uses mean 0.5, variance 0.1.
+  double corruption_mean = 0.5;
+  double corruption_sd = 0.31622776601683794;  // sqrt(0.1)
+  uint64_t seed = 1997;
+};
+
+/// Generates a transaction database:
+///  1. Draw |L| patterns. Pattern sizes are Poisson(|I|) (min 1); each
+///     pattern reuses an exponential fraction of its predecessor's items and
+///     fills the rest uniformly. Patterns get exponential weights
+///     (normalized) and a clipped-normal corruption level.
+///  2. Each transaction draws a Poisson(|T|) size (min 1) and is filled by
+///     weighted pattern picks. A picked pattern first loses items while a
+///     uniform draw stays below its corruption level; if the remainder
+///     overflows the transaction, it is kept anyway half the time and
+///     deferred to the next transaction otherwise.
+StatusOr<TransactionDatabase> GenerateQuestData(const QuestOptions& options);
+
+}  // namespace corrmine::datagen
+
+#endif  // CORRMINE_DATAGEN_QUEST_GENERATOR_H_

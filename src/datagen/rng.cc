@@ -1,0 +1,92 @@
+#include "datagen/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace corrmine::datagen {
+
+namespace {
+
+uint64_t SplitMix(uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256++
+  uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  CORRMINE_CHECK(bound > 0) << "NextBelow(0)";
+  uint64_t threshold = -bound % bound;  // 2^64 mod bound.
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double mean) {
+  CORRMINE_CHECK(mean > 0.0) << "exponential mean must be positive";
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  CORRMINE_CHECK(mean >= 0.0) << "poisson mean must be non-negative";
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    double sample = mean + std::sqrt(mean) * NextGaussian();
+    return sample < 0.0 ? 0 : static_cast<uint64_t>(std::llround(sample));
+  }
+  double limit = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace corrmine::datagen

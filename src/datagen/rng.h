@@ -1,0 +1,44 @@
+#ifndef CORRMINE_DATAGEN_RNG_H_
+#define CORRMINE_DATAGEN_RNG_H_
+
+#include <cstdint>
+
+namespace corrmine::datagen {
+
+/// Deterministic generator for workload synthesis: xoshiro256++ seeded via
+/// splitmix64, with the sampling distributions the generators need. Not for
+/// cryptography; chosen for speed and reproducibility across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound); bound > 0. Uses rejection to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (cached spare).
+  double NextGaussian();
+
+  /// Exponential with the given mean.
+  double NextExponential(double mean);
+
+  /// Poisson sample; Knuth's method for small means, normal approximation
+  /// (rounded, clamped at 0) for mean > 64.
+  uint64_t NextPoisson(double mean);
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace corrmine::datagen
+
+#endif  // CORRMINE_DATAGEN_RNG_H_

@@ -1,0 +1,125 @@
+#include "hash/dynamic_perfect_hash.h"
+
+#include "common/logging.h"
+
+namespace corrmine::hash {
+
+namespace {
+constexpr size_t kInitialBuckets = 8;
+}  // namespace
+
+DynamicPerfectHash::DynamicPerfectHash(uint64_t seed) : rng_(seed) {
+  top_hash_ = rng_.NextHashFunction();
+  buckets_.resize(kInitialBuckets);
+  capacity_ = 2 * kInitialBuckets;
+}
+
+size_t DynamicPerfectHash::SubtableSize(size_t live_count) {
+  if (live_count == 0) return 0;
+  size_t sz = 2 * live_count * live_count;
+  return sz < 4 ? 4 : sz;
+}
+
+std::optional<uint64_t> DynamicPerfectHash::Find(uint64_t key) const {
+  const Bucket& bucket = buckets_[top_hash_(key, buckets_.size())];
+  if (bucket.slots.empty()) return std::nullopt;
+  const Slot& slot = bucket.slots[bucket.hash(key, bucket.slots.size())];
+  if (slot.occupied && slot.key == key) return slot.value;
+  return std::nullopt;
+}
+
+bool DynamicPerfectHash::Insert(uint64_t key, uint64_t value) {
+  Bucket& bucket = buckets_[top_hash_(key, buckets_.size())];
+  if (!bucket.slots.empty()) {
+    Slot& slot = bucket.slots[bucket.hash(key, bucket.slots.size())];
+    if (slot.occupied && slot.key == key) {
+      slot.value = value;  // Overwrite.
+      return false;
+    }
+    if (!slot.occupied) {
+      slot = Slot{key, value, true};
+      ++bucket.live;
+      ++count_;
+      if (count_ > capacity_) GlobalRebuild(2 * count_);
+      return true;
+    }
+  }
+  // Collision (or bucket not yet allocated): bucket-local rebuild.
+  RebuildBucket(&bucket, key, value);
+  ++count_;
+  if (count_ > capacity_) GlobalRebuild(2 * count_);
+  return true;
+}
+
+bool DynamicPerfectHash::Erase(uint64_t key) {
+  Bucket& bucket = buckets_[top_hash_(key, buckets_.size())];
+  if (bucket.slots.empty()) return false;
+  Slot& slot = bucket.slots[bucket.hash(key, bucket.slots.size())];
+  if (!slot.occupied || slot.key != key) return false;
+  slot.occupied = false;
+  --bucket.live;
+  --count_;
+  return true;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> DynamicPerfectHash::Entries()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(count_);
+  for (const Bucket& bucket : buckets_) {
+    for (const Slot& slot : bucket.slots) {
+      if (slot.occupied) entries.emplace_back(slot.key, slot.value);
+    }
+  }
+  return entries;
+}
+
+void DynamicPerfectHash::RebuildBucket(Bucket* bucket, uint64_t new_key,
+                                       uint64_t new_value) {
+  std::vector<Slot> live;
+  live.reserve(bucket->live + 1);
+  for (const Slot& slot : bucket->slots) {
+    if (slot.occupied) live.push_back(slot);
+  }
+  live.push_back(Slot{new_key, new_value, true});
+
+  size_t sz = SubtableSize(live.size());
+  for (int attempt = 0;; ++attempt) {
+    CORRMINE_CHECK(attempt < 1000)
+        << "dynamic perfect hash: bucket rebuild failed to find an "
+           "injective function";
+    UniversalHashFunction h = rng_.NextHashFunction();
+    std::vector<Slot> slots(sz);
+    bool ok = true;
+    for (const Slot& entry : live) {
+      Slot& target = slots[h(entry.key, sz)];
+      if (target.occupied) {
+        ok = false;
+        break;
+      }
+      target = entry;
+    }
+    if (ok) {
+      bucket->hash = h;
+      bucket->slots = std::move(slots);
+      bucket->live = live.size();
+      return;
+    }
+  }
+}
+
+void DynamicPerfectHash::GlobalRebuild(size_t new_capacity) {
+  ++global_rebuilds_;
+  std::vector<std::pair<uint64_t, uint64_t>> entries = Entries();
+  size_t num_buckets = new_capacity < kInitialBuckets ? kInitialBuckets
+                                                      : new_capacity;
+  buckets_.assign(num_buckets, Bucket{});
+  top_hash_ = rng_.NextHashFunction();
+  capacity_ = 2 * num_buckets;
+  count_ = 0;
+  for (const auto& [key, value] : entries) {
+    Insert(key, value);
+  }
+}
+
+}  // namespace corrmine::hash

@@ -1,0 +1,72 @@
+#ifndef CORRMINE_HASH_DYNAMIC_PERFECT_HASH_H_
+#define CORRMINE_HASH_DYNAMIC_PERFECT_HASH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/universal_hash.h"
+
+namespace corrmine::hash {
+
+/// Dynamic perfect hashing in the style of Dietzfelbinger et al. [7] (the
+/// paper's reference for storing NOTSIG and CAND): a two-level scheme where
+/// lookups are collision-free (worst-case O(1), two probes) and inserts are
+/// expected amortized O(1) via bucket-local rebuilds and occasional global
+/// rebuilds.
+///
+/// Maps uint64 keys to uint64 values. Inserting an existing key overwrites
+/// its value.
+class DynamicPerfectHash {
+ public:
+  explicit DynamicPerfectHash(uint64_t seed = 0xd1ce5eedULL);
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool Insert(uint64_t key, uint64_t value);
+
+  /// Removes a key; returns true if it was present.
+  bool Erase(uint64_t key);
+
+  /// Worst-case two-probe lookup.
+  std::optional<uint64_t> Find(uint64_t key) const;
+
+  bool Contains(uint64_t key) const { return Find(key).has_value(); }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// All live key/value pairs (unordered); used for iteration by callers
+  /// that track the set contents.
+  std::vector<std::pair<uint64_t, uint64_t>> Entries() const;
+
+  /// Diagnostics: number of global rebuilds performed so far.
+  size_t global_rebuilds() const { return global_rebuilds_; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    bool occupied = false;
+  };
+
+  struct Bucket {
+    UniversalHashFunction hash;
+    std::vector<Slot> slots;  // Size is ~2 * live^2; empty until first use.
+    size_t live = 0;
+  };
+
+  void GlobalRebuild(size_t new_capacity);
+  void RebuildBucket(Bucket* bucket, uint64_t new_key, uint64_t new_value);
+  static size_t SubtableSize(size_t live_count);
+
+  mutable SplitMix64 rng_;
+  UniversalHashFunction top_hash_;
+  std::vector<Bucket> buckets_;
+  size_t count_ = 0;
+  size_t capacity_ = 0;  // Global rebuild threshold.
+  size_t global_rebuilds_ = 0;
+};
+
+}  // namespace corrmine::hash
+
+#endif  // CORRMINE_HASH_DYNAMIC_PERFECT_HASH_H_

@@ -1,0 +1,91 @@
+#include "hash/fks_perfect_hash.h"
+
+#include <algorithm>
+
+namespace corrmine::hash {
+
+StatusOr<FksPerfectHash> FksPerfectHash::Build(
+    const std::vector<uint64_t>& keys, uint64_t seed) {
+  FksPerfectHash table;
+  table.num_keys_ = keys.size();
+  if (keys.empty()) return table;
+
+  {
+    std::vector<uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("FKS build requires distinct keys");
+    }
+  }
+
+  SplitMix64 rng(seed);
+  const size_t n = keys.size();
+
+  // Draw top-level functions until total second-level space is O(n):
+  // sum of bucket-size squares <= 4n succeeds with probability >= 1/2.
+  std::vector<std::vector<size_t>> bucket_members;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    table.top_hash_ = rng.NextHashFunction();
+    bucket_members.assign(n, {});
+    for (size_t i = 0; i < n; ++i) {
+      bucket_members[table.top_hash_(keys[i], n)].push_back(i);
+    }
+    size_t space = 0;
+    for (const auto& members : bucket_members) {
+      space += members.size() * members.size();
+    }
+    if (space <= 4 * n) break;
+    if (attempt == 63) {
+      return Status::Internal("FKS top-level hashing failed to balance");
+    }
+  }
+
+  table.buckets_.resize(n);
+  size_t total_slots = 0;
+  for (size_t b = 0; b < n; ++b) {
+    size_t count = bucket_members[b].size();
+    table.buckets_[b].offset = total_slots;
+    table.buckets_[b].size = count * count;
+    total_slots += count * count;
+  }
+  table.slots_.assign(total_slots, kEmpty);
+  table.slot_keys_.assign(total_slots, 0);
+
+  // Per-bucket: redraw until injective over the bucket's keys.
+  for (size_t b = 0; b < n; ++b) {
+    const std::vector<size_t>& members = bucket_members[b];
+    if (members.empty()) continue;
+    Bucket& bucket = table.buckets_[b];
+    for (int attempt = 0;; ++attempt) {
+      if (attempt >= 1000) {
+        return Status::Internal("FKS bucket hashing failed to be injective");
+      }
+      bucket.hash = rng.NextHashFunction();
+      bool ok = true;
+      std::fill(table.slots_.begin() + bucket.offset,
+                table.slots_.begin() + bucket.offset + bucket.size, kEmpty);
+      for (size_t idx : members) {
+        size_t slot = bucket.offset + bucket.hash(keys[idx], bucket.size);
+        if (table.slots_[slot] != kEmpty) {
+          ok = false;
+          break;
+        }
+        table.slots_[slot] = idx;
+        table.slot_keys_[slot] = keys[idx];
+      }
+      if (ok) break;
+    }
+  }
+  return table;
+}
+
+std::optional<size_t> FksPerfectHash::Find(uint64_t key) const {
+  if (num_keys_ == 0) return std::nullopt;
+  const Bucket& bucket = buckets_[top_hash_(key, buckets_.size())];
+  if (bucket.size == 0) return std::nullopt;
+  size_t slot = bucket.offset + bucket.hash(key, bucket.size);
+  if (slots_[slot] == kEmpty || slot_keys_[slot] != key) return std::nullopt;
+  return slots_[slot];
+}
+
+}  // namespace corrmine::hash

@@ -1,0 +1,60 @@
+#ifndef CORRMINE_HASH_FKS_PERFECT_HASH_H_
+#define CORRMINE_HASH_FKS_PERFECT_HASH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status_or.h"
+#include "hash/universal_hash.h"
+
+namespace corrmine::hash {
+
+/// Static two-level perfect hash table of Fredman, Komlos and Szemeredi [10]
+/// — the structure the paper proposes for the CAND and NOTSIG itemset lists:
+/// collision-free lookups in O(1) worst case, linear space.
+///
+/// Level one hashes n distinct keys into n buckets; each bucket of size b
+/// gets a private collision-free table of size b^2 (re-drawing its hash
+/// function until injective, expected O(1) retries). Expected total space is
+/// O(n).
+///
+/// Maps each key to its index in the construction vector; callers keep
+/// satellite data in a parallel array.
+class FksPerfectHash {
+ public:
+  /// Builds over distinct keys. Fails on duplicates.
+  static StatusOr<FksPerfectHash> Build(const std::vector<uint64_t>& keys,
+                                        uint64_t seed = 0x5eedf00dULL);
+
+  /// Index of `key` in the build vector, or nullopt if absent. Two probes.
+  std::optional<size_t> Find(uint64_t key) const;
+
+  bool Contains(uint64_t key) const { return Find(key).has_value(); }
+
+  size_t size() const { return num_keys_; }
+
+  /// Total slots allocated across second-level tables (space diagnostics).
+  size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct Bucket {
+    UniversalHashFunction hash;
+    size_t offset = 0;  // First slot in slots_.
+    size_t size = 0;    // Number of slots (square of bucket key count).
+  };
+
+  static constexpr size_t kEmpty = SIZE_MAX;
+
+  FksPerfectHash() = default;
+
+  size_t num_keys_ = 0;
+  UniversalHashFunction top_hash_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint64_t> slot_keys_;  // Key stored at each slot.
+  std::vector<size_t> slots_;        // Value (input index) or kEmpty.
+};
+
+}  // namespace corrmine::hash
+
+#endif  // CORRMINE_HASH_FKS_PERFECT_HASH_H_

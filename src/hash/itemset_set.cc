@@ -1,0 +1,38 @@
+#include "hash/itemset_set.h"
+
+namespace corrmine::hash {
+
+bool ItemsetPerfectSet::Insert(const Itemset& s) {
+  uint64_t key = s.Hash();
+  std::optional<uint64_t> hit = table_.Find(key);
+  if (!hit.has_value()) {
+    itemsets_.push_back(s);
+    table_.Insert(key, itemsets_.size() - 1);
+    return true;
+  }
+  if (itemsets_[*hit] == s) return false;
+  for (size_t idx : overflow_) {
+    if (itemsets_[idx] == s) return false;
+  }
+  itemsets_.push_back(s);
+  overflow_.push_back(itemsets_.size() - 1);
+  return true;
+}
+
+bool ItemsetPerfectSet::Contains(const Itemset& s) const {
+  std::optional<uint64_t> hit = table_.Find(s.Hash());
+  if (!hit.has_value()) return false;
+  if (itemsets_[*hit] == s) return true;
+  for (size_t idx : overflow_) {
+    if (itemsets_[idx] == s) return true;
+  }
+  return false;
+}
+
+void ItemsetPerfectSet::Clear() {
+  table_ = DynamicPerfectHash();
+  itemsets_.clear();
+  overflow_.clear();
+}
+
+}  // namespace corrmine::hash

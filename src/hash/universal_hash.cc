@@ -1,0 +1,40 @@
+#include "hash/universal_hash.h"
+
+#include "common/logging.h"
+
+namespace corrmine::hash {
+
+namespace {
+
+// (x * y) mod (2^61 - 1) via 128-bit intermediate.
+uint64_t MulModPrime(uint64_t x, uint64_t y) {
+  constexpr uint64_t p = UniversalHashFunction::kPrime;
+  unsigned __int128 prod = static_cast<unsigned __int128>(x) * y;
+  // Fold the high bits: 2^61 ≡ 1 (mod p).
+  uint64_t lo = static_cast<uint64_t>(prod & p);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t sum = lo + hi;
+  if (sum >= p) sum -= p;
+  return sum;
+}
+
+}  // namespace
+
+uint64_t UniversalHashFunction::operator()(uint64_t key,
+                                           uint64_t range) const {
+  CORRMINE_CHECK(range > 0) << "hash range must be positive";
+  uint64_t reduced = key % kPrime;
+  uint64_t h = MulModPrime(a_, reduced) + b_;
+  if (h >= kPrime) h -= kPrime;
+  return h % range;
+}
+
+uint64_t SplitMix64::Next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace corrmine::hash

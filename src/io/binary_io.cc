@@ -1,0 +1,137 @@
+#include "io/binary_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace corrmine::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'M', 'B', '1'};
+
+void AppendVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// Reads one LEB128 varint; advances *pos. Errors on truncation or values
+/// wider than 64 bits.
+StatusOr<uint64_t> ReadVarint(const std::string& bytes, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= bytes.size()) {
+      return Status::Corruption("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(bytes[(*pos)++]);
+    if (shift >= 63 && (byte & 0x7f) > 1) {
+      return Status::Corruption("varint overflow");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+std::string EncodeBinaryTransactions(const TransactionDatabase& db) {
+  std::string out(kMagic, sizeof(kMagic));
+  AppendVarint(&out, db.num_items());
+  AppendVarint(&out, db.num_baskets());
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    const std::vector<ItemId>& basket = db.basket(row);
+    AppendVarint(&out, basket.size());
+    ItemId previous = 0;
+    for (size_t i = 0; i < basket.size(); ++i) {
+      uint64_t delta = i == 0 ? basket[i] : basket[i] - previous;
+      AppendVarint(&out, delta);
+      previous = basket[i];
+    }
+  }
+  return out;
+}
+
+StatusOr<TransactionDatabase> DecodeBinaryTransactions(
+    const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("missing CMB1 magic");
+  }
+  size_t pos = sizeof(kMagic);
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_items, ReadVarint(bytes, &pos));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_baskets, ReadVarint(bytes, &pos));
+  if (num_items == 0 || num_items > UINT32_MAX) {
+    return Status::Corruption("invalid item-space size");
+  }
+
+  TransactionDatabase db(static_cast<ItemId>(num_items));
+  for (uint64_t b = 0; b < num_baskets; ++b) {
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t size, ReadVarint(bytes, &pos));
+    if (size > num_items) {
+      return Status::Corruption("basket size exceeds item space");
+    }
+    std::vector<ItemId> basket;
+    basket.reserve(size);
+    uint64_t current = 0;
+    for (uint64_t i = 0; i < size; ++i) {
+      CORRMINE_ASSIGN_OR_RETURN(uint64_t delta, ReadVarint(bytes, &pos));
+      if (i > 0 && delta == 0) {
+        return Status::Corruption("non-increasing item delta");
+      }
+      current = i == 0 ? delta : current + delta;
+      if (current >= num_items) {
+        return Status::Corruption("item id out of range");
+      }
+      basket.push_back(static_cast<ItemId>(current));
+    }
+    CORRMINE_RETURN_NOT_OK(db.AddBasket(std::move(basket)));
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes after final basket");
+  }
+  return db;
+}
+
+Status WriteBinaryTransactionFile(const TransactionDatabase& db,
+                                  const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::string bytes = EncodeBinaryTransactions(db);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) {
+    return Status::IOError("error writing " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<TransactionDatabase> ReadBinaryTransactionFile(
+    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("error reading " + path);
+  }
+  return DecodeBinaryTransactions(content.str());
+}
+
+bool LooksLikeBinaryTransactionFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  char magic[4] = {0, 0, 0, 0};
+  file.read(magic, 4);
+  return file.gcount() == 4 &&
+         std::string(magic, 4) == std::string(kMagic, 4);
+}
+
+}  // namespace corrmine::io

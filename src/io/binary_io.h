@@ -1,0 +1,42 @@
+#ifndef CORRMINE_IO_BINARY_IO_H_
+#define CORRMINE_IO_BINARY_IO_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine::io {
+
+/// Compact binary basket format ("CMB1"): a fixed header followed by one
+/// varint-encoded record per basket. Within a basket, item ids are
+/// delta-encoded (baskets are sorted, so deltas are small) and LEB128
+/// varint packed — typically 1–2 bytes per (basket, item) pair versus 4–8
+/// in the text format. Integrity is guarded by the header magic, explicit
+/// counts, and strict bounds checks on read.
+///
+/// Layout (all varints are unsigned LEB128):
+///   magic "CMB1" (4 bytes)
+///   varint num_items
+///   varint num_baskets
+///   per basket: varint size, then `size` varint deltas
+///     (first delta = first id, subsequent = id - previous id, so every
+///      delta after the first is >= 1).
+Status WriteBinaryTransactionFile(const TransactionDatabase& db,
+                                  const std::string& path);
+
+StatusOr<TransactionDatabase> ReadBinaryTransactionFile(
+    const std::string& path);
+
+/// In-memory codec (exposed for tests and tooling).
+std::string EncodeBinaryTransactions(const TransactionDatabase& db);
+StatusOr<TransactionDatabase> DecodeBinaryTransactions(
+    const std::string& bytes);
+
+/// True when `path` starts with the binary magic (used by readers that
+/// auto-detect the format).
+bool LooksLikeBinaryTransactionFile(const std::string& path);
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_BINARY_IO_H_

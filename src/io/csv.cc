@@ -1,0 +1,147 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace corrmine::io {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) comma = line.size();
+    fields.emplace_back(TrimString(line.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<CategoricalDatabase> ParseCategoricalCsv(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+
+  // Header.
+  std::vector<std::string> header;
+  while (std::getline(stream, line)) {
+    std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    header = SplitCsvLine(trimmed);
+    break;
+  }
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV has no header line");
+  }
+  for (const std::string& name : header) {
+    if (name.empty()) {
+      return Status::Corruption("empty attribute name in CSV header");
+    }
+  }
+
+  // Rows: collect raw labels first, building per-column category maps.
+  const size_t num_attrs = header.size();
+  std::vector<std::unordered_map<std::string, uint8_t>> label_maps(
+      num_attrs);
+  std::vector<std::vector<std::string>> label_lists(num_attrs);
+  std::vector<std::vector<uint8_t>> rows;
+  size_t line_no = 1;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields = SplitCsvLine(trimmed);
+    if (fields.size() != num_attrs) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                std::to_string(fields.size()) +
+                                " fields, header has " +
+                                std::to_string(num_attrs));
+    }
+    std::vector<uint8_t> row(num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (fields[a].empty()) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": empty field for attribute '" +
+                                  header[a] + "'");
+      }
+      auto [it, inserted] = label_maps[a].emplace(
+          fields[a], static_cast<uint8_t>(label_lists[a].size()));
+      if (inserted) {
+        if (label_lists[a].size() >= 255) {
+          return Status::OutOfRange("attribute '" + header[a] +
+                                    "' exceeds 255 categories");
+        }
+        label_lists[a].push_back(fields[a]);
+      }
+      row[a] = it->second;
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV has no data rows");
+  }
+
+  std::vector<CategoricalAttribute> attributes;
+  attributes.reserve(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (label_lists[a].size() < 2) {
+      return Status::FailedPrecondition(
+          "attribute '" + header[a] +
+          "' has a single category; nothing to test");
+    }
+    attributes.push_back(
+        CategoricalAttribute{header[a], std::move(label_lists[a])});
+  }
+  CORRMINE_ASSIGN_OR_RETURN(CategoricalDatabase db,
+                            CategoricalDatabase::Create(std::move(attributes)));
+  for (auto& row : rows) {
+    CORRMINE_RETURN_NOT_OK(db.AddRow(std::move(row)));
+  }
+  return db;
+}
+
+StatusOr<CategoricalDatabase> ReadCategoricalCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("error reading " + path);
+  }
+  return ParseCategoricalCsv(content.str());
+}
+
+Status WriteCategoricalCsv(const CategoricalDatabase& db,
+                           const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  for (int a = 0; a < db.num_attributes(); ++a) {
+    if (a > 0) file << ',';
+    file << db.attribute(a).name;
+  }
+  file << '\n';
+  for (size_t row = 0; row < db.num_rows(); ++row) {
+    for (int a = 0; a < db.num_attributes(); ++a) {
+      if (a > 0) file << ',';
+      file << db.attribute(a).categories[db.value(row, a)];
+    }
+    file << '\n';
+  }
+  file.flush();
+  if (!file) {
+    return Status::IOError("error writing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace corrmine::io

@@ -1,0 +1,29 @@
+#ifndef CORRMINE_IO_CSV_H_
+#define CORRMINE_IO_CSV_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "itemset/categorical_database.h"
+
+namespace corrmine::io {
+
+/// Reads categorical data from a simple CSV dialect: first line is the
+/// header (attribute names), subsequent lines are rows of category labels.
+/// Fields are comma-separated; surrounding whitespace is trimmed; no
+/// quoting (labels must not contain commas). Each attribute's category set
+/// is the distinct labels seen in its column, in first-appearance order.
+/// Empty fields and ragged rows are errors; attributes with a single
+/// distinct value are rejected (no dependency is testable on them).
+StatusOr<CategoricalDatabase> ParseCategoricalCsv(const std::string& text);
+
+/// File variant of ParseCategoricalCsv.
+StatusOr<CategoricalDatabase> ReadCategoricalCsv(const std::string& path);
+
+/// Writes a categorical database back out in the same dialect.
+Status WriteCategoricalCsv(const CategoricalDatabase& db,
+                           const std::string& path);
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_CSV_H_

@@ -1,0 +1,120 @@
+#include "io/result_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace corrmine::io {
+
+std::string SerializeMiningResult(const MiningResult& result) {
+  std::string out = "# corrmine result v1\n";
+  char buf[256];
+  for (const LevelStats& level : result.levels) {
+    std::snprintf(buf, sizeof(buf),
+                  "level %d %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 "\n",
+                  level.level, level.possible_itemsets, level.candidates,
+                  level.discards, level.significant, level.not_significant);
+    out += buf;
+  }
+  for (const CorrelationRule& rule : result.significant) {
+    std::snprintf(buf, sizeof(buf), "rule %.17g %.17g %" PRId64 " %u %.17g",
+                  rule.chi2.statistic, rule.chi2.p_value, rule.chi2.dof,
+                  rule.major_dependence.mask,
+                  rule.major_dependence.interest);
+    out += buf;
+    for (ItemId item : rule.itemset) {
+      out += ' ';
+      out += std::to_string(item);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteMiningResult(const MiningResult& result,
+                         const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  file << SerializeMiningResult(result);
+  file.flush();
+  if (!file) {
+    return Status::IOError("error writing " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<MiningResult> ParseMiningResult(const std::string& text) {
+  MiningResult result;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string_view> fields = SplitString(trimmed);
+    auto fail = [&](const std::string& why) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                why);
+    };
+    if (fields[0] == "level") {
+      if (fields.size() != 7) return fail("level row needs 6 fields");
+      LevelStats level;
+      CORRMINE_ASSIGN_OR_RETURN(uint64_t lvl, ParseUint64(fields[1]));
+      level.level = static_cast<int>(lvl);
+      CORRMINE_ASSIGN_OR_RETURN(level.possible_itemsets,
+                                ParseUint64(fields[2]));
+      CORRMINE_ASSIGN_OR_RETURN(level.candidates, ParseUint64(fields[3]));
+      CORRMINE_ASSIGN_OR_RETURN(level.discards, ParseUint64(fields[4]));
+      CORRMINE_ASSIGN_OR_RETURN(level.significant, ParseUint64(fields[5]));
+      CORRMINE_ASSIGN_OR_RETURN(level.not_significant,
+                                ParseUint64(fields[6]));
+      result.levels.push_back(level);
+    } else if (fields[0] == "rule") {
+      if (fields.size() < 8) return fail("rule row needs >= 7 fields");
+      CorrelationRule rule;
+      CORRMINE_ASSIGN_OR_RETURN(rule.chi2.statistic,
+                                ParseDouble(fields[1]));
+      CORRMINE_ASSIGN_OR_RETURN(rule.chi2.p_value, ParseDouble(fields[2]));
+      CORRMINE_ASSIGN_OR_RETURN(uint64_t dof, ParseUint64(fields[3]));
+      rule.chi2.dof = static_cast<int64_t>(dof);
+      CORRMINE_ASSIGN_OR_RETURN(uint64_t mask, ParseUint64(fields[4]));
+      if (mask > UINT32_MAX) return fail("mask out of range");
+      rule.major_dependence.mask = static_cast<uint32_t>(mask);
+      CORRMINE_ASSIGN_OR_RETURN(rule.major_dependence.interest,
+                                ParseDouble(fields[5]));
+      std::vector<ItemId> items;
+      for (size_t f = 6; f < fields.size(); ++f) {
+        CORRMINE_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(fields[f]));
+        if (id > UINT32_MAX) return fail("item id out of range");
+        items.push_back(static_cast<ItemId>(id));
+      }
+      rule.itemset = Itemset(std::move(items));
+      result.significant.push_back(std::move(rule));
+    } else {
+      return fail("unknown record type '" + std::string(fields[0]) + "'");
+    }
+  }
+  return result;
+}
+
+StatusOr<MiningResult> ReadMiningResult(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("error reading " + path);
+  }
+  return ParseMiningResult(content.str());
+}
+
+}  // namespace corrmine::io

@@ -1,0 +1,34 @@
+#ifndef CORRMINE_IO_RESULT_IO_H_
+#define CORRMINE_IO_RESULT_IO_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "core/chi_squared_miner.h"
+
+namespace corrmine::io {
+
+/// Serializes a mining result to a line-oriented text format so downstream
+/// tooling (and the CLI's --out flag) can consume it without this library:
+///
+///   # corrmine result v1
+///   level <level> <possible> <candidates> <discards> <sig> <notsig>
+///   rule <chi2> <p_value> <dof> <major_mask> <major_interest> <items...>
+///
+/// Lines starting with '#' are comments; fields are space-separated.
+std::string SerializeMiningResult(const MiningResult& result);
+
+/// Writes SerializeMiningResult's output to a file.
+Status WriteMiningResult(const MiningResult& result, const std::string& path);
+
+/// Parses the format back. Only the fields present in the format are
+/// recovered (cell observed/expected details of the major-dependence cell
+/// are not round-tripped; statistic, p-value, masks and itemsets are).
+StatusOr<MiningResult> ParseMiningResult(const std::string& text);
+
+/// Reads and parses a result file.
+StatusOr<MiningResult> ReadMiningResult(const std::string& path);
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_RESULT_IO_H_

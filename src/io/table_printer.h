@@ -1,0 +1,42 @@
+#ifndef CORRMINE_IO_TABLE_PRINTER_H_
+#define CORRMINE_IO_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace corrmine::io {
+
+/// Column-aligned ASCII table renderer for the benchmark harnesses that
+/// regenerate the paper's tables. Cells are strings; numeric formatting is
+/// the caller's concern (see FormatDouble helpers below).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; it must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with single-space padding, a header underline, and right
+  /// alignment for cells that parse as numbers.
+  std::string Render() const;
+
+  /// Convenience: render straight to a stream.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision rendering ("3.142" for precision 3).
+std::string FormatDouble(double value, int precision);
+
+/// Percent rendering of a fraction ("16.6" for 0.166, precision 1).
+std::string FormatPercent(double fraction, int precision = 1);
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_TABLE_PRINTER_H_

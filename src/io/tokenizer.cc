@@ -1,0 +1,81 @@
+#include "io/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+namespace corrmine::io {
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+StatusOr<TransactionDatabase> BuildCorpus(
+    const std::vector<std::string>& documents,
+    const CorpusOptions& options) {
+  if (!(options.min_doc_frequency >= 0.0 &&
+        options.min_doc_frequency <= 1.0)) {
+    return Status::InvalidArgument("min_doc_frequency must be in [0,1]");
+  }
+
+  // Pass 1: tokenize, filter short documents, accumulate document
+  // frequency over distinct words per document.
+  std::vector<std::vector<std::string>> kept_docs;
+  std::unordered_map<std::string, uint32_t> doc_freq;
+  for (const std::string& doc : documents) {
+    std::vector<std::string> words = TokenizeWords(doc);
+    if (words.size() < options.min_words_per_document) continue;
+    std::vector<std::string> distinct = words;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (const std::string& word : distinct) ++doc_freq[word];
+    kept_docs.push_back(std::move(distinct));
+  }
+  if (kept_docs.empty()) {
+    return Status::FailedPrecondition(
+        "no documents survive the length filter");
+  }
+
+  // Pass 2: prune by document frequency, intern survivors.
+  double min_docs =
+      options.min_doc_frequency * static_cast<double>(kept_docs.size());
+  ItemDictionary dict;
+  for (const auto& doc : kept_docs) {
+    for (const std::string& word : doc) {
+      if (static_cast<double>(doc_freq[word]) >= min_docs) {
+        dict.GetOrAdd(word);
+      }
+    }
+  }
+  if (dict.size() == 0) {
+    return Status::FailedPrecondition(
+        "document-frequency pruning removed the whole vocabulary");
+  }
+
+  TransactionDatabase db(static_cast<ItemId>(dict.size()));
+  db.dictionary() = std::move(dict);
+  for (const auto& doc : kept_docs) {
+    std::vector<ItemId> basket;
+    for (const std::string& word : doc) {
+      auto id = db.dictionary().Get(word);
+      if (id.ok()) basket.push_back(*id);
+    }
+    CORRMINE_RETURN_NOT_OK(db.AddBasket(std::move(basket)));
+  }
+  return db;
+}
+
+}  // namespace corrmine::io

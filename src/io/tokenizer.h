@@ -1,0 +1,38 @@
+#ifndef CORRMINE_IO_TOKENIZER_H_
+#define CORRMINE_IO_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine::io {
+
+/// Splits raw text into words using the paper's Section 5.2 definition: "a
+/// word was defined to be any consecutive sequence of alphabetic
+/// characters" — so a possessive "s" is its own word and numbers are
+/// ignored. Words are lower-cased.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+struct CorpusOptions {
+  /// Documents with fewer word tokens are dropped (the paper filtered
+  /// posts under 200 words to keep only real articles).
+  size_t min_words_per_document = 0;
+  /// Words occurring in fewer than this fraction of (kept) documents are
+  /// pruned from the vocabulary — the paper's 10% document-frequency cut.
+  double min_doc_frequency = 0.0;
+};
+
+/// Builds basket data from raw documents: each kept document becomes one
+/// basket whose items are its distinct surviving words; the database's
+/// dictionary maps ids back to words. Reproduces the paper's text
+/// preprocessing pipeline end to end.
+StatusOr<TransactionDatabase> BuildCorpus(
+    const std::vector<std::string>& documents,
+    const CorpusOptions& options = {});
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_TOKENIZER_H_

@@ -1,0 +1,32 @@
+#ifndef CORRMINE_IO_TRANSACTION_IO_H_
+#define CORRMINE_IO_TRANSACTION_IO_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine::io {
+
+/// Reads basket data in the conventional transaction-file format: one basket
+/// per line, whitespace-separated non-negative integer item ids. Blank lines
+/// are empty baskets; lines starting with '#' are comments. The item space
+/// is sized to the largest id seen (or `num_items_hint` if larger).
+StatusOr<TransactionDatabase> ReadTransactionFile(const std::string& path,
+                                                  ItemId num_items_hint = 0);
+
+/// Same format, parsed from an in-memory string (used by tests).
+StatusOr<TransactionDatabase> ParseTransactions(const std::string& text,
+                                                ItemId num_items_hint = 0);
+
+/// Writes a database in the transaction-file format.
+Status WriteTransactionFile(const TransactionDatabase& db,
+                            const std::string& path);
+
+/// Reads named basket data: one basket per line, whitespace-separated word
+/// tokens interned through the database's dictionary.
+StatusOr<TransactionDatabase> ParseNamedTransactions(const std::string& text);
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_TRANSACTION_IO_H_

@@ -1,0 +1,51 @@
+#include "itemset/bitmap.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace corrmine {
+
+uint64_t Bitmap::Count() const {
+  uint64_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+uint64_t Bitmap::AndCount(const Bitmap& other) const {
+  CORRMINE_CHECK(num_bits_ == other.num_bits_)
+      << "AndCount on differently-sized bitmaps";
+  uint64_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+void Bitmap::AndWith(const Bitmap& other) {
+  CORRMINE_CHECK(num_bits_ == other.num_bits_)
+      << "AndWith on differently-sized bitmaps";
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+uint64_t MultiAndCount(const std::vector<const Bitmap*>& bitmaps) {
+  if (bitmaps.empty()) return 0;
+  size_t num_words = bitmaps[0]->words().size();
+  for (const Bitmap* b : bitmaps) {
+    CORRMINE_CHECK(b->words().size() == num_words)
+        << "MultiAndCount on differently-sized bitmaps";
+  }
+  uint64_t total = 0;
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t acc = bitmaps[0]->words()[w];
+    for (size_t i = 1; i < bitmaps.size() && acc != 0; ++i) {
+      acc &= bitmaps[i]->words()[w];
+    }
+    total += std::popcount(acc);
+  }
+  return total;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,55 @@
+#ifndef CORRMINE_ITEMSET_BITMAP_H_
+#define CORRMINE_ITEMSET_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace corrmine {
+
+/// Fixed-length bitset used as a vertical (per-item) index over baskets:
+/// bit b is set iff basket b contains the item. Sized at construction;
+/// supports the AND/popcount kernels the mining counters need.
+class Bitmap {
+ public:
+  Bitmap() : num_bits_(0) {}
+  explicit Bitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t bit) { words_[bit >> 6] |= (uint64_t{1} << (bit & 63)); }
+  void Clear(size_t bit) { words_[bit >> 6] &= ~(uint64_t{1} << (bit & 63)); }
+  bool Test(size_t bit) const {
+    return (words_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  uint64_t Count() const;
+
+  /// Popcount of (this AND other) without materializing the intersection.
+  /// The bitmaps must be the same size.
+  uint64_t AndCount(const Bitmap& other) const;
+
+  /// In-place intersection; the bitmaps must be the same size.
+  void AndWith(const Bitmap& other);
+
+  /// Raw word access for fused multi-way kernels.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+/// Popcount of the AND of several bitmaps in one pass (no temporaries).
+/// All bitmaps must be the same size; an empty list yields 0.
+uint64_t MultiAndCount(const std::vector<const Bitmap*>& bitmaps);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_ITEMSET_BITMAP_H_

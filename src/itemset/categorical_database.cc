@@ -1,0 +1,53 @@
+#include "itemset/categorical_database.h"
+
+namespace corrmine {
+
+CategoricalDatabase::CategoricalDatabase(
+    std::vector<CategoricalAttribute> attributes)
+    : attributes_(std::move(attributes)) {
+  category_counts_.reserve(attributes_.size());
+  for (const CategoricalAttribute& attr : attributes_) {
+    category_counts_.emplace_back(attr.categories.size(), 0);
+  }
+}
+
+StatusOr<CategoricalDatabase> CategoricalDatabase::Create(
+    std::vector<CategoricalAttribute> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  for (const CategoricalAttribute& attr : attributes) {
+    if (attr.arity() < 2) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' needs at least two categories");
+    }
+    if (attr.arity() > 255) {
+      return Status::OutOfRange("attribute '" + attr.name +
+                                "' exceeds 255 categories");
+    }
+  }
+  return CategoricalDatabase(std::move(attributes));
+}
+
+Status CategoricalDatabase::AddRow(std::vector<uint8_t> values) {
+  if (values.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "row covers " + std::to_string(values.size()) + " attributes, want " +
+        std::to_string(attributes_.size()));
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    if (values[a] >= attributes_[a].categories.size()) {
+      return Status::OutOfRange("category index " +
+                                std::to_string(values[a]) +
+                                " out of range for attribute '" +
+                                attributes_[a].name + "'");
+    }
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    ++category_counts_[a][values[a]];
+  }
+  rows_.push_back(std::move(values));
+  return Status::OK();
+}
+
+}  // namespace corrmine

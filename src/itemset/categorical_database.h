@@ -1,0 +1,62 @@
+#ifndef CORRMINE_ITEMSET_CATEGORICAL_DATABASE_H_
+#define CORRMINE_ITEMSET_CATEGORICAL_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace corrmine {
+
+/// A multi-valued attribute: a name plus the labels of its categories.
+/// This is the "non-collapsed" data model of the paper's Section 5.1 —
+/// instead of flattening census answers to binary items, each question
+/// keeps its full category set so finer-grained dependency is visible
+/// (e.g. separating "does not drive" from "carpools").
+struct CategoricalAttribute {
+  std::string name;
+  std::vector<std::string> categories;
+
+  int arity() const { return static_cast<int>(categories.size()); }
+};
+
+/// Rows of categorical values: row r stores, for each attribute a, the
+/// index of the category observed. The analogue of TransactionDatabase for
+/// multi-valued basket data.
+class CategoricalDatabase {
+ public:
+  /// Every attribute must have at least two categories.
+  static StatusOr<CategoricalDatabase> Create(
+      std::vector<CategoricalAttribute> attributes);
+
+  /// Appends a row; `values[a]` must be a valid category index of
+  /// attribute a and the row must cover every attribute.
+  Status AddRow(std::vector<uint8_t> values);
+
+  size_t num_rows() const { return rows_.size(); }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const CategoricalAttribute& attribute(int a) const {
+    return attributes_[a];
+  }
+
+  uint8_t value(size_t row, int attribute) const {
+    return rows_[row][attribute];
+  }
+
+  /// Count of rows where attribute `a` takes category `v`.
+  uint64_t CategoryCount(int a, uint8_t v) const {
+    return category_counts_[a][v];
+  }
+
+ private:
+  explicit CategoricalDatabase(std::vector<CategoricalAttribute> attributes);
+
+  std::vector<CategoricalAttribute> attributes_;
+  std::vector<std::vector<uint8_t>> rows_;
+  std::vector<std::vector<uint64_t>> category_counts_;
+};
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_ITEMSET_CATEGORICAL_DATABASE_H_

@@ -1,0 +1,216 @@
+#include "itemset/compressed_bitmap.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine {
+
+namespace {
+constexpr uint32_t kBlockBits = 16;
+constexpr uint32_t kBlockSize = uint32_t{1} << kBlockBits;
+constexpr size_t kWordsPerDense = kBlockSize / 64;
+}  // namespace
+
+CompressedBitmap::CompressedBitmap(size_t num_rows,
+                                   const std::vector<uint32_t>& rows)
+    : num_rows_(num_rows), total_count_(rows.size()) {
+  size_t i = 0;
+  while (i < rows.size()) {
+    uint32_t key = rows[i] >> kBlockBits;
+    size_t end = i;
+    while (end < rows.size() && (rows[end] >> kBlockBits) == key) {
+      CORRMINE_CHECK(end == i || rows[end] > rows[end - 1])
+          << "rows must be strictly increasing";
+      CORRMINE_CHECK(rows[end] < num_rows) << "row id out of range";
+      ++end;
+    }
+    Container container;
+    container.key = key;
+    container.count = static_cast<uint32_t>(end - i);
+    if (container.count >= kDenseThreshold) {
+      container.dense = true;
+      container.words.assign(kWordsPerDense, 0);
+      for (size_t j = i; j < end; ++j) {
+        uint32_t offset = rows[j] & (kBlockSize - 1);
+        container.words[offset >> 6] |= uint64_t{1} << (offset & 63);
+      }
+    } else {
+      container.array.reserve(container.count);
+      for (size_t j = i; j < end; ++j) {
+        container.array.push_back(
+            static_cast<uint16_t>(rows[j] & (kBlockSize - 1)));
+      }
+    }
+    containers_.push_back(std::move(container));
+    i = end;
+  }
+}
+
+CompressedBitmap CompressedBitmap::FromBitmap(const Bitmap& bitmap) {
+  std::vector<uint32_t> rows;
+  for (size_t row = 0; row < bitmap.size(); ++row) {
+    if (bitmap.Test(row)) rows.push_back(static_cast<uint32_t>(row));
+  }
+  return CompressedBitmap(bitmap.size(), rows);
+}
+
+bool CompressedBitmap::Test(uint32_t row) const {
+  uint32_t key = row >> kBlockBits;
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint32_t k) { return c.key < k; });
+  if (it == containers_.end() || it->key != key) return false;
+  uint16_t offset = static_cast<uint16_t>(row & (kBlockSize - 1));
+  if (it->dense) {
+    return (it->words[offset >> 6] >> (offset & 63)) & 1;
+  }
+  return std::binary_search(it->array.begin(), it->array.end(), offset);
+}
+
+uint64_t CompressedBitmap::AndCountContainers(const Container& a,
+                                              const Container& b) {
+  if (a.dense && b.dense) {
+    uint64_t total = 0;
+    for (size_t w = 0; w < kWordsPerDense; ++w) {
+      total += std::popcount(a.words[w] & b.words[w]);
+    }
+    return total;
+  }
+  if (a.dense != b.dense) {
+    const Container& dense = a.dense ? a : b;
+    const Container& sparse = a.dense ? b : a;
+    uint64_t total = 0;
+    for (uint16_t offset : sparse.array) {
+      total += (dense.words[offset >> 6] >> (offset & 63)) & 1;
+    }
+    return total;
+  }
+  // Both sparse: linear merge (galloping buys little at these sizes).
+  uint64_t total = 0;
+  size_t i = 0, j = 0;
+  while (i < a.array.size() && j < b.array.size()) {
+    if (a.array[i] < b.array[j]) {
+      ++i;
+    } else if (a.array[i] > b.array[j]) {
+      ++j;
+    } else {
+      ++total;
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+uint64_t CompressedBitmap::AndCount(const CompressedBitmap& other) const {
+  CORRMINE_CHECK(num_rows_ == other.num_rows_)
+      << "AndCount on differently-sized compressed bitmaps";
+  uint64_t total = 0;
+  size_t i = 0, j = 0;
+  while (i < containers_.size() && j < other.containers_.size()) {
+    uint32_t ka = containers_[i].key;
+    uint32_t kb = other.containers_[j].key;
+    if (ka < kb) {
+      ++i;
+    } else if (ka > kb) {
+      ++j;
+    } else {
+      total += AndCountContainers(containers_[i], other.containers_[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+std::vector<uint32_t> CompressedBitmap::ToRows() const {
+  std::vector<uint32_t> rows;
+  rows.reserve(total_count_);
+  for (const Container& c : containers_) {
+    uint32_t base = c.key << kBlockBits;
+    if (c.dense) {
+      for (size_t w = 0; w < kWordsPerDense; ++w) {
+        uint64_t word = c.words[w];
+        while (word != 0) {
+          int bit = std::countr_zero(word);
+          rows.push_back(base + static_cast<uint32_t>(w * 64 + bit));
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (uint16_t offset : c.array) {
+        rows.push_back(base + offset);
+      }
+    }
+  }
+  return rows;
+}
+
+size_t CompressedBitmap::MemoryBytes() const {
+  size_t bytes = containers_.size() * sizeof(Container);
+  for (const Container& c : containers_) {
+    bytes += c.array.size() * sizeof(uint16_t);
+    bytes += c.words.size() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+CompressedVerticalIndex::CompressedVerticalIndex(
+    const TransactionDatabase& db)
+    : num_baskets_(db.num_baskets()) {
+  // Gather per-item sorted row lists in one pass.
+  std::vector<std::vector<uint32_t>> rows(db.num_items());
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    rows[i].reserve(db.ItemCount(i));
+  }
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    for (ItemId item : db.basket(row)) {
+      rows[item].push_back(static_cast<uint32_t>(row));
+    }
+  }
+  columns_.reserve(db.num_items());
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    columns_.emplace_back(num_baskets_, rows[i]);
+  }
+}
+
+uint64_t CompressedVerticalIndex::CountAllPresent(const Itemset& s) const {
+  CORRMINE_CHECK(!s.empty()) << "CountAllPresent requires a non-empty set";
+  if (s.size() == 1) return columns_[s.item(0)].Count();
+  if (s.size() == 2) {
+    return columns_[s.item(0)].AndCount(columns_[s.item(1)]);
+  }
+  // Multi-way: materialize the intersection of the two cheapest columns as
+  // a row list, then filter through the remaining columns via Test().
+  std::vector<ItemId> by_count(s.begin(), s.end());
+  std::sort(by_count.begin(), by_count.end(), [&](ItemId a, ItemId b) {
+    return columns_[a].Count() < columns_[b].Count();
+  });
+  // Walk the rows of the rarest column and test membership everywhere
+  // else.
+  uint64_t total = 0;
+  for (uint32_t row : columns_[by_count[0]].ToRows()) {
+    bool all = true;
+    for (size_t j = 1; j < by_count.size(); ++j) {
+      if (!columns_[by_count[j]].Test(row)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++total;
+  }
+  return total;
+}
+
+size_t CompressedVerticalIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const CompressedBitmap& column : columns_) {
+    bytes += column.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,16 @@
+#include "itemset/count_provider.h"
+
+#include "common/logging.h"
+
+namespace corrmine {
+
+uint64_t ScanCountProvider::CountAllPresent(const Itemset& s) const {
+  CORRMINE_CHECK(!s.empty()) << "CountAllPresent requires a non-empty set";
+  uint64_t count = 0;
+  for (size_t row = 0; row < db_.num_baskets(); ++row) {
+    if (db_.BasketContainsAll(row, s)) ++count;
+  }
+  return count;
+}
+
+}  // namespace corrmine

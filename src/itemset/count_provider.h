@@ -1,0 +1,64 @@
+#ifndef CORRMINE_ITEMSET_COUNT_PROVIDER_H_
+#define CORRMINE_ITEMSET_COUNT_PROVIDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "itemset/itemset.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine {
+
+/// Answers "how many baskets contain every item of S" — the only primitive
+/// contingency-table construction needs (cells with absent items follow by
+/// inclusion–exclusion). Implementations trade preprocessing for lookup
+/// speed; the miner is parameterized on this interface so the strategies can
+/// be benchmarked against each other.
+class CountProvider {
+ public:
+  virtual ~CountProvider() = default;
+
+  /// Total number of baskets n.
+  virtual uint64_t num_baskets() const = 0;
+
+  /// O(S): baskets containing all items of S. S must be non-empty and its
+  /// items in range. O({i}) must equal the database's item count.
+  virtual uint64_t CountAllPresent(const Itemset& s) const = 0;
+};
+
+/// Strategy A: re-scan the row store per query. No preprocessing, O(n)
+/// per count; matches the paper's "make a pass over the entire database"
+/// baseline cost model.
+class ScanCountProvider : public CountProvider {
+ public:
+  /// `db` must outlive this provider.
+  explicit ScanCountProvider(const TransactionDatabase& db) : db_(db) {}
+
+  uint64_t num_baskets() const override { return db_.num_baskets(); }
+  uint64_t CountAllPresent(const Itemset& s) const override;
+
+ private:
+  const TransactionDatabase& db_;
+};
+
+/// Strategy B: per-item bitmaps; each count is a multi-way AND/popcount.
+/// One O(total occurrences) preprocessing pass.
+class BitmapCountProvider : public CountProvider {
+ public:
+  /// Builds the vertical index eagerly; `db` may be discarded afterwards.
+  explicit BitmapCountProvider(const TransactionDatabase& db) : index_(db) {}
+
+  uint64_t num_baskets() const override { return index_.num_baskets(); }
+  uint64_t CountAllPresent(const Itemset& s) const override {
+    return index_.CountAllPresent(s);
+  }
+
+  const VerticalIndex& index() const { return index_; }
+
+ private:
+  VerticalIndex index_;
+};
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_ITEMSET_COUNT_PROVIDER_H_

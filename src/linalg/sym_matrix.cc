@@ -1,0 +1,137 @@
+#include "linalg/sym_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace corrmine::linalg {
+
+SymMatrix SymMatrix::Identity(int n) {
+  SymMatrix m(n);
+  for (int i = 0; i < n; ++i) m.Set(i, i, 1.0);
+  return m;
+}
+
+EigenDecomposition JacobiEigen(const SymMatrix& input, int max_sweeps) {
+  const int n = input.size();
+  // Working copy of the matrix and accumulated rotations.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n));
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    v[i][i] = 1.0;
+    for (int j = 0; j < n; ++j) a[i][j] = input.at(i, j);
+  }
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) off += a[i][j] * a[i][j];
+    }
+    if (off < 1e-24) break;
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-300) continue;
+        double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (int k = 0; k < n; ++k) {
+          double akp = a[k][p];
+          double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          double apk = a[p][k];
+          double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          double vkp = v[k][p];
+          double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition result;
+  result.values.resize(n);
+  result.vectors.assign(n, std::vector<double>(n));
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (int i = 0; i < n; ++i) diag[i] = a[i][i];
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return diag[x] > diag[y]; });
+  for (int k = 0; k < n; ++k) {
+    result.values[k] = diag[order[k]];
+    for (int i = 0; i < n; ++i) result.vectors[k][i] = v[i][order[k]];
+  }
+  return result;
+}
+
+SymMatrix NearestCorrelationMatrix(const SymMatrix& a, double min_eigenvalue) {
+  const int n = a.size();
+  EigenDecomposition eig = JacobiEigen(a);
+  for (double& lambda : eig.values) {
+    lambda = std::max(lambda, min_eigenvalue);
+  }
+  // Reassemble V diag(lambda) V^T.
+  SymMatrix out(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) {
+        sum += eig.values[k] * eig.vectors[k][i] * eig.vectors[k][j];
+      }
+      out.Set(i, j, sum);
+    }
+  }
+  // Rescale to unit diagonal.
+  std::vector<double> scale(n);
+  for (int i = 0; i < n; ++i) {
+    scale[i] = 1.0 / std::sqrt(std::max(out.at(i, i), 1e-12));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double value = out.at(i, j) * scale[i] * scale[j];
+      out.Set(i, j, i == j ? 1.0 : value);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> CholeskyFactor(const SymMatrix& a) {
+  const int n = a.size();
+  std::vector<double> l(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (int k = 0; k < j; ++k) {
+        sum -= l[static_cast<size_t>(i) * n + k] *
+               l[static_cast<size_t>(j) * n + k];
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite");
+        }
+        l[static_cast<size_t>(i) * n + j] = std::sqrt(sum);
+      } else {
+        l[static_cast<size_t>(i) * n + j] =
+            sum / l[static_cast<size_t>(j) * n + j];
+      }
+    }
+  }
+  return l;
+}
+
+}  // namespace corrmine::linalg

@@ -1,0 +1,64 @@
+#ifndef CORRMINE_LINALG_SYM_MATRIX_H_
+#define CORRMINE_LINALG_SYM_MATRIX_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace corrmine::linalg {
+
+/// Dense symmetric matrix of doubles, stored fully (n x n) for simplicity.
+/// Sized for the small systems this library needs (copula correlation
+/// matrices over tens of items), not for numerical-library scale.
+class SymMatrix {
+ public:
+  /// n x n zero matrix.
+  explicit SymMatrix(int n) : n_(n), data_(static_cast<size_t>(n) * n, 0.0) {}
+
+  /// Identity matrix.
+  static SymMatrix Identity(int n);
+
+  int size() const { return n_; }
+
+  double at(int i, int j) const { return data_[Index(i, j)]; }
+
+  /// Sets both (i, j) and (j, i).
+  void Set(int i, int j, double value) {
+    data_[Index(i, j)] = value;
+    data_[Index(j, i)] = value;
+  }
+
+ private:
+  size_t Index(int i, int j) const {
+    return static_cast<size_t>(i) * n_ + j;
+  }
+
+  int n_;
+  std::vector<double> data_;
+};
+
+/// Result of a symmetric eigendecomposition: A = V diag(lambda) V^T with
+/// orthonormal columns in `vectors` (vectors[k] is the k-th eigenvector).
+struct EigenDecomposition {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Converges for any
+/// symmetric input; eigenvalues are returned in descending order.
+EigenDecomposition JacobiEigen(const SymMatrix& a, int max_sweeps = 100);
+
+/// Projects a symmetric matrix with unit diagonal (a candidate correlation
+/// matrix) to a nearby positive semi-definite correlation matrix: clips
+/// negative eigenvalues to `min_eigenvalue`, reassembles and rescales the
+/// diagonal back to 1.
+SymMatrix NearestCorrelationMatrix(const SymMatrix& a,
+                                   double min_eigenvalue = 1e-6);
+
+/// Cholesky factorization A = L L^T (L lower triangular, row-major n x n).
+/// Fails if A is not positive definite.
+StatusOr<std::vector<double>> CholeskyFactor(const SymMatrix& a);
+
+}  // namespace corrmine::linalg
+
+#endif  // CORRMINE_LINALG_SYM_MATRIX_H_

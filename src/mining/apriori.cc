@@ -1,0 +1,94 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace corrmine {
+
+namespace {
+
+/// Apriori-gen: join frequent k-sets sharing a (k-1)-prefix, then prune
+/// joins with an infrequent subset. `frequent` must be sorted.
+std::vector<Itemset> AprioriGen(
+    const std::vector<Itemset>& frequent,
+    const std::unordered_set<Itemset, ItemsetHasher>& frequent_set) {
+  std::vector<Itemset> candidates;
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    for (size_t j = i + 1; j < frequent.size(); ++j) {
+      const Itemset& a = frequent[i];
+      const Itemset& b = frequent[j];
+      bool shared_prefix = true;
+      for (size_t t = 0; t + 1 < a.size(); ++t) {
+        if (a.item(t) != b.item(t)) {
+          shared_prefix = false;
+          break;
+        }
+      }
+      if (!shared_prefix) break;
+      Itemset joined = a.Union(b);
+      if (joined.size() != a.size() + 1) continue;
+      bool all_frequent = true;
+      for (const Itemset& subset : joined.SubsetsMissingOne()) {
+        if (!frequent_set.count(subset)) {
+          all_frequent = false;
+          break;
+        }
+      }
+      if (all_frequent) candidates.push_back(std::move(joined));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const CountProvider& provider, ItemId num_items,
+    const AprioriOptions& options) {
+  if (provider.num_baskets() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  if (!(options.min_support_fraction > 0.0 &&
+        options.min_support_fraction <= 1.0)) {
+    return Status::InvalidArgument("min_support_fraction must be in (0,1]");
+  }
+  uint64_t n = provider.num_baskets();
+  uint64_t min_count = static_cast<uint64_t>(
+      std::ceil(options.min_support_fraction * static_cast<double>(n) -
+                1e-9));
+  if (min_count == 0) min_count = 1;
+
+  std::vector<FrequentItemset> result;
+
+  // L1.
+  std::vector<Itemset> frequent;
+  for (ItemId i = 0; i < num_items; ++i) {
+    uint64_t count = provider.CountAllPresent(Itemset{i});
+    if (count >= min_count) {
+      result.push_back(FrequentItemset{Itemset{i}, count});
+      frequent.push_back(Itemset{i});
+    }
+  }
+
+  int level = 2;
+  while (!frequent.empty() &&
+         (options.max_level == 0 || level <= options.max_level)) {
+    std::unordered_set<Itemset, ItemsetHasher> frequent_set(frequent.begin(),
+                                                            frequent.end());
+    std::sort(frequent.begin(), frequent.end());
+    std::vector<Itemset> candidates = AprioriGen(frequent, frequent_set);
+    frequent.clear();
+    for (Itemset& candidate : candidates) {
+      uint64_t count = provider.CountAllPresent(candidate);
+      if (count >= min_count) {
+        frequent.push_back(candidate);
+        result.push_back(FrequentItemset{std::move(candidate), count});
+      }
+    }
+    ++level;
+  }
+  return result;
+}
+
+}  // namespace corrmine

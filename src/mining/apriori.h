@@ -1,0 +1,43 @@
+#ifndef CORRMINE_MINING_APRIORI_H_
+#define CORRMINE_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+#include "itemset/count_provider.h"
+#include "itemset/itemset.h"
+
+namespace corrmine {
+
+/// A frequent itemset with its occurrence count.
+struct FrequentItemset {
+  Itemset itemset;
+  uint64_t count = 0;
+
+  double SupportFraction(uint64_t n) const {
+    return static_cast<double>(count) / static_cast<double>(n);
+  }
+};
+
+struct AprioriOptions {
+  /// Minimum support as a fraction of baskets (the classical s%).
+  double min_support_fraction = 0.01;
+  /// Stop after this itemset size; 0 = unbounded.
+  int max_level = 0;
+};
+
+/// The Agrawal–Srikant Apriori algorithm: level-wise frequent-itemset
+/// mining exploiting the downward closure of support. This is the
+/// support–confidence baseline the paper contrasts correlation rules
+/// against. Counting is delegated to the CountProvider (use bitmaps for
+/// anything sizable).
+///
+/// Returns all frequent itemsets of size >= 1 ordered by (size, lex).
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const CountProvider& provider, ItemId num_items,
+    const AprioriOptions& options = {});
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_MINING_APRIORI_H_

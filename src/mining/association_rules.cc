@@ -1,0 +1,96 @@
+#include "mining/association_rules.h"
+
+#include <unordered_map>
+
+namespace corrmine {
+
+StatusOr<std::vector<AssociationRule>> GenerateAssociationRules(
+    const std::vector<FrequentItemset>& frequent, uint64_t num_baskets,
+    const RuleOptions& options) {
+  if (num_baskets == 0) {
+    return Status::InvalidArgument("num_baskets must be positive");
+  }
+  if (!(options.min_confidence >= 0.0 && options.min_confidence <= 1.0)) {
+    return Status::InvalidArgument("min_confidence must be in [0,1]");
+  }
+  std::unordered_map<Itemset, uint64_t, ItemsetHasher> counts;
+  counts.reserve(frequent.size());
+  for (const FrequentItemset& f : frequent) {
+    counts.emplace(f.itemset, f.count);
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& f : frequent) {
+    const Itemset& s = f.itemset;
+    if (s.size() < 2 || s.size() > 20) continue;
+    double support = static_cast<double>(f.count) /
+                     static_cast<double>(num_baskets);
+    // Every non-empty proper subset as antecedent.
+    uint32_t full = (uint32_t{1} << s.size()) - 1;
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      std::vector<ItemId> ante_items;
+      std::vector<ItemId> cons_items;
+      for (size_t j = 0; j < s.size(); ++j) {
+        if ((mask >> j) & 1) {
+          ante_items.push_back(s.item(j));
+        } else {
+          cons_items.push_back(s.item(j));
+        }
+      }
+      Itemset antecedent(std::move(ante_items));
+      auto it = counts.find(antecedent);
+      if (it == counts.end() || it->second == 0) {
+        return Status::FailedPrecondition(
+            "antecedent count missing; input is not downward closed: " +
+            antecedent.ToString());
+      }
+      double confidence = static_cast<double>(f.count) /
+                          static_cast<double>(it->second);
+      if (confidence >= options.min_confidence) {
+        rules.push_back(AssociationRule{std::move(antecedent),
+                                        Itemset(std::move(cons_items)),
+                                        support, confidence});
+      }
+    }
+  }
+  return rules;
+}
+
+StatusOr<PairwiseSupportConfidence> AnalyzePair(
+    const ContingencyTable& table) {
+  if (table.num_items() != 2) {
+    return Status::InvalidArgument("AnalyzePair requires a 2-item table");
+  }
+  double n = static_cast<double>(table.n());
+  // Mask bit 0 = first item (a) present, bit 1 = second item (b) present.
+  double o_ab = static_cast<double>(table.Observed(0b11));
+  double o_anb = static_cast<double>(table.Observed(0b01));
+  double o_nab = static_cast<double>(table.Observed(0b10));
+  double o_nanb = static_cast<double>(table.Observed(0b00));
+
+  PairwiseSupportConfidence out;
+  out.s_ab = o_ab / n;
+  out.s_anb = o_anb / n;
+  out.s_nab = o_nab / n;
+  out.s_nanb = o_nanb / n;
+
+  double o_a = o_ab + o_anb;
+  double o_na = o_nab + o_nanb;
+  double o_b = o_ab + o_nab;
+  double o_nb = o_anb + o_nanb;
+
+  auto ratio = [](double num, double den) {
+    return den > 0.0 ? num / den : 0.0;
+  };
+  out.a_to_b = ratio(o_ab, o_a);
+  out.a_to_nb = ratio(o_anb, o_a);
+  out.na_to_b = ratio(o_nab, o_na);
+  out.na_to_nb = ratio(o_nanb, o_na);
+  out.b_to_a = ratio(o_ab, o_b);
+  out.b_to_na = ratio(o_nab, o_b);
+  out.nb_to_a = ratio(o_anb, o_nb);
+  out.nb_to_na = ratio(o_nanb, o_nb);
+  return out;
+}
+
+}  // namespace corrmine

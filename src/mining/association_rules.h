@@ -1,0 +1,54 @@
+#ifndef CORRMINE_MINING_ASSOCIATION_RULES_H_
+#define CORRMINE_MINING_ASSOCIATION_RULES_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/contingency_table.h"
+#include "mining/apriori.h"
+
+namespace corrmine {
+
+/// An association rule antecedent => consequent in the support-confidence
+/// framework (Section 1.1): `support` is the fraction of baskets containing
+/// antecedent ∪ consequent, `confidence` the fraction of antecedent baskets
+/// that also contain the consequent.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+struct RuleOptions {
+  double min_confidence = 0.5;
+};
+
+/// Generates all rules I => J with I, J a disjoint non-empty partition of a
+/// frequent itemset, keeping those meeting the confidence threshold. Counts
+/// for sub-itemsets are taken from `frequent` (downward closure guarantees
+/// they are present when Apriori produced the input).
+StatusOr<std::vector<AssociationRule>> GenerateAssociationRules(
+    const std::vector<FrequentItemset>& frequent, uint64_t num_baskets,
+    const RuleOptions& options = {});
+
+/// The full pairwise support-confidence analysis of the paper's Table 3:
+/// for a pair (a, b), the supports of all four presence/absence cells and
+/// the confidences of the eight directed rules over a, b and their
+/// negations.
+struct PairwiseSupportConfidence {
+  /// Supports (fractions of n) of ab, (not-a)b, a(not-b), neither.
+  double s_ab = 0, s_nab = 0, s_anb = 0, s_nanb = 0;
+  /// Confidences: conf[x][y] with x in {a present, a absent} and direction
+  /// a=>b vs b=>a spelled out for readability.
+  double a_to_b = 0, na_to_b = 0, a_to_nb = 0, na_to_nb = 0;
+  double b_to_a = 0, nb_to_a = 0, b_to_na = 0, nb_to_na = 0;
+};
+
+/// Computes the pairwise analysis from a 2-item contingency table (item a
+/// is the table's first item, b its second).
+StatusOr<PairwiseSupportConfidence> AnalyzePair(const ContingencyTable& table);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_MINING_ASSOCIATION_RULES_H_

@@ -1,0 +1,114 @@
+#include "mining/categorical_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/chi_squared_distribution.h"
+
+namespace corrmine {
+
+StatusOr<stats::CategoricalTable> BuildCategoricalTable(
+    const CategoricalDatabase& db, int attribute_a, int attribute_b) {
+  if (attribute_a == attribute_b || attribute_a < 0 || attribute_b < 0 ||
+      attribute_a >= db.num_attributes() ||
+      attribute_b >= db.num_attributes()) {
+    return Status::InvalidArgument("invalid attribute pair");
+  }
+  CORRMINE_ASSIGN_OR_RETURN(
+      stats::CategoricalTable table,
+      stats::CategoricalTable::Create(db.attribute(attribute_a).arity(),
+                                      db.attribute(attribute_b).arity()));
+  for (size_t row = 0; row < db.num_rows(); ++row) {
+    table.Increment(db.value(row, attribute_a), db.value(row, attribute_b));
+  }
+  return table;
+}
+
+namespace {
+
+/// Chi-squared over the table with optional low-expectation masking;
+/// returns (statistic, considered-cell count).
+std::pair<double, int> MaskedChiSquared(const stats::CategoricalTable& table,
+                                        double min_expected) {
+  double chi2 = 0.0;
+  int considered = 0;
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      double e = table.Expected(r, c);
+      if (e <= 0.0 || e < min_expected) continue;
+      double diff = static_cast<double>(table.count(r, c)) - e;
+      chi2 += diff * diff / e;
+      ++considered;
+    }
+  }
+  return {chi2, considered};
+}
+
+}  // namespace
+
+StatusOr<std::vector<CategoricalDependency>> MineCategoricalDependencies(
+    const CategoricalDatabase& db, const CategoricalMinerOptions& options) {
+  if (db.num_rows() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  if (!(options.confidence_level > 0.0 && options.confidence_level < 1.0)) {
+    return Status::InvalidArgument("confidence_level must be in (0,1)");
+  }
+
+  std::vector<CategoricalDependency> dependencies;
+  for (int a = 0; a < db.num_attributes(); ++a) {
+    for (int b = a + 1; b < db.num_attributes(); ++b) {
+      CORRMINE_ASSIGN_OR_RETURN(stats::CategoricalTable table,
+                                BuildCategoricalTable(db, a, b));
+      // Skip degenerate tables (an attribute stuck at one category).
+      bool degenerate = false;
+      for (int r = 0; r < table.rows(); ++r) {
+        if (table.RowTotal(r) == db.num_rows()) degenerate = true;
+      }
+      for (int c = 0; c < table.cols(); ++c) {
+        if (table.ColTotal(c) == db.num_rows()) degenerate = true;
+      }
+      if (degenerate) continue;
+
+      auto [chi2, considered] =
+          MaskedChiSquared(table, options.min_expected_cell);
+      if (considered < 2) continue;
+
+      CategoricalDependency dep;
+      dep.attribute_a = a;
+      dep.attribute_b = b;
+      dep.chi_squared = chi2;
+      dep.dof = table.DegreesOfFreedom();
+      dep.p_value = stats::ChiSquaredPValue(chi2, dep.dof);
+      if (dep.p_value >= 1.0 - options.confidence_level) continue;
+
+      double n = static_cast<double>(table.GrandTotal());
+      int min_dim = std::min(table.rows(), table.cols()) - 1;
+      dep.cramers_v = std::sqrt(chi2 / (n * static_cast<double>(min_dim)));
+
+      double best_contribution = -1.0;
+      for (int r = 0; r < table.rows(); ++r) {
+        for (int c = 0; c < table.cols(); ++c) {
+          double e = table.Expected(r, c);
+          if (e <= 0.0 || e < options.min_expected_cell) continue;
+          double diff = static_cast<double>(table.count(r, c)) - e;
+          double contribution = diff * diff / e;
+          if (contribution > best_contribution) {
+            best_contribution = contribution;
+            dep.dominant_category_a = r;
+            dep.dominant_category_b = c;
+            dep.dominant_interest = table.Interest(r, c);
+          }
+        }
+      }
+      dependencies.push_back(dep);
+    }
+  }
+  std::sort(dependencies.begin(), dependencies.end(),
+            [](const CategoricalDependency& x, const CategoricalDependency& y) {
+              return x.cramers_v > y.cramers_v;
+            });
+  return dependencies;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,53 @@
+#ifndef CORRMINE_MINING_CATEGORICAL_MINER_H_
+#define CORRMINE_MINING_CATEGORICAL_MINER_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "itemset/categorical_database.h"
+#include "stats/categorical_table.h"
+
+namespace corrmine {
+
+/// A dependency found between two multi-valued attributes: the full r x c
+/// chi-squared test at the conventional (r-1)(c-1) degrees of freedom plus
+/// the dominant cell (the pair of categories with the largest chi-squared
+/// contribution) and its interest. This realizes the paper's Section 5.1
+/// remark that a non-collapsed table "could find finer-grained dependency"
+/// than the binary item encoding.
+struct CategoricalDependency {
+  int attribute_a = 0;
+  int attribute_b = 0;
+  double chi_squared = 0.0;
+  int dof = 1;
+  double p_value = 1.0;
+  double cramers_v = 0.0;
+  /// Category pair with the largest (O-E)^2/E contribution.
+  int dominant_category_a = 0;
+  int dominant_category_b = 0;
+  double dominant_interest = 1.0;
+};
+
+struct CategoricalMinerOptions {
+  /// Confidence level for dependency significance (per-test; no
+  /// multiple-comparison correction, matching the paper's usage).
+  double confidence_level = 0.95;
+  /// Cells with expected value below this are excluded from the statistic
+  /// (the Section 3.3 workaround; more prone to fire here because arity
+  /// multiplies the cell count).
+  double min_expected_cell = 0.0;
+};
+
+/// Tests every attribute pair and returns the significant dependencies,
+/// strongest (by Cramer's V) first.
+StatusOr<std::vector<CategoricalDependency>> MineCategoricalDependencies(
+    const CategoricalDatabase& db,
+    const CategoricalMinerOptions& options = {});
+
+/// Builds the r x c contingency table for one attribute pair.
+StatusOr<stats::CategoricalTable> BuildCategoricalTable(
+    const CategoricalDatabase& db, int attribute_a, int attribute_b);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_MINING_CATEGORICAL_MINER_H_

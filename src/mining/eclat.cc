@@ -1,0 +1,99 @@
+#include "mining/eclat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "itemset/bitmap.h"
+
+namespace corrmine {
+
+namespace {
+
+struct EclatState {
+  uint64_t min_count;
+  int max_level;  // 0 = unbounded.
+  std::vector<FrequentItemset>* out;
+};
+
+/// Depth-first extension: `prefix` is frequent with basket set
+/// `prefix_rows`; `tail` holds the frequent items greater than prefix's
+/// last item, each with its own basket bitmap.
+void Extend(const Itemset& prefix, const Bitmap& prefix_rows,
+            const std::vector<std::pair<ItemId, const Bitmap*>>& tail,
+            const EclatState& state) {
+  if (state.max_level != 0 &&
+      static_cast<int>(prefix.size()) >= state.max_level) {
+    return;
+  }
+  // Intersect the prefix's rows with each tail item; survivors recurse.
+  std::vector<std::pair<ItemId, Bitmap>> extensions;
+  for (const auto& [item, rows] : tail) {
+    Bitmap joined = prefix_rows;
+    joined.AndWith(*rows);
+    if (joined.Count() >= state.min_count) {
+      extensions.emplace_back(item, std::move(joined));
+    }
+  }
+  for (size_t i = 0; i < extensions.size(); ++i) {
+    Itemset extended = prefix.WithItem(extensions[i].first);
+    state.out->push_back(
+        FrequentItemset{extended, extensions[i].second.Count()});
+    std::vector<std::pair<ItemId, const Bitmap*>> next_tail;
+    for (size_t j = i + 1; j < extensions.size(); ++j) {
+      next_tail.emplace_back(extensions[j].first, &extensions[j].second);
+    }
+    if (!next_tail.empty()) {
+      Extend(extended, extensions[i].second, next_tail, state);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
+    const TransactionDatabase& db, const EclatOptions& options) {
+  if (db.num_baskets() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  if (!(options.min_support_fraction > 0.0 &&
+        options.min_support_fraction <= 1.0)) {
+    return Status::InvalidArgument("min_support_fraction must be in (0,1]");
+  }
+  uint64_t n = db.num_baskets();
+  uint64_t min_count = static_cast<uint64_t>(std::ceil(
+      options.min_support_fraction * static_cast<double>(n) - 1e-9));
+  if (min_count == 0) min_count = 1;
+
+  VerticalIndex index(db);
+  std::vector<FrequentItemset> result;
+  EclatState state{min_count, options.max_level, &result};
+
+  // Frequent singletons seed the depth-first search.
+  std::vector<std::pair<ItemId, const Bitmap*>> frequent_items;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemCount(i) >= min_count) {
+      frequent_items.emplace_back(i, &index.item_bitmap(i));
+    }
+  }
+  for (size_t i = 0; i < frequent_items.size(); ++i) {
+    Itemset single{frequent_items[i].first};
+    result.push_back(
+        FrequentItemset{single, frequent_items[i].second->Count()});
+    std::vector<std::pair<ItemId, const Bitmap*>> tail(
+        frequent_items.begin() + i + 1, frequent_items.end());
+    if (!tail.empty()) {
+      Extend(single, *frequent_items[i].second, tail, state);
+    }
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.itemset.size() != b.itemset.size()) {
+                return a.itemset.size() < b.itemset.size();
+              }
+              return a.itemset < b.itemset;
+            });
+  return result;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,65 @@
+#include "mining/maximal.h"
+
+#include <algorithm>
+
+namespace corrmine {
+
+namespace {
+
+std::vector<FrequentItemset> SortBySizeLex(
+    std::vector<FrequentItemset> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.itemset.size() != b.itemset.size()) {
+                return a.itemset.size() < b.itemset.size();
+              }
+              return a.itemset < b.itemset;
+            });
+  return sets;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MaximalFrequentItemsets(
+    const std::vector<FrequentItemset>& frequent) {
+  // Largest first so each set only needs testing against already-kept
+  // (equal-or-larger) sets.
+  std::vector<const FrequentItemset*> by_size_desc;
+  by_size_desc.reserve(frequent.size());
+  for (const FrequentItemset& f : frequent) by_size_desc.push_back(&f);
+  std::sort(by_size_desc.begin(), by_size_desc.end(),
+            [](const FrequentItemset* a, const FrequentItemset* b) {
+              return a->itemset.size() > b->itemset.size();
+            });
+  std::vector<FrequentItemset> maximal;
+  for (const FrequentItemset* f : by_size_desc) {
+    bool covered = false;
+    for (const FrequentItemset& kept : maximal) {
+      if (kept.itemset.ContainsAll(f->itemset)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) maximal.push_back(*f);
+  }
+  return SortBySizeLex(std::move(maximal));
+}
+
+std::vector<FrequentItemset> ClosedFrequentItemsets(
+    const std::vector<FrequentItemset>& frequent) {
+  std::vector<FrequentItemset> closed;
+  for (const FrequentItemset& f : frequent) {
+    bool has_equal_superset = false;
+    for (const FrequentItemset& other : frequent) {
+      if (other.itemset.size() <= f.itemset.size()) continue;
+      if (other.count == f.count && other.itemset.ContainsAll(f.itemset)) {
+        has_equal_superset = true;
+        break;
+      }
+    }
+    if (!has_equal_superset) closed.push_back(f);
+  }
+  return SortBySizeLex(std::move(closed));
+}
+
+}  // namespace corrmine

@@ -1,0 +1,30 @@
+#ifndef CORRMINE_MINING_MAXIMAL_H_
+#define CORRMINE_MINING_MAXIMAL_H_
+
+#include <vector>
+
+#include "mining/apriori.h"
+
+namespace corrmine {
+
+/// Extracts the maximal frequent itemsets — those with no frequent proper
+/// superset in the input. This is the *positive border* of the frequent
+/// family: the downward-closed dual of the paper's correlation border, and
+/// a compact lossless summary of which itemsets are frequent (any set is
+/// frequent iff it is a subset of some maximal set).
+///
+/// Input must be a downward-closed frequent family (e.g. any of this
+/// library's frequent-itemset miners); output is sorted (size, lex).
+std::vector<FrequentItemset> MaximalFrequentItemsets(
+    const std::vector<FrequentItemset>& frequent);
+
+/// Closed frequent itemsets: sets with no superset of *equal count* in the
+/// input. Every maximal set is closed; closed sets additionally preserve
+/// all counts (any set's count equals the max count over its closed
+/// supersets). Output sorted (size, lex).
+std::vector<FrequentItemset> ClosedFrequentItemsets(
+    const std::vector<FrequentItemset>& frequent);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_MINING_MAXIMAL_H_

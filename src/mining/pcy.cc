@@ -1,0 +1,172 @@
+#include "mining/pcy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "itemset/bitmap.h"
+
+namespace corrmine {
+
+namespace {
+
+// Pair hash matching the PCY paper's role: any fixed function of the pair.
+size_t PairBucket(ItemId a, ItemId b, size_t num_buckets) {
+  uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  return static_cast<size_t>(key % num_buckets);
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsPcy(
+    const TransactionDatabase& db, const PcyOptions& options,
+    PcyStats* stats) {
+  if (db.num_baskets() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  if (!(options.min_support_fraction > 0.0 &&
+        options.min_support_fraction <= 1.0)) {
+    return Status::InvalidArgument("min_support_fraction must be in (0,1]");
+  }
+  if (options.num_hash_buckets == 0) {
+    return Status::InvalidArgument("num_hash_buckets must be positive");
+  }
+  uint64_t n = db.num_baskets();
+  uint64_t min_count = static_cast<uint64_t>(std::ceil(
+      options.min_support_fraction * static_cast<double>(n) - 1e-9));
+  if (min_count == 0) min_count = 1;
+
+  // Pass 1: item counts come from the database; hash pair occurrences.
+  std::vector<uint64_t> buckets(options.num_hash_buckets, 0);
+  for (size_t row = 0; row < n; ++row) {
+    const std::vector<ItemId>& basket = db.basket(row);
+    for (size_t i = 0; i < basket.size(); ++i) {
+      for (size_t j = i + 1; j < basket.size(); ++j) {
+        ++buckets[PairBucket(basket[i], basket[j],
+                             options.num_hash_buckets)];
+      }
+    }
+  }
+  Bitmap frequent_bucket(options.num_hash_buckets);
+  uint64_t frequent_buckets = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] >= min_count) {
+      frequent_bucket.Set(b);
+      ++frequent_buckets;
+    }
+  }
+  buckets.clear();
+  buckets.shrink_to_fit();
+
+  std::vector<FrequentItemset> result;
+  std::vector<ItemId> frequent_items;
+  std::vector<bool> is_frequent_item(db.num_items(), false);
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.ItemCount(i) >= min_count) {
+      result.push_back(FrequentItemset{Itemset{i}, db.ItemCount(i)});
+      frequent_items.push_back(i);
+      is_frequent_item[i] = true;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->frequent_buckets = frequent_buckets;
+    uint64_t f = frequent_items.size();
+    stats->pair_candidates_item_filter = f * (f - 1) / 2;
+    stats->pair_candidates_after_bucket = 0;
+  }
+
+  // Pass 2: count pairs that pass both filters.
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  for (size_t row = 0; row < n; ++row) {
+    const std::vector<ItemId>& basket = db.basket(row);
+    for (size_t i = 0; i < basket.size(); ++i) {
+      if (!is_frequent_item[basket[i]]) continue;
+      for (size_t j = i + 1; j < basket.size(); ++j) {
+        if (!is_frequent_item[basket[j]]) continue;
+        if (!frequent_bucket.Test(PairBucket(basket[i], basket[j],
+                                             options.num_hash_buckets))) {
+          continue;
+        }
+        uint64_t key = (static_cast<uint64_t>(basket[i]) << 32) | basket[j];
+        ++pair_counts[key];
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->pair_candidates_after_bucket = pair_counts.size();
+  }
+
+  std::vector<Itemset> frequent_level;
+  for (const auto& [key, count] : pair_counts) {
+    if (count >= min_count) {
+      Itemset pair{static_cast<ItemId>(key >> 32),
+                   static_cast<ItemId>(key & 0xffffffffU)};
+      result.push_back(FrequentItemset{pair, count});
+      frequent_level.push_back(std::move(pair));
+    }
+  }
+
+  // Levels >= 3: apriori-gen candidates, counted by enumerating basket
+  // subsets against a candidate hash set.
+  int level = 3;
+  while (!frequent_level.empty() &&
+         (options.max_level == 0 || level <= options.max_level)) {
+    std::unordered_set<Itemset, ItemsetHasher> frequent_set(
+        frequent_level.begin(), frequent_level.end());
+    std::sort(frequent_level.begin(), frequent_level.end());
+    std::vector<Itemset> candidates;
+    for (size_t i = 0; i < frequent_level.size(); ++i) {
+      for (size_t j = i + 1; j < frequent_level.size(); ++j) {
+        const Itemset& a = frequent_level[i];
+        const Itemset& b = frequent_level[j];
+        bool shared = true;
+        for (size_t t = 0; t + 1 < a.size(); ++t) {
+          if (a.item(t) != b.item(t)) {
+            shared = false;
+            break;
+          }
+        }
+        if (!shared) break;
+        Itemset joined = a.Union(b);
+        if (joined.size() != a.size() + 1) continue;
+        bool ok = true;
+        for (const Itemset& subset : joined.SubsetsMissingOne()) {
+          if (!frequent_set.count(subset)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) candidates.push_back(std::move(joined));
+      }
+    }
+    if (candidates.empty()) break;
+
+    std::unordered_map<Itemset, uint64_t, ItemsetHasher> counts;
+    counts.reserve(candidates.size());
+    for (const Itemset& c : candidates) counts.emplace(c, 0);
+    for (size_t row = 0; row < n; ++row) {
+      for (auto& [candidate, count] : counts) {
+        if (db.BasketContainsAll(row, candidate)) ++count;
+      }
+    }
+
+    frequent_level.clear();
+    for (const Itemset& c : candidates) {
+      uint64_t count = counts[c];
+      if (count >= min_count) {
+        result.push_back(FrequentItemset{c, count});
+        frequent_level.push_back(c);
+      }
+    }
+    ++level;
+  }
+
+  return result;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,72 @@
+#include "mining/rare_pairs.h"
+
+#include <algorithm>
+
+#include "stats/fisher_exact.h"
+
+namespace corrmine {
+
+StatusOr<std::vector<RarePairResult>> MineRarePairs(
+    const CountProvider& provider, ItemId num_items,
+    const RarePairOptions& options) {
+  uint64_t n = provider.num_baskets();
+  if (n == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  if (!(options.max_item_fraction > 0.0 &&
+        options.max_item_fraction <= 1.0)) {
+    return Status::InvalidArgument("max_item_fraction must be in (0,1]");
+  }
+  if (!(options.max_p_value > 0.0 && options.max_p_value <= 1.0)) {
+    return Status::InvalidArgument("max_p_value must be in (0,1]");
+  }
+
+  uint64_t max_count = static_cast<uint64_t>(
+      options.max_item_fraction * static_cast<double>(n));
+
+  // Anti-support filter: collect the rare-but-present items.
+  std::vector<ItemId> rare;
+  std::vector<uint64_t> counts(num_items);
+  for (ItemId i = 0; i < num_items; ++i) {
+    counts[i] = provider.CountAllPresent(Itemset{i});
+    if (counts[i] >= options.min_item_count && counts[i] <= max_count) {
+      rare.push_back(i);
+    }
+  }
+
+  std::vector<RarePairResult> results;
+  for (size_t x = 0; x < rare.size(); ++x) {
+    for (size_t y = x + 1; y < rare.size(); ++y) {
+      ItemId a = rare[x];
+      ItemId b = rare[y];
+      uint64_t both = provider.CountAllPresent(Itemset{a, b});
+      stats::TwoByTwoCounts table;
+      table.a = both;
+      table.b = counts[a] - both;
+      table.c = counts[b] - both;
+      table.d = n - counts[a] - counts[b] + both;
+      CORRMINE_ASSIGN_OR_RETURN(double p,
+                                stats::FisherExactTwoSided(table));
+      if (p >= options.max_p_value) continue;
+      RarePairResult result;
+      result.pair = Itemset{a, b};
+      result.p_value = p;
+      double expected = static_cast<double>(counts[a]) *
+                        static_cast<double>(counts[b]) /
+                        static_cast<double>(n);
+      result.joint_interest =
+          expected > 0.0 ? static_cast<double>(both) / expected : 1.0;
+      result.count_a = counts[a];
+      result.count_b = counts[b];
+      result.count_both = both;
+      results.push_back(std::move(result));
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RarePairResult& u, const RarePairResult& v) {
+              return u.p_value < v.p_value;
+            });
+  return results;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,52 @@
+#ifndef CORRMINE_MINING_RARE_PAIRS_H_
+#define CORRMINE_MINING_RARE_PAIRS_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "itemset/count_provider.h"
+#include "itemset/itemset.h"
+
+namespace corrmine {
+
+/// A rare-item dependency found with Fisher's exact test.
+struct RarePairResult {
+  Itemset pair;
+  /// Two-sided exact p-value of independence.
+  double p_value = 1.0;
+  /// Interest of the joint cell, O(ab)/E(ab); above 1 means the rare items
+  /// attract each other, below 1 (or 0) that they repel.
+  double joint_interest = 1.0;
+  uint64_t count_a = 0;
+  uint64_t count_b = 0;
+  uint64_t count_both = 0;
+};
+
+struct RarePairOptions {
+  /// Anti-support ceiling: only items occurring in at most this fraction
+  /// of baskets participate (Section 4's "only rarely occurring
+  /// combinations of items are interesting", as in the fire-code example).
+  double max_item_fraction = 0.05;
+  /// Items must still occur at least this many times, or nothing can be
+  /// said about them.
+  uint64_t min_item_count = 2;
+  /// Exact-test significance: keep pairs with p-value below this.
+  double max_p_value = 0.05;
+};
+
+/// Mines dependencies among *rare* items, the regime the paper excludes
+/// from the chi-squared framework (Section 4: "anti-support cannot be used
+/// with the chi-squared test at this time, however, since the chi-squared
+/// statistic is not accurate for very rare events"). Fisher's exact test
+/// has no such restriction, so anti-support pruning plus the exact test
+/// realizes the fire-code use case: pair enumeration is restricted to the
+/// (few) rare items, and each surviving 2x2 table is tested exactly.
+///
+/// Results are sorted by ascending p-value.
+StatusOr<std::vector<RarePairResult>> MineRarePairs(
+    const CountProvider& provider, ItemId num_items,
+    const RarePairOptions& options = {});
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_MINING_RARE_PAIRS_H_

@@ -1,0 +1,45 @@
+#include "mining/rule_measures.h"
+
+#include <cmath>
+#include <limits>
+
+namespace corrmine {
+
+StatusOr<RuleMeasures> ComputeRuleMeasures(const ContingencyTable& table) {
+  if (table.num_items() != 2) {
+    return Status::InvalidArgument(
+        "rule measures require a 2-item contingency table");
+  }
+  double n = static_cast<double>(table.n());
+  double o_ab = static_cast<double>(table.Observed(0b11));
+  double o_anb = static_cast<double>(table.Observed(0b01));
+  double o_nab = static_cast<double>(table.Observed(0b10));
+
+  double o_a = o_ab + o_anb;
+  double o_b = o_ab + o_nab;
+  if (o_a == 0.0 || o_a == n || o_b == 0.0 || o_b == n) {
+    return Status::FailedPrecondition(
+        "degenerate margin: an item is present in no or all baskets");
+  }
+
+  double p_ab = o_ab / n;
+  double p_a = o_a / n;
+  double p_b = o_b / n;
+
+  RuleMeasures m;
+  m.support = p_ab;
+  m.confidence = o_ab / o_a;
+  m.lift = p_ab / (p_a * p_b);
+  m.leverage = p_ab - p_a * p_b;
+  double p_a_nb = o_anb / n;
+  m.conviction = p_a_nb > 0.0
+                     ? (p_a * (1.0 - p_b)) / p_a_nb
+                     : std::numeric_limits<double>::infinity();
+  m.phi = (p_ab - p_a * p_b) /
+          std::sqrt(p_a * (1.0 - p_a) * p_b * (1.0 - p_b));
+  double union_count = o_a + o_b - o_ab;
+  m.jaccard = union_count > 0.0 ? o_ab / union_count : 0.0;
+  return m;
+}
+
+}  // namespace corrmine

@@ -1,0 +1,39 @@
+#ifndef CORRMINE_MINING_RULE_MEASURES_H_
+#define CORRMINE_MINING_RULE_MEASURES_H_
+
+#include "common/status_or.h"
+#include "core/contingency_table.h"
+
+namespace corrmine {
+
+/// A panel of rule-quality measures for a directed pair rule a => b,
+/// computed from a 2-item contingency table. The paper's interest (= lift)
+/// started a long line of such measures; this module collects the
+/// standard panel so rules can be compared under all of them at once.
+struct RuleMeasures {
+  /// P(ab): the classical support of the rule.
+  double support = 0.0;
+  /// P(b|a): the classical confidence.
+  double confidence = 0.0;
+  /// P(ab) / (P(a) P(b)) — the paper's interest I(ab); 1 = independent.
+  double lift = 1.0;
+  /// P(ab) - P(a) P(b): additive deviation from independence.
+  double leverage = 0.0;
+  /// P(a) P(!b) / P(a !b): how much more often the rule would have to be
+  /// wrong if a and b were independent; +inf for exceptionless rules.
+  double conviction = 1.0;
+  /// phi coefficient: the signed, normalized correlation in [-1, 1];
+  /// chi-squared = n * phi^2 for 2x2 tables.
+  double phi = 0.0;
+  /// |ab| / |a union b|: set overlap ignoring absences.
+  double jaccard = 0.0;
+};
+
+/// Computes the panel for rule "first item => second item" of a 2-item
+/// table. Errors if the table is not over exactly 2 items or a margin is
+/// degenerate (an item present in no or all baskets).
+StatusOr<RuleMeasures> ComputeRuleMeasures(const ContingencyTable& table);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_MINING_RULE_MEASURES_H_

@@ -1,0 +1,192 @@
+#include "mining/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datagen/rng.h"
+#include "itemset/count_provider.h"
+
+namespace corrmine {
+
+namespace {
+
+Status Validate(const SamplingOptions& o) {
+  if (!(o.min_support_fraction > 0.0 && o.min_support_fraction <= 1.0)) {
+    return Status::InvalidArgument("min_support_fraction must be in (0,1]");
+  }
+  if (!(o.sample_fraction > 0.0 && o.sample_fraction <= 1.0)) {
+    return Status::InvalidArgument("sample_fraction must be in (0,1]");
+  }
+  if (!(o.lowering_factor > 0.0 && o.lowering_factor <= 1.0)) {
+    return Status::InvalidArgument("lowering_factor must be in (0,1]");
+  }
+  return Status::OK();
+}
+
+/// The negative border of a downward-closed family: sets not in the family
+/// whose every immediate subset is. Generated apriori-gen style from the
+/// family itself plus the infrequent singletons.
+std::vector<Itemset> NegativeBorder(
+    const std::vector<FrequentItemset>& family, ItemId num_items) {
+  std::unordered_set<Itemset, ItemsetHasher> in_family;
+  std::vector<Itemset> sorted_sets;
+  for (const FrequentItemset& f : family) {
+    in_family.insert(f.itemset);
+    sorted_sets.push_back(f.itemset);
+  }
+  std::vector<Itemset> border;
+  // Level 1: singletons outside the family.
+  for (ItemId i = 0; i < num_items; ++i) {
+    if (!in_family.count(Itemset{i})) border.push_back(Itemset{i});
+  }
+  // Level k+1: joins of family k-sets whose subsets are all in the family
+  // but which are not themselves in it.
+  std::sort(sorted_sets.begin(), sorted_sets.end(),
+            [](const Itemset& a, const Itemset& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  for (size_t i = 0; i < sorted_sets.size(); ++i) {
+    for (size_t j = i + 1; j < sorted_sets.size(); ++j) {
+      const Itemset& a = sorted_sets[i];
+      const Itemset& b = sorted_sets[j];
+      if (a.size() != b.size()) break;
+      bool shared_prefix = true;
+      for (size_t t = 0; t + 1 < a.size(); ++t) {
+        if (a.item(t) != b.item(t)) {
+          shared_prefix = false;
+          break;
+        }
+      }
+      if (!shared_prefix) continue;
+      Itemset joined = a.Union(b);
+      if (joined.size() != a.size() + 1) continue;
+      if (in_family.count(joined)) continue;
+      bool all_subsets_in = true;
+      for (const Itemset& subset : joined.SubsetsMissingOne()) {
+        if (!in_family.count(subset)) {
+          all_subsets_in = false;
+          break;
+        }
+      }
+      if (all_subsets_in) border.push_back(joined);
+    }
+  }
+  std::sort(border.begin(), border.end());
+  border.erase(std::unique(border.begin(), border.end()), border.end());
+  return border;
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsSampling(
+    const TransactionDatabase& db, const SamplingOptions& options,
+    SamplingStats* stats) {
+  CORRMINE_RETURN_NOT_OK(Validate(options));
+  if (db.num_baskets() == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+  uint64_t n = db.num_baskets();
+  uint64_t min_count = static_cast<uint64_t>(std::ceil(
+      options.min_support_fraction * static_cast<double>(n) - 1e-9));
+  if (min_count == 0) min_count = 1;
+
+  // Draw the sample (with replacement, as in the original analysis).
+  datagen::Rng rng(options.seed);
+  size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(options.sample_fraction *
+                             static_cast<double>(n)));
+  TransactionDatabase sample(db.num_items());
+  for (size_t i = 0; i < sample_size; ++i) {
+    size_t row = rng.NextBelow(n);
+    CORRMINE_RETURN_NOT_OK(sample.AddBasket(db.basket(row)));
+  }
+
+  // Mine the sample at the lowered threshold.
+  BitmapCountProvider sample_provider(sample);
+  AprioriOptions sample_options;
+  sample_options.min_support_fraction =
+      std::max(1.0 / static_cast<double>(sample_size),
+               options.min_support_fraction * options.lowering_factor);
+  sample_options.max_level = options.max_level;
+  CORRMINE_ASSIGN_OR_RETURN(
+      std::vector<FrequentItemset> sample_frequent,
+      MineFrequentItemsets(sample_provider, db.num_items(), sample_options));
+
+  // Verification pass: count sample-frequent sets and their negative
+  // border against the full database.
+  BitmapCountProvider provider(db);
+  std::unordered_map<Itemset, uint64_t, ItemsetHasher> counted;
+  auto count_all = [&](const std::vector<Itemset>& sets) {
+    for (const Itemset& s : sets) {
+      if (!counted.count(s)) {
+        counted.emplace(s, provider.CountAllPresent(s));
+      }
+    }
+  };
+  std::vector<Itemset> to_count;
+  for (const FrequentItemset& f : sample_frequent) {
+    to_count.push_back(f.itemset);
+  }
+  std::vector<Itemset> border =
+      NegativeBorder(sample_frequent, db.num_items());
+  to_count.insert(to_count.end(), border.begin(), border.end());
+  count_all(to_count);
+  if (stats != nullptr) {
+    stats->candidates_counted = counted.size();
+    stats->border_failures = 0;
+    stats->extra_passes = 0;
+  }
+
+  // Collect globally frequent sets; any frequent negative-border set means
+  // the sample missed something — expand level-wise until closed.
+  auto collect_frequent = [&]() {
+    std::vector<FrequentItemset> result;
+    for (const auto& [itemset, count] : counted) {
+      if (count >= min_count &&
+          (options.max_level == 0 ||
+           itemset.size() <= static_cast<size_t>(options.max_level))) {
+        result.push_back(FrequentItemset{itemset, count});
+      }
+    }
+    std::sort(result.begin(), result.end(),
+              [](const FrequentItemset& a, const FrequentItemset& b) {
+                if (a.itemset.size() != b.itemset.size()) {
+                  return a.itemset.size() < b.itemset.size();
+                }
+                return a.itemset < b.itemset;
+              });
+    return result;
+  };
+
+  for (int pass = 0; pass < 64; ++pass) {
+    std::vector<FrequentItemset> frequent = collect_frequent();
+    std::vector<Itemset> expansion;
+    for (const Itemset& s : NegativeBorder(frequent, db.num_items())) {
+      if (!counted.count(s)) expansion.push_back(s);
+    }
+    if (expansion.empty()) {
+      // Check whether any counted border set is frequent but already
+      // covered: closure reached.
+      if (stats != nullptr) {
+        for (const Itemset& s : border) {
+          auto it = counted.find(s);
+          if (it != counted.end() && it->second >= min_count) {
+            ++stats->border_failures;
+          }
+        }
+      }
+      return frequent;
+    }
+    count_all(expansion);
+    if (stats != nullptr) {
+      ++stats->extra_passes;
+      stats->candidates_counted = counted.size();
+    }
+  }
+  return Status::Internal("sampling expansion failed to converge");
+}
+
+}  // namespace corrmine

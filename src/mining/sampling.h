@@ -1,0 +1,51 @@
+#ifndef CORRMINE_MINING_SAMPLING_H_
+#define CORRMINE_MINING_SAMPLING_H_
+
+#include <cstdint>
+
+#include "common/status_or.h"
+#include "itemset/transaction_database.h"
+#include "mining/apriori.h"
+
+namespace corrmine {
+
+struct SamplingOptions {
+  /// Global minimum support as a fraction of baskets.
+  double min_support_fraction = 0.01;
+  /// Fraction of baskets drawn (with replacement) into the sample.
+  double sample_fraction = 0.1;
+  /// The sample is mined at a *lowered* threshold,
+  /// min_support_fraction * lowering_factor, to make misses unlikely.
+  double lowering_factor = 0.8;
+  /// Stop after this itemset size; 0 = unbounded.
+  int max_level = 0;
+  uint64_t seed = 0x5a3317e5ULL;
+};
+
+struct SamplingStats {
+  /// Itemsets counted against the full database (sample-frequent sets plus
+  /// the negative border).
+  uint64_t candidates_counted = 0;
+  /// Negative-border sets that turned out globally frequent — each one is
+  /// a potential miss that forced candidate expansion.
+  uint64_t border_failures = 0;
+  /// Extra full-database passes beyond the first (0 when the single-pass
+  /// happy path sufficed).
+  int extra_passes = 0;
+};
+
+/// Toivonen's sampling algorithm (VLDB'96, the paper's reference [29]):
+/// mine a random sample at a lowered threshold, then verify the
+/// sample-frequent sets *and their negative border* (minimal sets not
+/// frequent in the sample) against the full database in one pass. If a
+/// negative-border set proves globally frequent the single pass was
+/// insufficient; this implementation then expands candidates level-wise
+/// from the newly-frequent sets and re-counts until closed, guaranteeing
+/// the exact Apriori answer regardless of sampling luck.
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsSampling(
+    const TransactionDatabase& db, const SamplingOptions& options = {},
+    SamplingStats* stats = nullptr);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_MINING_SAMPLING_H_

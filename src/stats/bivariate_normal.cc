@@ -1,0 +1,132 @@
+#include "stats/bivariate_normal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/normal.h"
+
+namespace corrmine::stats {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586477;
+
+// Gauss–Legendre abscissae/weights for the three accuracy regimes used by
+// Genz's BVND (6-, 12- and 20-point rules, symmetric halves stored).
+constexpr double kW1[3] = {0.1713244923791705, 0.3607615730481384,
+                           0.4679139345726904};
+constexpr double kX1[3] = {0.9324695142031522, 0.6612093864662647,
+                           0.2386191860831970};
+constexpr double kW2[6] = {0.04717533638651177, 0.1069393259953183,
+                           0.1600783285433464,  0.2031674267230659,
+                           0.2334925365383547,  0.2491470458134029};
+constexpr double kX2[6] = {0.9815606342467191, 0.9041172563704750,
+                           0.7699026741943050, 0.5873179542866171,
+                           0.3678314989981802, 0.1252334085114692};
+constexpr double kW3[10] = {0.01761400713915212, 0.04060142980038694,
+                            0.06267204833410906, 0.08327674157670475,
+                            0.1019301198172404,  0.1181945319615184,
+                            0.1316886384491766,  0.1420961093183821,
+                            0.1491729864726037,  0.1527533871307259};
+constexpr double kX3[10] = {0.9931285991850949, 0.9639719272779138,
+                            0.9122344282513259, 0.8391169718222188,
+                            0.7463319064601508, 0.6360536807265150,
+                            0.5108670019508271, 0.3737060887154196,
+                            0.2277858511416451, 0.0765265211334973};
+
+}  // namespace
+
+double BivariateNormalUpper(double dh, double dk, double r) {
+  CORRMINE_CHECK(r >= -1.0 && r <= 1.0) << "rho out of [-1,1]: " << r;
+
+  const double* w;
+  const double* x;
+  int ng;
+  double ar = std::fabs(r);
+  if (ar < 0.3) {
+    ng = 3;
+    w = kW1;
+    x = kX1;
+  } else if (ar < 0.75) {
+    ng = 6;
+    w = kW2;
+    x = kX2;
+  } else {
+    ng = 10;
+    w = kW3;
+    x = kX3;
+  }
+
+  double h = dh;
+  double k = dk;
+  double hk = h * k;
+  double bvn = 0.0;
+
+  if (ar < 0.925) {
+    double hs = 0.5 * (h * h + k * k);
+    double asr = std::asin(r);
+    for (int i = 0; i < ng; ++i) {
+      for (int sign = -1; sign <= 1; sign += 2) {
+        double sn = std::sin(asr * (sign * x[i] + 1.0) * 0.5);
+        bvn += w[i] * std::exp((sn * hk - hs) / (1.0 - sn * sn));
+      }
+    }
+    bvn = bvn * asr / (2.0 * kTwoPi) + NormalCdf(-h) * NormalCdf(-k);
+    return bvn;
+  }
+
+  // |r| >= 0.925: Drezner–Wesolowsky tail expansion plus quadrature.
+  if (r < 0.0) {
+    k = -k;
+    hk = -hk;
+  }
+  if (ar < 1.0) {
+    double as = (1.0 - r) * (1.0 + r);
+    double a = std::sqrt(as);
+    double bs = (h - k) * (h - k);
+    double c = (4.0 - hk) / 8.0;
+    double d = (12.0 - hk) / 16.0;
+    double asr = -(bs / as + hk) / 2.0;
+    if (asr > -100.0) {
+      bvn = a * std::exp(asr) *
+            (1.0 - c * (bs - as) * (1.0 - d * bs / 5.0) / 3.0 +
+             c * d * as * as / 5.0);
+    }
+    if (-hk < 100.0) {
+      double b = std::sqrt(bs);
+      double sp = std::sqrt(kTwoPi) * NormalCdf(-b / a);
+      bvn -= std::exp(-hk / 2.0) * sp * b *
+             (1.0 - c * bs * (1.0 - d * bs / 5.0) / 3.0);
+    }
+    a /= 2.0;
+    for (int i = 0; i < ng; ++i) {
+      for (int sign = -1; sign <= 1; sign += 2) {
+        double xs = a * (sign * x[i] + 1.0);
+        xs = xs * xs;
+        double rs = std::sqrt(1.0 - xs);
+        double asr1 = -(bs / xs + hk) / 2.0;
+        if (asr1 > -100.0) {
+          double sp = 1.0 + c * xs * (1.0 + d * xs);
+          double ep =
+              std::exp(-hk * (1.0 - rs) / (2.0 * (1.0 + rs))) / rs;
+          bvn += a * w[i] * std::exp(asr1) * (ep - sp);
+        }
+      }
+    }
+    bvn = -bvn / kTwoPi;
+  }
+  if (r > 0.0) {
+    bvn += NormalCdf(-std::max(h, k));
+  } else {
+    bvn = -bvn;
+    if (k > h) bvn += NormalCdf(k) - NormalCdf(h);
+  }
+  return std::clamp(bvn, 0.0, 1.0);
+}
+
+double BivariateNormalCdf(double h, double k, double rho) {
+  return BivariateNormalUpper(-h, -k, rho);
+}
+
+}  // namespace corrmine::stats

@@ -1,0 +1,17 @@
+#ifndef CORRMINE_STATS_BIVARIATE_NORMAL_H_
+#define CORRMINE_STATS_BIVARIATE_NORMAL_H_
+
+namespace corrmine::stats {
+
+/// Upper-orthant probability of the standard bivariate normal,
+///   P(X > h, Y > k) with corr(X, Y) = rho,
+/// computed with Genz's adaptation of the Drezner–Wesolowsky method
+/// (Gauss–Legendre quadrature; absolute error < 5e-16). rho in [-1, 1].
+double BivariateNormalUpper(double h, double k, double rho);
+
+/// CDF form: P(X <= h, Y <= k) with corr(X, Y) = rho.
+double BivariateNormalCdf(double h, double k, double rho);
+
+}  // namespace corrmine::stats
+
+#endif  // CORRMINE_STATS_BIVARIATE_NORMAL_H_

@@ -1,0 +1,88 @@
+#include "stats/categorical_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/chi_squared_distribution.h"
+
+namespace corrmine::stats {
+
+StatusOr<CategoricalTable> CategoricalTable::Create(int rows, int cols) {
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument(
+        "categorical table needs at least 2 rows and 2 columns");
+  }
+  return CategoricalTable(rows, cols);
+}
+
+uint64_t CategoricalTable::RowTotal(int r) const {
+  uint64_t total = 0;
+  for (int c = 0; c < cols_; ++c) total += count(r, c);
+  return total;
+}
+
+uint64_t CategoricalTable::ColTotal(int c) const {
+  uint64_t total = 0;
+  for (int r = 0; r < rows_; ++r) total += count(r, c);
+  return total;
+}
+
+uint64_t CategoricalTable::GrandTotal() const {
+  uint64_t total = 0;
+  for (uint64_t v : counts_) total += v;
+  return total;
+}
+
+double CategoricalTable::Expected(int r, int c) const {
+  uint64_t n = GrandTotal();
+  if (n == 0) return 0.0;
+  return static_cast<double>(RowTotal(r)) * static_cast<double>(ColTotal(c)) /
+         static_cast<double>(n);
+}
+
+StatusOr<double> CategoricalTable::ChiSquared() const {
+  uint64_t n = GrandTotal();
+  if (n == 0) return Status::FailedPrecondition("empty contingency table");
+  for (int r = 0; r < rows_; ++r) {
+    if (RowTotal(r) == 0) {
+      return Status::FailedPrecondition("zero row margin in table");
+    }
+  }
+  for (int c = 0; c < cols_; ++c) {
+    if (ColTotal(c) == 0) {
+      return Status::FailedPrecondition("zero column margin in table");
+    }
+  }
+  double chi2 = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      double e = Expected(r, c);
+      double diff = static_cast<double>(count(r, c)) - e;
+      chi2 += diff * diff / e;
+    }
+  }
+  return chi2;
+}
+
+StatusOr<double> CategoricalTable::PValue() const {
+  CORRMINE_ASSIGN_OR_RETURN(double chi2, ChiSquared());
+  return ChiSquaredPValue(chi2, DegreesOfFreedom());
+}
+
+StatusOr<double> CategoricalTable::CramersV() const {
+  CORRMINE_ASSIGN_OR_RETURN(double chi2, ChiSquared());
+  double n = static_cast<double>(GrandTotal());
+  int min_dim = std::min(rows_, cols_) - 1;
+  return std::sqrt(chi2 / (n * static_cast<double>(min_dim)));
+}
+
+double CategoricalTable::Interest(int r, int c) const {
+  double e = Expected(r, c);
+  if (e == 0.0) {
+    return count(r, c) == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(count(r, c)) / e;
+}
+
+}  // namespace corrmine::stats

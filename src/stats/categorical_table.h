@@ -1,0 +1,67 @@
+#ifndef CORRMINE_STATS_CATEGORICAL_TABLE_H_
+#define CORRMINE_STATS_CATEGORICAL_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace corrmine::stats {
+
+/// An r x c contingency table over two categorical (multi-valued) attributes.
+/// This is the "non-collapsed" table the paper points to in Section 5.1 for
+/// finding finer-grained dependency than binary items allow: the chi-squared
+/// test extends with (r-1)(c-1) degrees of freedom.
+class CategoricalTable {
+ public:
+  /// Creates an r x c table of zero counts. Both dimensions must be >= 2.
+  static StatusOr<CategoricalTable> Create(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  uint64_t count(int r, int c) const { return counts_[Index(r, c)]; }
+  void set_count(int r, int c, uint64_t value) {
+    counts_[Index(r, c)] = value;
+  }
+  void Increment(int r, int c) { ++counts_[Index(r, c)]; }
+
+  uint64_t RowTotal(int r) const;
+  uint64_t ColTotal(int c) const;
+  uint64_t GrandTotal() const;
+
+  /// Expected count of cell (r, c) under row/column independence.
+  double Expected(int r, int c) const;
+
+  /// Pearson chi-squared statistic; errors if the grand total is zero or any
+  /// margin is entirely zero (the statistic is undefined there).
+  StatusOr<double> ChiSquared() const;
+
+  /// Degrees of freedom (rows-1)*(cols-1).
+  int DegreesOfFreedom() const { return (rows_ - 1) * (cols_ - 1); }
+
+  /// p-value of the chi-squared test at the conventional dof.
+  StatusOr<double> PValue() const;
+
+  /// Cramer's V effect size in [0, 1]: sqrt(chi2 / (n * (min(r,c)-1))).
+  StatusOr<double> CramersV() const;
+
+  /// Interest (observed/expected) of one cell; +inf when expected is 0.
+  double Interest(int r, int c) const;
+
+ private:
+  CategoricalTable(int rows, int cols)
+      : rows_(rows), cols_(cols), counts_(static_cast<size_t>(rows) * cols) {}
+
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * cols_ + c;
+  }
+
+  int rows_;
+  int cols_;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace corrmine::stats
+
+#endif  // CORRMINE_STATS_CATEGORICAL_TABLE_H_

@@ -1,0 +1,69 @@
+#include "stats/chi_squared_distribution.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/gamma.h"
+
+namespace corrmine::stats {
+
+ChiSquaredDistribution::ChiSquaredDistribution(int dof) : dof_(dof) {
+  CORRMINE_CHECK(dof > 0) << "chi-squared dof must be positive, got " << dof;
+}
+
+double ChiSquaredDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(0.5 * dof_, 0.5 * x);
+}
+
+double ChiSquaredDistribution::Survival(double x) const {
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(0.5 * dof_, 0.5 * x);
+}
+
+double ChiSquaredDistribution::Quantile(double p) const {
+  CORRMINE_CHECK(p > 0.0 && p < 1.0)
+      << "quantile requires p in (0,1), got " << p;
+  // Wilson–Hilferty: chi2(k) quantile ~ k * (1 - 2/(9k) + z * sqrt(2/(9k)))^3
+  // with z the standard normal quantile. We only need a rough bracket, so a
+  // crude rational approximation for z suffices before bisection.
+  double k = static_cast<double>(dof_);
+  // Beasley–Springer–Moro style crude normal quantile (sufficient to seed).
+  double t = std::sqrt(-2.0 * std::log(p < 0.5 ? p : 1.0 - p));
+  double z = t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t +
+                                            0.04481 * t * t);
+  if (p < 0.5) z = -z;
+  double c = 2.0 / (9.0 * k);
+  double guess = k * std::pow(1.0 - c + z * std::sqrt(c), 3.0);
+  if (!(guess > 0.0)) guess = k;
+
+  // Expand a bracket [lo, hi] around the guess.
+  double lo = guess;
+  double hi = guess;
+  while (lo > 0.0 && Cdf(lo) > p) lo *= 0.5;
+  if (Cdf(lo) > p) lo = 0.0;
+  int guard = 0;
+  while (Cdf(hi) < p && guard++ < 200) hi = hi * 2.0 + 1.0;
+
+  // Bisection.
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (Cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ChiSquaredCriticalValue(double alpha, int dof) {
+  return ChiSquaredDistribution(dof).Quantile(alpha);
+}
+
+double ChiSquaredPValue(double statistic, int dof) {
+  return ChiSquaredDistribution(dof).Survival(statistic);
+}
+
+}  // namespace corrmine::stats

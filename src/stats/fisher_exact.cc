@@ -1,0 +1,86 @@
+#include "stats/fisher_exact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/gamma.h"
+
+namespace corrmine::stats {
+
+namespace {
+
+// log P(a | margins) under the hypergeometric distribution.
+double LogTableProbability(uint64_t a, uint64_t row1, uint64_t row2,
+                           uint64_t col1, uint64_t n) {
+  uint64_t b = row1 - a;
+  uint64_t c = col1 - a;
+  uint64_t d = row2 - c;
+  return LogFactorial(static_cast<unsigned>(row1)) +
+         LogFactorial(static_cast<unsigned>(row2)) +
+         LogFactorial(static_cast<unsigned>(col1)) +
+         LogFactorial(static_cast<unsigned>(n - col1)) -
+         LogFactorial(static_cast<unsigned>(n)) -
+         LogFactorial(static_cast<unsigned>(a)) -
+         LogFactorial(static_cast<unsigned>(b)) -
+         LogFactorial(static_cast<unsigned>(c)) -
+         LogFactorial(static_cast<unsigned>(d));
+}
+
+Status ValidateCounts(const TwoByTwoCounts& t) {
+  if (t.total() == 0) {
+    return Status::InvalidArgument("Fisher exact test on an empty table");
+  }
+  if (t.total() > 1000000) {
+    // LogFactorial takes `unsigned`; also the full enumeration would be slow.
+    return Status::OutOfRange(
+        "Fisher exact test limited to tables with n <= 1e6");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double HypergeometricTableProbability(const TwoByTwoCounts& t) {
+  uint64_t row1 = t.a + t.b;
+  uint64_t row2 = t.c + t.d;
+  uint64_t col1 = t.a + t.c;
+  return std::exp(LogTableProbability(t.a, row1, row2, col1, t.total()));
+}
+
+StatusOr<double> FisherExactTwoSided(const TwoByTwoCounts& t) {
+  CORRMINE_RETURN_NOT_OK(ValidateCounts(t));
+  uint64_t row1 = t.a + t.b;
+  uint64_t row2 = t.c + t.d;
+  uint64_t col1 = t.a + t.c;
+  uint64_t n = t.total();
+
+  uint64_t a_min = col1 > row2 ? col1 - row2 : 0;
+  uint64_t a_max = std::min(row1, col1);
+  double log_obs = LogTableProbability(t.a, row1, row2, col1, n);
+
+  double p = 0.0;
+  for (uint64_t a = a_min; a <= a_max; ++a) {
+    double lp = LogTableProbability(a, row1, row2, col1, n);
+    // Tolerance absorbs floating-point noise so the observed table always
+    // counts itself.
+    if (lp <= log_obs + 1e-7) p += std::exp(lp);
+  }
+  return std::min(p, 1.0);
+}
+
+StatusOr<double> FisherExactGreater(const TwoByTwoCounts& t) {
+  CORRMINE_RETURN_NOT_OK(ValidateCounts(t));
+  uint64_t row1 = t.a + t.b;
+  uint64_t row2 = t.c + t.d;
+  uint64_t col1 = t.a + t.c;
+  uint64_t n = t.total();
+  uint64_t a_max = std::min(row1, col1);
+
+  double p = 0.0;
+  for (uint64_t a = t.a; a <= a_max; ++a) {
+    p += std::exp(LogTableProbability(a, row1, row2, col1, n));
+  }
+  return std::min(p, 1.0);
+}
+
+}  // namespace corrmine::stats

@@ -1,0 +1,41 @@
+#ifndef CORRMINE_STATS_FISHER_EXACT_H_
+#define CORRMINE_STATS_FISHER_EXACT_H_
+
+#include <cstdint>
+
+#include "common/status_or.h"
+
+namespace corrmine::stats {
+
+/// A 2x2 table of observed counts:
+///
+///            B      not-B
+///   A        a        b
+///   not-A    c        d
+struct TwoByTwoCounts {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t d = 0;
+
+  uint64_t total() const { return a + b + c + d; }
+};
+
+/// Fisher's exact test for independence in a 2x2 table. This is the "exact
+/// calculation for the probability" that Brin et al. (Section 3.3) note the
+/// chi-squared statistic approximates; it stays valid when expected cell
+/// counts are small. Returns the two-sided p-value: the sum of all
+/// hypergeometric table probabilities (with margins fixed) that do not
+/// exceed the probability of the observed table.
+StatusOr<double> FisherExactTwoSided(const TwoByTwoCounts& counts);
+
+/// One-sided p-value for positive association: P(table at least as extreme
+/// toward large `a`).
+StatusOr<double> FisherExactGreater(const TwoByTwoCounts& counts);
+
+/// Hypergeometric point probability of the table given fixed margins.
+double HypergeometricTableProbability(const TwoByTwoCounts& counts);
+
+}  // namespace corrmine::stats
+
+#endif  // CORRMINE_STATS_FISHER_EXACT_H_

@@ -1,0 +1,27 @@
+#ifndef CORRMINE_STATS_GAMMA_H_
+#define CORRMINE_STATS_GAMMA_H_
+
+namespace corrmine::stats {
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+/// Valid for x > 0; accurate to ~1e-13 relative error.
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma function
+///   P(a, x) = gamma(a, x) / Gamma(a),  a > 0, x >= 0.
+/// Uses the series expansion for x < a + 1 and the continued fraction
+/// otherwise (Numerical-Recipes-style gammp/gammq split).
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Natural log of the factorial, ln(n!).
+double LogFactorial(unsigned n);
+
+/// Natural log of the binomial coefficient, ln(C(n, k)); requires k <= n.
+double LogBinomial(unsigned n, unsigned k);
+
+}  // namespace corrmine::stats
+
+#endif  // CORRMINE_STATS_GAMMA_H_

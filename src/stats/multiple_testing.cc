@@ -1,0 +1,76 @@
+#include "stats/multiple_testing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace corrmine::stats {
+
+namespace {
+
+Status ValidatePValues(const std::vector<double>& p_values) {
+  if (p_values.empty()) {
+    return Status::InvalidArgument("empty p-value batch");
+  }
+  for (double p : p_values) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("p-value outside [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double BonferroniThreshold(double alpha, size_t num_tests) {
+  if (num_tests == 0) return alpha;
+  return alpha / static_cast<double>(num_tests);
+}
+
+StatusOr<std::vector<bool>> BenjaminiHochberg(
+    const std::vector<double>& p_values, double q) {
+  CORRMINE_RETURN_NOT_OK(ValidatePValues(p_values));
+  if (!(q > 0.0 && q < 1.0)) {
+    return Status::InvalidArgument("FDR level q must be in (0,1)");
+  }
+  const size_t m = p_values.size();
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+
+  // Largest k with p_(k) <= (k/m) q; reject the k smallest.
+  size_t cutoff_rank = 0;  // 0 = reject nothing.
+  for (size_t rank = 1; rank <= m; ++rank) {
+    double threshold =
+        q * static_cast<double>(rank) / static_cast<double>(m);
+    if (p_values[order[rank - 1]] <= threshold) cutoff_rank = rank;
+  }
+  std::vector<bool> rejected(m, false);
+  for (size_t rank = 1; rank <= cutoff_rank; ++rank) {
+    rejected[order[rank - 1]] = true;
+  }
+  return rejected;
+}
+
+StatusOr<std::vector<double>> BenjaminiHochbergAdjusted(
+    const std::vector<double>& p_values) {
+  CORRMINE_RETURN_NOT_OK(ValidatePValues(p_values));
+  const size_t m = p_values.size();
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+
+  // adjusted_(k) = min_{j >= k} ( m/j * p_(j) ), clipped to 1.
+  std::vector<double> adjusted(m);
+  double running_min = 1.0;
+  for (size_t rank = m; rank >= 1; --rank) {
+    double scaled = p_values[order[rank - 1]] * static_cast<double>(m) /
+                    static_cast<double>(rank);
+    running_min = std::min(running_min, scaled);
+    adjusted[order[rank - 1]] = running_min;
+  }
+  return adjusted;
+}
+
+}  // namespace corrmine::stats

@@ -1,0 +1,36 @@
+#ifndef CORRMINE_STATS_MULTIPLE_TESTING_H_
+#define CORRMINE_STATS_MULTIPLE_TESTING_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace corrmine::stats {
+
+/// Corrections for simultaneous hypothesis testing. The paper tests all 45
+/// census pairs (and hundreds of thousands of word pairs) at a per-test
+/// 95% level without adjustment — standard practice in 1997 data mining,
+/// but a family of m tests at level alpha expects m*(1-alpha) false
+/// positives. These helpers let users of the library control either the
+/// family-wise error rate or the false discovery rate of a batch of
+/// findings.
+
+/// Bonferroni: reject p_i iff p_i <= alpha / m. Controls the probability
+/// of *any* false positive at alpha. Returns the per-test threshold.
+double BonferroniThreshold(double alpha, size_t num_tests);
+
+/// Benjamini–Hochberg step-up procedure: given the batch of p-values,
+/// returns for each input (in input order) whether it is rejected with
+/// false discovery rate controlled at level q. Requires p-values in
+/// [0, 1] and q in (0, 1).
+StatusOr<std::vector<bool>> BenjaminiHochberg(
+    const std::vector<double>& p_values, double q);
+
+/// BH-adjusted p-values ("q-values", in input order): the smallest FDR
+/// level at which each test would be rejected. Monotonicity-enforced.
+StatusOr<std::vector<double>> BenjaminiHochbergAdjusted(
+    const std::vector<double>& p_values);
+
+}  // namespace corrmine::stats
+
+#endif  // CORRMINE_STATS_MULTIPLE_TESTING_H_

@@ -1,0 +1,18 @@
+#ifndef CORRMINE_STATS_NORMAL_H_
+#define CORRMINE_STATS_NORMAL_H_
+
+namespace corrmine::stats {
+
+/// Standard normal density phi(x).
+double NormalPdf(double x);
+
+/// Standard normal CDF Phi(x), via erfc for accuracy in both tails.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step); accurate to ~1e-15 over (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace corrmine::stats
+
+#endif  // CORRMINE_STATS_NORMAL_H_

@@ -1,0 +1,53 @@
+#include "stats/tetrachoric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/bivariate_normal.h"
+#include "stats/normal.h"
+
+namespace corrmine::stats {
+
+double ThresholdedJointProbability(double p_a, double p_b, double rho) {
+  double z_a = NormalQuantile(1.0 - p_a);
+  double z_b = NormalQuantile(1.0 - p_b);
+  return BivariateNormalUpper(z_a, z_b, rho);
+}
+
+StatusOr<double> TetrachoricCorrelation(double p_a, double p_b, double p_ab,
+                                        double max_abs_rho) {
+  if (!(p_a > 0.0 && p_a < 1.0) || !(p_b > 0.0 && p_b < 1.0)) {
+    return Status::InvalidArgument(
+        "tetrachoric marginals must lie strictly in (0,1)");
+  }
+  if (p_ab < 0.0 || p_ab > std::min(p_a, p_b) + 1e-12) {
+    return Status::InvalidArgument(
+        "joint probability outside [0, min(p_a, p_b)]");
+  }
+  if (!(max_abs_rho > 0.0 && max_abs_rho < 1.0)) {
+    return Status::InvalidArgument("max_abs_rho must be in (0,1)");
+  }
+
+  double lo = -max_abs_rho;
+  double hi = max_abs_rho;
+  double f_lo = ThresholdedJointProbability(p_a, p_b, lo);
+  double f_hi = ThresholdedJointProbability(p_a, p_b, hi);
+  // Targets outside the attainable range (Frechet-bound cells, e.g.
+  // structural zeros) clamp to the nearest representable correlation.
+  if (p_ab <= f_lo) return lo;
+  if (p_ab >= f_hi) return hi;
+
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double f_mid = ThresholdedJointProbability(p_a, p_b, mid);
+    if (f_mid < p_ab) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace corrmine::stats

@@ -1,0 +1,29 @@
+#ifndef CORRMINE_STATS_TETRACHORIC_H_
+#define CORRMINE_STATS_TETRACHORIC_H_
+
+#include "common/status_or.h"
+
+namespace corrmine::stats {
+
+/// Solves the tetrachoric calibration problem: given binary marginal
+/// probabilities `p_a = P(A)` and `p_b = P(B)` and a target joint
+/// `p_ab = P(A and B)`, find the latent bivariate-normal correlation rho
+/// such that thresholded standard normals with those marginals reproduce the
+/// joint:  P(X > z_a, Y > z_b) = p_ab with z_a = Phi^{-1}(1 - p_a).
+///
+/// The joint is monotone increasing in rho, so a bisection over [-1, 1]
+/// converges; the result is clamped to [-max_abs_rho, max_abs_rho] when the
+/// target is at (or past) the Frechet bounds, which happens for structural
+/// zeros such as the paper's "male and 3-plus children" cell.
+///
+/// Requires p_a, p_b strictly inside (0, 1); p_ab inside [0, min(p_a, p_b)].
+StatusOr<double> TetrachoricCorrelation(double p_a, double p_b, double p_ab,
+                                        double max_abs_rho = 0.999);
+
+/// Forward map used by the solver (exposed for tests): joint success
+/// probability of thresholded correlated normals.
+double ThresholdedJointProbability(double p_a, double p_b, double rho);
+
+}  // namespace corrmine::stats
+
+#endif  // CORRMINE_STATS_TETRACHORIC_H_

@@ -1,0 +1,184 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "mining/apriori.h"
+#include "mining/association_rules.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+// Exhaustive frequent-itemset reference for small inputs.
+std::map<Itemset, uint64_t> BruteForceFrequent(const TransactionDatabase& db,
+                                               double min_support,
+                                               int max_size) {
+  std::map<Itemset, uint64_t> result;
+  uint64_t min_count = static_cast<uint64_t>(
+      std::ceil(min_support * static_cast<double>(db.num_baskets()) - 1e-9));
+  if (min_count == 0) min_count = 1;
+  ItemId k = db.num_items();
+  // Enumerate all subsets via bitmask (small k only).
+  for (uint32_t mask = 1; mask < (uint32_t{1} << k); ++mask) {
+    if (__builtin_popcount(mask) > max_size) continue;
+    std::vector<ItemId> items;
+    for (ItemId i = 0; i < k; ++i) {
+      if ((mask >> i) & 1) items.push_back(i);
+    }
+    Itemset s(items);
+    uint64_t count = 0;
+    for (size_t row = 0; row < db.num_baskets(); ++row) {
+      if (db.BasketContainsAll(row, s)) ++count;
+    }
+    if (count >= min_count) result.emplace(std::move(s), count);
+  }
+  return result;
+}
+
+class AprioriEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AprioriEquivalence, MatchesBruteForce) {
+  auto db = testing::RandomCorrelatedDatabase(7, 150, 0.8, GetParam());
+  BitmapCountProvider provider(db);
+  AprioriOptions options;
+  options.min_support_fraction = 0.15;
+  auto mined = MineFrequentItemsets(provider, db.num_items(), options);
+  ASSERT_TRUE(mined.ok());
+  auto expected = BruteForceFrequent(db, options.min_support_fraction, 7);
+  std::map<Itemset, uint64_t> got;
+  for (const FrequentItemset& f : *mined) {
+    got.emplace(f.itemset, f.count);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AprioriEquivalence,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+TEST(AprioriTest, SupportFractionHelper) {
+  FrequentItemset f{Itemset{0}, 25};
+  EXPECT_DOUBLE_EQ(f.SupportFraction(100), 0.25);
+}
+
+TEST(AprioriTest, MaxLevelLimitsOutput) {
+  auto db = testing::RandomCorrelatedDatabase(6, 100, 0.9, 4);
+  BitmapCountProvider provider(db);
+  AprioriOptions options;
+  options.min_support_fraction = 0.05;
+  options.max_level = 2;
+  auto mined = MineFrequentItemsets(provider, db.num_items(), options);
+  ASSERT_TRUE(mined.ok());
+  for (const FrequentItemset& f : *mined) {
+    EXPECT_LE(f.itemset.size(), 2u);
+  }
+}
+
+TEST(AprioriTest, InputValidation) {
+  auto db = testing::RandomIndependentDatabase(3, 20, 1);
+  BitmapCountProvider provider(db);
+  AprioriOptions bad;
+  bad.min_support_fraction = 0.0;
+  EXPECT_TRUE(MineFrequentItemsets(provider, 3, bad)
+                  .status()
+                  .IsInvalidArgument());
+  TransactionDatabase empty(2);
+  ScanCountProvider empty_provider(empty);
+  EXPECT_TRUE(MineFrequentItemsets(empty_provider, 2, AprioriOptions())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+// --- Association rules ---
+
+TEST(AssociationRulesTest, GeneratesExpectedRules) {
+  // 10 baskets: {0,1} x 6, {0} x 2, {1} x 1, {} x 1.
+  std::vector<std::vector<ItemId>> baskets;
+  for (int i = 0; i < 6; ++i) baskets.push_back({0, 1});
+  baskets.push_back({0});
+  baskets.push_back({0});
+  baskets.push_back({1});
+  baskets.push_back({});
+  auto db = testing::MakeDatabase(2, baskets);
+  BitmapCountProvider provider(db);
+  AprioriOptions apriori;
+  apriori.min_support_fraction = 0.3;
+  auto frequent = MineFrequentItemsets(provider, 2, apriori);
+  ASSERT_TRUE(frequent.ok());
+
+  RuleOptions rules_opts;
+  rules_opts.min_confidence = 0.7;
+  auto rules = GenerateAssociationRules(*frequent, db.num_baskets(),
+                                        rules_opts);
+  ASSERT_TRUE(rules.ok());
+  // conf(0 => 1) = 6/8 = 0.75 (passes), conf(1 => 0) = 6/7 ~ 0.857 (passes).
+  ASSERT_EQ(rules->size(), 2u);
+  for (const AssociationRule& rule : *rules) {
+    EXPECT_DOUBLE_EQ(rule.support, 0.6);
+    if (rule.antecedent == Itemset{0}) {
+      EXPECT_DOUBLE_EQ(rule.confidence, 0.75);
+    } else {
+      EXPECT_DOUBLE_EQ(rule.confidence, 6.0 / 7.0);
+    }
+  }
+}
+
+TEST(AssociationRulesTest, ThreeItemRulePartitions) {
+  // All baskets identical: every rule has confidence 1.
+  std::vector<std::vector<ItemId>> baskets(5, std::vector<ItemId>{0, 1, 2});
+  auto db = testing::MakeDatabase(3, baskets);
+  BitmapCountProvider provider(db);
+  auto frequent =
+      MineFrequentItemsets(provider, 3, AprioriOptions{0.5, 0});
+  ASSERT_TRUE(frequent.ok());
+  auto rules = GenerateAssociationRules(*frequent, 5, RuleOptions{1.0});
+  ASSERT_TRUE(rules.ok());
+  // Rules from {0,1}, {0,2}, {1,2}: 2 each = 6; from {0,1,2}: 6 partitions.
+  EXPECT_EQ(rules->size(), 12u);
+}
+
+TEST(AssociationRulesTest, RejectsNonClosedInput) {
+  std::vector<FrequentItemset> frequent = {
+      {Itemset{0, 1}, 5}};  // Missing singleton counts.
+  EXPECT_TRUE(GenerateAssociationRules(frequent, 10, RuleOptions())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+// --- Pairwise support-confidence analysis (Table 3 machinery) ---
+
+TEST(AnalyzePairTest, TeaCoffeeNumbers) {
+  std::vector<std::vector<ItemId>> baskets;
+  for (int i = 0; i < 20; ++i) baskets.push_back({0, 1});
+  for (int i = 0; i < 5; ++i) baskets.push_back({0});
+  for (int i = 0; i < 70; ++i) baskets.push_back({1});
+  for (int i = 0; i < 5; ++i) baskets.push_back({});
+  auto db = testing::MakeDatabase(2, baskets);
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  auto analysis = AnalyzePair(*table);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_DOUBLE_EQ(analysis->s_ab, 0.20);
+  EXPECT_DOUBLE_EQ(analysis->s_anb, 0.05);
+  EXPECT_DOUBLE_EQ(analysis->s_nab, 0.70);
+  EXPECT_DOUBLE_EQ(analysis->s_nanb, 0.05);
+  // The paper's Example 1: confidence of tea => coffee is 0.8.
+  EXPECT_DOUBLE_EQ(analysis->a_to_b, 0.8);
+  EXPECT_DOUBLE_EQ(analysis->b_to_a, 20.0 / 90.0);
+  EXPECT_DOUBLE_EQ(analysis->na_to_b, 70.0 / 75.0);
+  EXPECT_DOUBLE_EQ(analysis->nb_to_na, 0.5);
+}
+
+TEST(AnalyzePairTest, RejectsWrongArity) {
+  auto db = testing::RandomIndependentDatabase(3, 50, 2);
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1, 2});
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(AnalyzePair(*table).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace corrmine

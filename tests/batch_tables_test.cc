@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/batch_tables.h"
+#include "core/chi_squared_test.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+TEST(BatchTablesTest, MatchesPerCandidateBuilds) {
+  auto db = testing::RandomCorrelatedDatabase(8, 300, 0.7, 5);
+  std::vector<Itemset> candidates = {Itemset{0, 1}, Itemset{2, 3},
+                                     Itemset{0, 2, 4}, Itemset{1, 5, 6, 7}};
+  auto batch = BuildSparseTablesBatch(db, candidates);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    auto single = SparseContingencyTable::Build(db, candidates[c]);
+    ASSERT_TRUE(single.ok());
+    const SparseContingencyTable& from_batch = (*batch)[c];
+    EXPECT_EQ(from_batch.itemset(), candidates[c]);
+    EXPECT_EQ(from_batch.occupied_cells().size(),
+              single->occupied_cells().size());
+    double batch_chi2 = ComputeChiSquared(from_batch).statistic;
+    double single_chi2 = ComputeChiSquared(*single).statistic;
+    EXPECT_NEAR(batch_chi2, single_chi2, 1e-9) << candidates[c].ToString();
+  }
+}
+
+TEST(BatchTablesTest, EmptyCandidateListIsFine) {
+  auto db = testing::RandomIndependentDatabase(4, 50, 2);
+  auto batch = BuildSparseTablesBatch(db, {});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(BatchTablesTest, InputValidation) {
+  auto db = testing::RandomIndependentDatabase(4, 50, 2);
+  EXPECT_TRUE(BuildSparseTablesBatch(db, {Itemset{}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BuildSparseTablesBatch(db, {Itemset{0, 9}})
+                  .status()
+                  .IsOutOfRange());
+  TransactionDatabase empty(3);
+  EXPECT_TRUE(BuildSparseTablesBatch(empty, {Itemset{0}})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(SparseFromCellsTest, Validation) {
+  IndependenceModel model(10, {4, 5});
+  Itemset s{1, 2};
+  // Valid assembly.
+  auto ok = SparseContingencyTable::FromCells(
+      s, model,
+      {{0b11, 2}, {0b01, 2}, {0b10, 3}, {0b00, 3}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->occupied_cells().size(), 4u);
+  // Zero count cell.
+  EXPECT_TRUE(SparseContingencyTable::FromCells(s, model, {{0b11, 0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Duplicate masks.
+  EXPECT_TRUE(SparseContingencyTable::FromCells(
+                  s, model, {{0b11, 5}, {0b11, 5}})
+                  .status()
+                  .IsInvalidArgument());
+  // Counts not summing to n.
+  EXPECT_TRUE(SparseContingencyTable::FromCells(s, model, {{0b11, 3}})
+                  .status()
+                  .IsCorruption());
+  // Mask beyond itemset width.
+  EXPECT_TRUE(SparseContingencyTable::FromCells(
+                  s, model, {{0b100, 10}})
+                  .status()
+                  .IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace corrmine

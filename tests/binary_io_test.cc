@@ -1,0 +1,105 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "io/binary_io.h"
+#include "io/transaction_io.h"
+#include "test_util.h"
+
+namespace corrmine::io {
+namespace {
+
+TEST(BinaryIoTest, EncodeDecodeRoundTrip) {
+  auto db = corrmine::testing::RandomIndependentDatabase(20, 500, 9);
+  std::string bytes = EncodeBinaryTransactions(db);
+  auto decoded = DecodeBinaryTransactions(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->num_baskets(), db.num_baskets());
+  EXPECT_EQ(decoded->num_items(), db.num_items());
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    EXPECT_EQ(decoded->basket(row), db.basket(row)) << "row " << row;
+  }
+}
+
+TEST(BinaryIoTest, EmptyBasketsAndEmptyDatabase) {
+  TransactionDatabase db(5);
+  ASSERT_TRUE(db.AddBasket({}).ok());
+  ASSERT_TRUE(db.AddBasket({4}).ok());
+  ASSERT_TRUE(db.AddBasket({}).ok());
+  auto decoded = DecodeBinaryTransactions(EncodeBinaryTransactions(db));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_baskets(), 3u);
+  EXPECT_TRUE(decoded->basket(0).empty());
+  EXPECT_EQ(decoded->basket(1), (std::vector<ItemId>{4}));
+
+  TransactionDatabase empty(7);
+  auto decoded_empty =
+      DecodeBinaryTransactions(EncodeBinaryTransactions(empty));
+  ASSERT_TRUE(decoded_empty.ok());
+  EXPECT_EQ(decoded_empty->num_baskets(), 0u);
+  EXPECT_EQ(decoded_empty->num_items(), 7u);
+}
+
+TEST(BinaryIoTest, CompactVersusText) {
+  auto db = corrmine::testing::RandomIndependentDatabase(1000, 300, 3);
+  std::string binary = EncodeBinaryTransactions(db);
+  // Text encoding size estimate: write to a string via the text writer's
+  // format (ids + separators ~ 4+ bytes per occurrence on this id range).
+  size_t text_estimate = 0;
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    for (ItemId item : db.basket(row)) {
+      text_estimate += std::to_string(item).size() + 1;
+    }
+    ++text_estimate;
+  }
+  EXPECT_LT(binary.size(), text_estimate / 2)
+      << "binary " << binary.size() << " vs text ~" << text_estimate;
+}
+
+TEST(BinaryIoTest, FileRoundTripAndSniffing) {
+  auto db = corrmine::testing::RandomIndependentDatabase(10, 100, 5);
+  std::string path = ::testing::TempDir() + "/corrmine_binary_test.bin";
+  ASSERT_TRUE(WriteBinaryTransactionFile(db, path).ok());
+  EXPECT_TRUE(LooksLikeBinaryTransactionFile(path));
+  auto loaded = ReadBinaryTransactionFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_baskets(), db.num_baskets());
+  std::remove(path.c_str());
+
+  std::string text_path = ::testing::TempDir() + "/corrmine_text_test.txt";
+  ASSERT_TRUE(WriteTransactionFile(db, text_path).ok());
+  EXPECT_FALSE(LooksLikeBinaryTransactionFile(text_path));
+  std::remove(text_path.c_str());
+  EXPECT_FALSE(LooksLikeBinaryTransactionFile("/nonexistent/file.bin"));
+}
+
+TEST(BinaryIoTest, CorruptionDetected) {
+  auto db = corrmine::testing::RandomIndependentDatabase(10, 50, 1);
+  std::string bytes = EncodeBinaryTransactions(db);
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_TRUE(DecodeBinaryTransactions(bad_magic).status().IsCorruption());
+  // Truncation at any point must error, not crash or mis-decode silently.
+  for (size_t cut : {size_t{2}, size_t{5}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    auto decoded = DecodeBinaryTransactions(bytes.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+  // Trailing garbage.
+  EXPECT_TRUE(
+      DecodeBinaryTransactions(bytes + "x").status().IsCorruption());
+}
+
+TEST(BinaryIoTest, RejectsOutOfRangeItems) {
+  // Hand-craft: magic, num_items=2, num_baskets=1, size=1, delta=7 (>= 2).
+  std::string bytes = "CMB1";
+  bytes += static_cast<char>(2);
+  bytes += static_cast<char>(1);
+  bytes += static_cast<char>(1);
+  bytes += static_cast<char>(7);
+  EXPECT_TRUE(DecodeBinaryTransactions(bytes).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace corrmine::io

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/border.h"
+#include "core/chi_squared_miner.h"
+#include "itemset/count_provider.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+TEST(BorderTest, KeepsOnlyMinimalSets) {
+  CorrelationBorder border({Itemset{1, 2}, Itemset{1, 2, 3}, Itemset{4, 5},
+                            Itemset{1, 2, 3, 4}});
+  ASSERT_EQ(border.size(), 2u);
+  EXPECT_TRUE(border.IsOnBorder(Itemset{1, 2}));
+  EXPECT_TRUE(border.IsOnBorder(Itemset{4, 5}));
+  EXPECT_FALSE(border.IsOnBorder(Itemset{1, 2, 3}));
+}
+
+TEST(BorderTest, DeduplicatesInput) {
+  CorrelationBorder border({Itemset{1, 2}, Itemset{2, 1}, Itemset{1, 2}});
+  EXPECT_EQ(border.size(), 1u);
+}
+
+TEST(BorderTest, ClassifiesByUpwardClosure) {
+  CorrelationBorder border({Itemset{1, 2}, Itemset{3, 4, 5}});
+  EXPECT_TRUE(border.IsAboveBorder(Itemset{1, 2}));
+  EXPECT_TRUE(border.IsAboveBorder(Itemset{0, 1, 2}));
+  EXPECT_TRUE(border.IsAboveBorder(Itemset{1, 2, 3, 4, 5}));
+  EXPECT_FALSE(border.IsAboveBorder(Itemset{1, 3}));
+  EXPECT_FALSE(border.IsAboveBorder(Itemset{3, 4}));
+  EXPECT_FALSE(border.IsAboveBorder(Itemset{}));
+}
+
+TEST(BorderTest, EmptyBorder) {
+  CorrelationBorder border;
+  EXPECT_TRUE(border.empty());
+  EXPECT_FALSE(border.IsAboveBorder(Itemset{1}));
+}
+
+TEST(BorderTest, IncomparableSetsAllKept) {
+  CorrelationBorder border(
+      {Itemset{1, 2}, Itemset{2, 3}, Itemset{1, 3}});
+  EXPECT_EQ(border.size(), 3u);
+  // The triangle {1,2,3} is above all three.
+  EXPECT_TRUE(border.IsAboveBorder(Itemset{1, 2, 3}));
+}
+
+TEST(BorderTest, BuiltFromMinerOutput) {
+  auto db = testing::RandomCorrelatedDatabase(6, 400, 0.9, 21);
+  BitmapCountProvider provider(db);
+  MinerOptions options;
+  options.support.min_count = 4;
+  options.support.cell_fraction = 0.26;
+  auto result = MineCorrelations(provider, db.num_items(), options);
+  ASSERT_TRUE(result.ok());
+  std::vector<Itemset> sets;
+  for (const auto& rule : result->significant) sets.push_back(rule.itemset);
+  CorrelationBorder border(std::move(sets));
+  // Miner output is already minimal, so nothing should be dropped.
+  EXPECT_EQ(border.size(), result->significant.size());
+  for (const auto& rule : result->significant) {
+    EXPECT_TRUE(border.IsOnBorder(rule.itemset));
+    EXPECT_TRUE(border.IsAboveBorder(rule.itemset.WithItem(0).WithItem(5)));
+  }
+}
+
+}  // namespace
+}  // namespace corrmine

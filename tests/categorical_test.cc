@@ -1,0 +1,157 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/categorical_census.h"
+#include "datagen/rng.h"
+#include "itemset/categorical_database.h"
+#include "mining/categorical_miner.h"
+
+namespace corrmine {
+namespace {
+
+StatusOr<CategoricalDatabase> SmallDb() {
+  CORRMINE_ASSIGN_OR_RETURN(
+      CategoricalDatabase db,
+      CategoricalDatabase::Create(
+          {{"color", {"red", "green", "blue"}}, {"size", {"small", "big"}}}));
+  return db;
+}
+
+TEST(CategoricalDatabaseTest, CreateValidation) {
+  EXPECT_FALSE(CategoricalDatabase::Create({}).ok());
+  EXPECT_FALSE(
+      CategoricalDatabase::Create({{"only-one", {"a"}}}).ok());
+  EXPECT_TRUE(
+      CategoricalDatabase::Create({{"two", {"a", "b"}}}).ok());
+}
+
+TEST(CategoricalDatabaseTest, RowsAndCounts) {
+  auto db = SmallDb();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->AddRow({0, 1}).ok());
+  ASSERT_TRUE(db->AddRow({2, 0}).ok());
+  ASSERT_TRUE(db->AddRow({0, 0}).ok());
+  EXPECT_EQ(db->num_rows(), 3u);
+  EXPECT_EQ(db->value(1, 0), 2);
+  EXPECT_EQ(db->CategoryCount(0, 0), 2u);  // "red" twice.
+  EXPECT_EQ(db->CategoryCount(1, 1), 1u);  // "big" once.
+}
+
+TEST(CategoricalDatabaseTest, RowValidation) {
+  auto db = SmallDb();
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->AddRow({0}).IsInvalidArgument());       // Short row.
+  EXPECT_TRUE(db->AddRow({0, 1, 0}).IsInvalidArgument()); // Long row.
+  EXPECT_TRUE(db->AddRow({3, 0}).IsOutOfRange());         // Bad category.
+  EXPECT_EQ(db->num_rows(), 0u);
+}
+
+TEST(CategoricalMinerTest, BuildTableCounts) {
+  auto db = SmallDb();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->AddRow({0, 0}).ok());
+  ASSERT_TRUE(db->AddRow({0, 0}).ok());
+  ASSERT_TRUE(db->AddRow({1, 1}).ok());
+  auto table = BuildCategoricalTable(*db, 0, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->count(0, 0), 2u);
+  EXPECT_EQ(table->count(1, 1), 1u);
+  EXPECT_EQ(table->count(2, 0), 0u);
+  EXPECT_TRUE(BuildCategoricalTable(*db, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(BuildCategoricalTable(*db, 0, 5).status().IsInvalidArgument());
+}
+
+TEST(CategoricalMinerTest, DetectsPlantedDependency) {
+  // color determines size with noise; a third attribute is independent.
+  auto db = CategoricalDatabase::Create({{"color", {"r", "g", "b"}},
+                                         {"size", {"s", "b"}},
+                                         {"noise", {"x", "y"}}});
+  ASSERT_TRUE(db.ok());
+  datagen::Rng rng(42);
+  for (int i = 0; i < 600; ++i) {
+    uint8_t color = static_cast<uint8_t>(rng.NextBelow(3));
+    uint8_t size = rng.NextBernoulli(0.85)
+                       ? (color == 0 ? uint8_t{0} : uint8_t{1})
+                       : static_cast<uint8_t>(rng.NextBelow(2));
+    uint8_t noise = static_cast<uint8_t>(rng.NextBelow(2));
+    ASSERT_TRUE(db->AddRow({color, size, noise}).ok());
+  }
+  auto deps = MineCategoricalDependencies(*db);
+  ASSERT_TRUE(deps.ok());
+  ASSERT_FALSE(deps->empty());
+  // Strongest dependency must be color x size.
+  EXPECT_EQ((*deps)[0].attribute_a, 0);
+  EXPECT_EQ((*deps)[0].attribute_b, 1);
+  EXPECT_EQ((*deps)[0].dof, 2);
+  EXPECT_GT((*deps)[0].cramers_v, 0.3);
+  // noise should not appear against color or size.
+  for (const CategoricalDependency& dep : *deps) {
+    EXPECT_FALSE(dep.attribute_b == 2 || dep.attribute_a == 2)
+        << "independent attribute flagged (chi2=" << dep.chi_squared << ")";
+  }
+}
+
+TEST(CategoricalMinerTest, EmptyAndInvalidInputs) {
+  auto db = SmallDb();
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(
+      MineCategoricalDependencies(*db).status().IsFailedPrecondition());
+  ASSERT_TRUE(db->AddRow({0, 0}).ok());
+  CategoricalMinerOptions bad;
+  bad.confidence_level = 0.0;
+  EXPECT_TRUE(
+      MineCategoricalDependencies(*db, bad).status().IsInvalidArgument());
+}
+
+// --- Generated categorical census ---
+
+TEST(CategoricalCensusTest, ShapeAndDeterminism) {
+  datagen::CategoricalCensusOptions options;
+  options.num_persons = 3000;
+  auto a = datagen::GenerateCategoricalCensus(options);
+  auto b = datagen::GenerateCategoricalCensus(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_rows(), 3000u);
+  EXPECT_EQ(a->num_attributes(), 6);
+  for (size_t row = 0; row < 100; ++row) {
+    for (int attr = 0; attr < 6; ++attr) {
+      EXPECT_EQ(a->value(row, attr), b->value(row, attr));
+    }
+  }
+}
+
+TEST(CategoricalCensusTest, MarginalsRoughlyMatchBuckets) {
+  datagen::CategoricalCensusOptions options;
+  options.num_persons = 20000;
+  auto db = datagen::GenerateCategoricalCensus(options);
+  ASSERT_TRUE(db.ok());
+  double n = static_cast<double>(db->num_rows());
+  // transport: P(drives alone) ~ 18%.
+  EXPECT_NEAR(db->CategoryCount(0, 0) / n, 0.18, 0.02);
+  // military: P(veteran) ~ 10.7%.
+  EXPECT_NEAR(db->CategoryCount(3, 1) / n, 0.107, 0.02);
+  // age: over 40 ~ 38.5%.
+  EXPECT_NEAR(db->CategoryCount(1, 2) / n, 0.385, 0.02);
+}
+
+TEST(CategoricalCensusTest, FindsFinerGrainedDependencies) {
+  datagen::CategoricalCensusOptions options;
+  options.num_persons = 30370;
+  auto db = datagen::GenerateCategoricalCensus(options);
+  ASSERT_TRUE(db.ok());
+  auto deps = MineCategoricalDependencies(*db);
+  ASSERT_TRUE(deps.ok());
+  // military x age and marital x age must be among the dependencies.
+  bool military_age = false, marital_age = false;
+  for (const CategoricalDependency& dep : *deps) {
+    if (dep.attribute_a == 1 && dep.attribute_b == 3) military_age = true;
+    if (dep.attribute_a == 1 && dep.attribute_b == 5) marital_age = true;
+  }
+  EXPECT_TRUE(military_age);
+  EXPECT_TRUE(marital_age);
+}
+
+}  // namespace
+}  // namespace corrmine

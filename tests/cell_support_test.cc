@@ -1,0 +1,151 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/cell_support.h"
+#include "datagen/rng.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+TEST(CellSupportTest, RequiredSupportedCells) {
+  CellSupportPolicy policy;
+  policy.cell_fraction = 0.25;
+  EXPECT_EQ(RequiredSupportedCells(policy, 4.0), 1u);
+  policy.cell_fraction = 0.26;
+  EXPECT_EQ(RequiredSupportedCells(policy, 4.0), 2u);
+  policy.cell_fraction = 0.5;
+  EXPECT_EQ(RequiredSupportedCells(policy, 8.0), 4u);
+  policy.cell_fraction = 1.0;
+  EXPECT_EQ(RequiredSupportedCells(policy, 4.0), 4u);
+  policy.cell_fraction = 0.01;
+  EXPECT_EQ(RequiredSupportedCells(policy, 4.0), 1u);  // At least one.
+}
+
+TEST(CellSupportTest, DenseTableSupportDecision) {
+  // Cells: both=2, a=1, b=1, neither=1 (n=5).
+  auto db = testing::MakeDatabase(2, {{0, 1}, {0, 1}, {0}, {1}, {}});
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+
+  CellSupportPolicy policy;
+  policy.min_count = 1;
+  policy.cell_fraction = 1.0;  // All four cells need count >= 1: true.
+  EXPECT_TRUE(HasCellSupport(*table, policy));
+
+  policy.min_count = 2;  // Only one cell reaches 2.
+  policy.cell_fraction = 0.26;
+  EXPECT_FALSE(HasCellSupport(*table, policy));
+  policy.cell_fraction = 0.25;
+  EXPECT_TRUE(HasCellSupport(*table, policy));
+}
+
+TEST(CellSupportTest, SparseMatchesDense) {
+  auto db = testing::RandomIndependentDatabase(6, 200, 77);
+  BitmapCountProvider provider(db);
+  for (auto s : {Itemset{0, 1}, Itemset{2, 3, 4}, Itemset{0, 1, 2, 5}}) {
+    auto dense = ContingencyTable::Build(provider, s);
+    auto sparse = SparseContingencyTable::Build(db, s);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(sparse.ok());
+    for (uint64_t min_count : {1, 3, 10, 50}) {
+      for (double fraction : {0.1, 0.26, 0.5, 0.9}) {
+        CellSupportPolicy policy{min_count, fraction};
+        EXPECT_EQ(HasCellSupport(*dense, policy),
+                  HasCellSupport(*sparse, policy))
+            << s.ToString() << " s=" << min_count << " p=" << fraction;
+      }
+    }
+  }
+}
+
+// Property: the paper's support definition is downward closed — if S has
+// support, so does every subset of S (Section 4).
+class DownwardClosure : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DownwardClosure, SupportedSetsHaveSupportedSubsets) {
+  auto db = testing::RandomCorrelatedDatabase(6, 250, 0.6, GetParam());
+  BitmapCountProvider provider(db);
+  datagen::Rng rng(GetParam() + 9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ItemId> items;
+    size_t size = 3 + rng.NextBelow(3);
+    while (items.size() < size) {
+      ItemId candidate = static_cast<ItemId>(rng.NextBelow(6));
+      if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+        items.push_back(candidate);
+      }
+    }
+    Itemset s(items);
+    CellSupportPolicy policy;
+    policy.min_count = 1 + rng.NextBelow(20);
+    policy.cell_fraction = 0.26;
+    auto table = ContingencyTable::Build(provider, s);
+    ASSERT_TRUE(table.ok());
+    if (!HasCellSupport(*table, policy)) continue;
+    for (const Itemset& subset : s.SubsetsMissingOne()) {
+      auto sub_table = ContingencyTable::Build(provider, subset);
+      ASSERT_TRUE(sub_table.ok());
+      EXPECT_TRUE(HasCellSupport(*sub_table, policy))
+          << "supported " << s.ToString() << " but unsupported subset "
+          << subset.ToString() << " (s=" << policy.min_count << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DownwardClosure,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+TEST(LevelOnePruningTest, StrictRequiresBothItemsFrequent) {
+  CellSupportPolicy policy{10, 0.26};
+  EXPECT_TRUE(PairPassesLevelOne(50, 40, 100, policy,
+                                 LevelOnePruning::kFigure1Strict));
+  EXPECT_FALSE(PairPassesLevelOne(5, 40, 100, policy,
+                                  LevelOnePruning::kFigure1Strict));
+  EXPECT_FALSE(PairPassesLevelOne(50, 9, 100, policy,
+                                  LevelOnePruning::kFigure1Strict));
+}
+
+TEST(LevelOnePruningTest, FeasibilityBoundKeepsOneRareItem) {
+  CellSupportPolicy policy{10, 0.26};
+  // a rare (5 < 10) but b mid-range: cells (!a,b) and (!a,!b) can both
+  // reach 10, so the pair stays.
+  EXPECT_TRUE(PairPassesLevelOne(5, 40, 100, policy,
+                                 LevelOnePruning::kFeasibilityBound));
+  // Both rare: only the (neither) cell can reach s -> pruned at p > 0.25.
+  EXPECT_FALSE(PairPassesLevelOne(5, 5, 100, policy,
+                                  LevelOnePruning::kFeasibilityBound));
+  // Both nearly universal: only the (both) cell can reach s.
+  EXPECT_FALSE(PairPassesLevelOne(96, 97, 100, policy,
+                                  LevelOnePruning::kFeasibilityBound));
+}
+
+TEST(LevelOnePruningTest, NoneKeepsEverything) {
+  CellSupportPolicy policy{10, 0.26};
+  EXPECT_TRUE(
+      PairPassesLevelOne(0, 0, 100, policy, LevelOnePruning::kNone));
+}
+
+TEST(LevelOnePruningTest, FeasibilityNeverPrunesActuallySupportedPairs) {
+  // Soundness: any pair passing the real support test must pass the bound.
+  auto db = testing::RandomIndependentDatabase(8, 150, 99);
+  BitmapCountProvider provider(db);
+  CellSupportPolicy policy{8, 0.26};
+  for (ItemId a = 0; a < 8; ++a) {
+    for (ItemId b = a + 1; b < 8; ++b) {
+      auto table = ContingencyTable::Build(provider, Itemset{a, b});
+      ASSERT_TRUE(table.ok());
+      if (HasCellSupport(*table, policy)) {
+        EXPECT_TRUE(PairPassesLevelOne(db.ItemCount(a), db.ItemCount(b),
+                                       db.num_baskets(), policy,
+                                       LevelOnePruning::kFeasibilityBound))
+            << "pair {" << a << "," << b << "}";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -1,0 +1,210 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/chi_squared_test.h"
+#include "datagen/rng.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+TEST(ChiSquaredTest, PaperExampleThreeValue) {
+  // Example 3 of the paper: 9 baskets, O(a)=3, O(b)=5, O(ab)=1 gives
+  // chi-squared 0.267 + 0.333 + 0.133 + 0.167 = 0.900, not significant.
+  TransactionDatabase db(2);
+  // 1 basket with both, 2 with a only, 4 with b only, 2 with neither.
+  ASSERT_TRUE(db.AddBasket({0, 1}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(db.AddBasket({0}).ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(db.AddBasket({1}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(db.AddBasket({}).ok());
+
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredResult result = ComputeChiSquared(*table);
+  EXPECT_NEAR(result.statistic, 0.9, 1e-9);
+  EXPECT_EQ(result.dof, 1);
+  EXPECT_FALSE(result.SignificantAt(0.95));
+}
+
+TEST(ChiSquaredTest, IndependentColumnsGiveZero) {
+  // Build a database whose empirical joint is exactly the product of
+  // marginals: 4 baskets covering each cell once with p(a)=p(b)=0.5.
+  auto db = testing::MakeDatabase(2, {{0, 1}, {0}, {1}, {}});
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredResult result = ComputeChiSquared(*table);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquaredTest, PerfectCorrelationGivesN) {
+  // Items always co-occur or co-miss: phi = 1, chi2 = n.
+  std::vector<std::vector<ItemId>> baskets;
+  for (int i = 0; i < 30; ++i) baskets.push_back({0, 1});
+  for (int i = 0; i < 70; ++i) baskets.push_back({});
+  auto db = testing::MakeDatabase(2, baskets);
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredResult result = ComputeChiSquared(*table);
+  EXPECT_NEAR(result.statistic, 100.0, 1e-9);
+  EXPECT_TRUE(result.SignificantAt(0.95));
+}
+
+TEST(ChiSquaredTest, DofPolicies) {
+  auto db = testing::RandomIndependentDatabase(4, 100, 3);
+  BitmapCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1, 2});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredOptions paper;
+  paper.dof_policy = DofPolicy::kPaperSingle;
+  EXPECT_EQ(ComputeChiSquared(*table, paper).dof, 1);
+  ChiSquaredOptions conventional;
+  conventional.dof_policy = DofPolicy::kIndependenceModel;
+  EXPECT_EQ(ComputeChiSquared(*table, conventional).dof, 8 - 1 - 3);
+}
+
+TEST(ChiSquaredTest, ValidityDiagnostics) {
+  // Tiny n makes expected cells small: rule of thumb must flag it.
+  auto db = testing::MakeDatabase(2, {{0, 1}, {0}, {1}, {}, {}});
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredResult result = ComputeChiSquared(*table);
+  EXPECT_FALSE(result.validity.RuleOfThumbSatisfied());
+  EXPECT_TRUE(result.validity.exact);
+}
+
+TEST(ChiSquaredTest, MaskingDropsLowExpectationCells) {
+  auto db = testing::RandomCorrelatedDatabase(3, 200, 0.9, 17);
+  BitmapCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1, 2});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredOptions masked;
+  masked.min_expected_cell = 10.0;
+  ChiSquaredResult with_mask = ComputeChiSquared(*table, masked);
+  ChiSquaredResult without = ComputeChiSquared(*table);
+  EXPECT_GE(with_mask.validity.masked_cells, 0u);
+  // Masking only removes non-negative contributions.
+  EXPECT_LE(with_mask.statistic, without.statistic + 1e-9);
+}
+
+// Property: the sparse massaged formula equals the dense sum (Section 4).
+class SparseDenseEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseDenseEquivalence, SparseEqualsDense) {
+  auto db = testing::RandomIndependentDatabase(8, 250, GetParam());
+  BitmapCountProvider provider(db);
+  datagen::Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ItemId> items;
+    size_t size = 2 + rng.NextBelow(4);
+    while (items.size() < size) {
+      ItemId candidate = static_cast<ItemId>(rng.NextBelow(8));
+      if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+        items.push_back(candidate);
+      }
+    }
+    Itemset s(items);
+    auto dense = ContingencyTable::Build(provider, s);
+    auto sparse = SparseContingencyTable::Build(db, s);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(sparse.ok());
+    double d = ComputeChiSquared(*dense).statistic;
+    double sp = ComputeChiSquared(*sparse).statistic;
+    EXPECT_NEAR(sp, d, 1e-7 * (1.0 + d)) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseDenseEquivalence,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Property: Theorem 1 (Appendix A) — the chi-squared statistic is upward
+// closed: adding an item never decreases it.
+class UpwardClosure : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpwardClosure, StatisticMonotoneUnderSupersets) {
+  auto db = testing::RandomCorrelatedDatabase(7, 300, 0.7, GetParam());
+  BitmapCountProvider provider(db);
+  datagen::Rng rng(GetParam() * 31 + 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<ItemId> items;
+    size_t size = 2 + rng.NextBelow(3);
+    while (items.size() < size) {
+      ItemId candidate = static_cast<ItemId>(rng.NextBelow(7));
+      if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+        items.push_back(candidate);
+      }
+    }
+    Itemset s(items);
+    ItemId extra = static_cast<ItemId>(rng.NextBelow(7));
+    if (s.Contains(extra)) continue;
+    // Skip degenerate marginals (expected value 0 cells break the algebra).
+    if (db.ItemCount(extra) == 0 || db.ItemCount(extra) == db.num_baskets()) {
+      continue;
+    }
+    auto small = ContingencyTable::Build(provider, s);
+    auto big = ContingencyTable::Build(provider, s.WithItem(extra));
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(big.ok());
+    double chi_small = ComputeChiSquared(*small).statistic;
+    double chi_big = ComputeChiSquared(*big).statistic;
+    EXPECT_GE(chi_big, chi_small - 1e-7)
+        << s.ToString() << " + item " << extra;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpwardClosure,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+TEST(YatesCorrectionTest, ReducesStatisticAndMatchesHandValue) {
+  // Example 3's table: O = {1,2,4,2}, E = {5/3, 4/3, 10/3, 8/3};
+  // uncorrected chi2 = 0.9. Corrected: each |O-E| shrinks by 0.5.
+  TransactionDatabase db(2);
+  ASSERT_TRUE(db.AddBasket({0, 1}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(db.AddBasket({0}).ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(db.AddBasket({1}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(db.AddBasket({}).ok());
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredOptions yates;
+  yates.yates_correction = true;
+  ChiSquaredResult corrected = ComputeChiSquared(*table, yates);
+  ChiSquaredResult plain = ComputeChiSquared(*table);
+  EXPECT_LT(corrected.statistic, plain.statistic);
+  // Hand value: diffs are all 2/3 -> corrected diff 1/6 each; sum of
+  // (1/6)^2/E = (1/36)(3/5 + 3/4 + 3/10 + 3/8).
+  double expected = (1.0 / 36.0) * (3.0 / 5 + 3.0 / 4 + 3.0 / 10 + 3.0 / 8);
+  EXPECT_NEAR(corrected.statistic, expected, 1e-12);
+}
+
+TEST(YatesCorrectionTest, DiffSmallerThanHalfClampsToZero) {
+  // Perfectly independent table has O == E everywhere; correction keeps 0.
+  auto db = testing::MakeDatabase(2, {{0, 1}, {0}, {1}, {}});
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredOptions yates;
+  yates.yates_correction = true;
+  EXPECT_DOUBLE_EQ(ComputeChiSquared(*table, yates).statistic, 0.0);
+}
+
+TEST(YatesCorrectionTest, NegligibleAtLargeCounts) {
+  auto db = testing::RandomCorrelatedDatabase(2, 5000, 0.5, 3);
+  BitmapCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  ChiSquaredOptions yates;
+  yates.yates_correction = true;
+  double corrected = ComputeChiSquared(*table, yates).statistic;
+  double plain = ComputeChiSquared(*table).statistic;
+  EXPECT_LT(plain - corrected, 0.05 * plain);
+}
+
+}  // namespace
+}  // namespace corrmine

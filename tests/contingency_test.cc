@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/contingency_table.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+// A tiny database with hand-checkable counts:
+//   baskets: {0,1}, {0}, {1}, {0,1}, {}
+TransactionDatabase TinyDb() {
+  return testing::MakeDatabase(2, {{0, 1}, {0}, {1}, {0, 1}, {}});
+}
+
+TEST(IndependenceModelTest, ExpectedValues) {
+  // n = 10, O(a) = 4, O(b) = 5 -> E[ab] = 10 * 0.4 * 0.5 = 2.
+  IndependenceModel model(10, {4, 5});
+  EXPECT_DOUBLE_EQ(model.Expected(0b11), 2.0);
+  EXPECT_DOUBLE_EQ(model.Expected(0b01), 10 * 0.4 * 0.5);
+  EXPECT_DOUBLE_EQ(model.Expected(0b10), 10 * 0.6 * 0.5);
+  EXPECT_DOUBLE_EQ(model.Expected(0b00), 10 * 0.6 * 0.5);
+  // Expected values sum to n over all cells.
+  double total = 0.0;
+  for (uint32_t m = 0; m < 4; ++m) total += model.Expected(m);
+  EXPECT_NEAR(total, 10.0, 1e-12);
+}
+
+TEST(ContingencyTableTest, DenseCountsMatchHandCount) {
+  auto db = TinyDb();
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->n(), 5u);
+  EXPECT_EQ(table->Observed(0b11), 2u);  // both
+  EXPECT_EQ(table->Observed(0b01), 1u);  // only item 0
+  EXPECT_EQ(table->Observed(0b10), 1u);  // only item 1
+  EXPECT_EQ(table->Observed(0b00), 1u);  // neither
+}
+
+TEST(ContingencyTableTest, SingleItemTable) {
+  auto db = TinyDb();
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_cells(), 2u);
+  EXPECT_EQ(table->Observed(0b1), 3u);
+  EXPECT_EQ(table->Observed(0b0), 2u);
+}
+
+TEST(ContingencyTableTest, RejectsBadInputs) {
+  auto db = TinyDb();
+  ScanCountProvider provider(db);
+  EXPECT_TRUE(ContingencyTable::Build(provider, Itemset{})
+                  .status()
+                  .IsInvalidArgument());
+  TransactionDatabase empty(2);
+  ScanCountProvider empty_provider(empty);
+  EXPECT_TRUE(ContingencyTable::Build(empty_provider, Itemset{0})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ContingencyTableTest, CellsSumToN) {
+  auto db = testing::RandomIndependentDatabase(6, 400, 11);
+  BitmapCountProvider provider(db);
+  for (auto s : {Itemset{0, 1}, Itemset{2, 3, 4}, Itemset{0, 1, 2, 3, 5}}) {
+    auto table = ContingencyTable::Build(provider, s);
+    ASSERT_TRUE(table.ok());
+    uint64_t total = 0;
+    for (uint32_t m = 0; m < table->num_cells(); ++m) {
+      total += table->Observed(m);
+    }
+    EXPECT_EQ(total, db.num_baskets()) << s.ToString();
+  }
+}
+
+TEST(ContingencyTableTest, MarginsRecoverItemCounts) {
+  auto db = testing::RandomIndependentDatabase(5, 300, 23);
+  BitmapCountProvider provider(db);
+  Itemset s{1, 3, 4};
+  auto table = ContingencyTable::Build(provider, s);
+  ASSERT_TRUE(table.ok());
+  // Summing cells where bit j is set reproduces O(i_j).
+  for (int j = 0; j < 3; ++j) {
+    uint64_t margin = 0;
+    for (uint32_t m = 0; m < table->num_cells(); ++m) {
+      if ((m >> j) & 1) margin += table->Observed(m);
+    }
+    EXPECT_EQ(margin, db.ItemCount(s.item(j)));
+  }
+}
+
+TEST(ContingencyTableTest, CellsWithCountAtLeast) {
+  auto db = TinyDb();
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->CellsWithCountAtLeast(0), 4u);
+  EXPECT_EQ(table->CellsWithCountAtLeast(1), 4u);
+  EXPECT_EQ(table->CellsWithCountAtLeast(2), 1u);
+  EXPECT_EQ(table->CellsWithCountAtLeast(3), 0u);
+}
+
+// --- Sparse representation ---
+
+TEST(SparseContingencyTest, MatchesDenseOnRandomData) {
+  auto db = testing::RandomIndependentDatabase(7, 500, 31);
+  BitmapCountProvider provider(db);
+  for (auto s : {Itemset{0, 1}, Itemset{1, 2, 3}, Itemset{0, 2, 4, 6}}) {
+    auto dense = ContingencyTable::Build(provider, s);
+    auto sparse = SparseContingencyTable::Build(db, s);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(sparse.ok());
+    uint64_t sparse_total = 0;
+    for (const auto& cell : sparse->occupied_cells()) {
+      EXPECT_GT(cell.observed, 0u);
+      EXPECT_EQ(cell.observed, dense->Observed(cell.mask));
+      EXPECT_DOUBLE_EQ(sparse->Expected(cell.mask),
+                       dense->Expected(cell.mask));
+      sparse_total += cell.observed;
+    }
+    EXPECT_EQ(sparse_total, db.num_baskets());
+  }
+}
+
+TEST(SparseContingencyTest, LargeItemsetBeyondDenseCap) {
+  // 20 items exceeds the dense cap but works sparsely.
+  auto db = testing::RandomIndependentDatabase(20, 100, 5);
+  std::vector<ItemId> all;
+  for (ItemId i = 0; i < 20; ++i) all.push_back(i);
+  Itemset s(all);
+  auto sparse = SparseContingencyTable::Build(db, s);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_LE(sparse->occupied_cells().size(), 100u);
+  EXPECT_DOUBLE_EQ(sparse->TotalCellCount(), 1048576.0);
+  BitmapCountProvider provider(db);
+  EXPECT_TRUE(
+      ContingencyTable::Build(provider, s).status().IsOutOfRange());
+}
+
+TEST(SparseContingencyTest, SupportCountsOnlyOccupiedForPositiveThreshold) {
+  auto db = TinyDb();
+  auto sparse = SparseContingencyTable::Build(db, Itemset{0, 1});
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->CellsWithCountAtLeast(1), 4u);
+  EXPECT_EQ(sparse->CellsWithCountAtLeast(2), 1u);
+  EXPECT_EQ(sparse->CellsWithCountAtLeast(0), 4u);  // 2^2 cells total.
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/contingency_table.h"
+#include "cube/datacube.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+TEST(DataCubeTest, CountsMatchScanProvider) {
+  auto db = testing::RandomIndependentDatabase(6, 300, 8);
+  auto cube = DataCube::Build(db, 3);
+  ASSERT_TRUE(cube.ok());
+  ScanCountProvider scan(db);
+  for (ItemId a = 0; a < 6; ++a) {
+    EXPECT_EQ(*cube->Count(Itemset{a}), scan.CountAllPresent(Itemset{a}));
+    for (ItemId b = a + 1; b < 6; ++b) {
+      EXPECT_EQ(*cube->Count(Itemset{a, b}),
+                scan.CountAllPresent(Itemset{a, b}));
+      for (ItemId c = b + 1; c < 6; ++c) {
+        EXPECT_EQ(*cube->Count(Itemset{a, b, c}),
+                  scan.CountAllPresent(Itemset{a, b, c}));
+      }
+    }
+  }
+}
+
+TEST(DataCubeTest, EmptySetReturnsN) {
+  auto db = testing::RandomIndependentDatabase(3, 50, 1);
+  auto cube = DataCube::Build(db, 2);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(*cube->Count(Itemset{}), 50u);
+}
+
+TEST(DataCubeTest, MissingCombinationIsZero) {
+  auto db = testing::MakeDatabase(3, {{0}, {1}, {2}});
+  auto cube = DataCube::Build(db, 2);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(*cube->Count(Itemset{0, 1}), 0u);
+}
+
+TEST(DataCubeTest, DimensionLimits) {
+  auto db = testing::MakeDatabase(4, {{0, 1, 2, 3}});
+  EXPECT_FALSE(DataCube::Build(db, 0).ok());
+  EXPECT_FALSE(DataCube::Build(db, 5).ok());
+  auto cube = DataCube::Build(db, 2);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_TRUE(cube->Count(Itemset{0, 1, 2}).status().IsOutOfRange());
+}
+
+TEST(CubeCountProviderTest, AnswersFromCubeAndFallsBack) {
+  auto db = testing::RandomIndependentDatabase(5, 200, 17);
+  auto cube = DataCube::Build(db, 2);
+  ASSERT_TRUE(cube.ok());
+  CubeCountProvider provider(*cube, &db);
+  ScanCountProvider scan(db);
+  EXPECT_EQ(provider.num_baskets(), 200u);
+  EXPECT_EQ(provider.CountAllPresent(Itemset{1, 3}),
+            scan.CountAllPresent(Itemset{1, 3}));
+  // Beyond the cube's dimension: the database fallback must agree too.
+  EXPECT_EQ(provider.CountAllPresent(Itemset{0, 1, 2}),
+            scan.CountAllPresent(Itemset{0, 1, 2}));
+}
+
+TEST(CubeCountProviderTest, SupportsContingencyTables) {
+  auto db = testing::RandomCorrelatedDatabase(4, 300, 0.8, 5);
+  auto cube = DataCube::Build(db, 2);
+  ASSERT_TRUE(cube.ok());
+  CubeCountProvider cube_provider(*cube, &db);
+  BitmapCountProvider bitmap_provider(db);
+  auto from_cube = ContingencyTable::Build(cube_provider, Itemset{0, 1});
+  auto from_bitmap = ContingencyTable::Build(bitmap_provider, Itemset{0, 1});
+  ASSERT_TRUE(from_cube.ok());
+  ASSERT_TRUE(from_bitmap.ok());
+  for (uint32_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(from_cube->Observed(m), from_bitmap->Observed(m));
+  }
+}
+
+TEST(DataCubeTest, CellCountBounded) {
+  auto db = testing::RandomIndependentDatabase(10, 100, 3);
+  auto cube = DataCube::Build(db, 2);
+  ASSERT_TRUE(cube.ok());
+  // At most items + pairs cells materialized.
+  EXPECT_LE(cube->num_cells(), 10u + 45u);
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace corrmine {
+namespace {
+
+StatusOr<FlagParser> ParseArgs(std::vector<const char*> args) {
+  return FlagParser::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, KeyEqualsValue) {
+  auto flags = ParseArgs({"--alpha=0.95", "--name=census"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("name", ""), "census");
+  auto alpha = flags->GetDouble("alpha", 0.0);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 0.95);
+}
+
+TEST(FlagParserTest, KeySpaceValue) {
+  auto flags = ParseArgs({"--count", "42", "file.txt"});
+  ASSERT_TRUE(flags.ok());
+  auto count = flags->GetUint64("count", 0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 42u);
+  ASSERT_EQ(flags->positional().size(), 1u);
+  EXPECT_EQ(flags->positional()[0], "file.txt");
+}
+
+TEST(FlagParserTest, BareBooleanFlags) {
+  auto flags = ParseArgs({"--verbose", "--dry-run", "--level=3"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("verbose", false));
+  EXPECT_TRUE(flags->GetBool("dry-run", false));
+  EXPECT_FALSE(flags->GetBool("missing", false));
+  EXPECT_TRUE(flags->GetBool("missing", true));
+}
+
+TEST(FlagParserTest, BoolValueSpellings) {
+  auto flags = ParseArgs({"--a=true", "--b=YES", "--c=0", "--d=off"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("a", false));
+  EXPECT_TRUE(flags->GetBool("b", false));
+  EXPECT_FALSE(flags->GetBool("c", true));
+  EXPECT_FALSE(flags->GetBool("d", true));
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlags) {
+  auto flags = ParseArgs({"--x=1", "--", "--not-a-flag", "pos"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->HasFlag("x"));
+  ASSERT_EQ(flags->positional().size(), 2u);
+  EXPECT_EQ(flags->positional()[0], "--not-a-flag");
+}
+
+TEST(FlagParserTest, PositionalBeforeAndAfterFlags) {
+  auto flags = ParseArgs({"mine", "--alpha=0.9", "data.txt"});
+  ASSERT_TRUE(flags.ok());
+  ASSERT_EQ(flags->positional().size(), 2u);
+  EXPECT_EQ(flags->positional()[0], "mine");
+  EXPECT_EQ(flags->positional()[1], "data.txt");
+}
+
+TEST(FlagParserTest, MalformedAndParseErrors) {
+  EXPECT_FALSE(ParseArgs({"--=oops"}).ok());
+  auto flags = ParseArgs({"--count=abc"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->GetUint64("count", 0).ok());
+  EXPECT_FALSE(flags->GetDouble("count", 0.0).ok());
+}
+
+TEST(FlagParserTest, LastOccurrenceWins) {
+  auto flags = ParseArgs({"--n=1", "--n=2"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(*flags->GetUint64("n", 0), 2u);
+}
+
+TEST(FlagParserTest, FlagNames) {
+  auto flags = ParseArgs({"--b=1", "--a"});
+  ASSERT_TRUE(flags.ok());
+  auto names = flags->FlagNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // std::map ordering.
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -1,0 +1,132 @@
+// Tests for the likelihood-ratio G statistic option of the independence
+// test: known values, agreement with Pearson in the asymptotic regime,
+// sparse path behaviour, and the upward-closure property that qualifies G
+// as a drop-in statistic for the miner.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/chi_squared_miner.h"
+#include "core/chi_squared_test.h"
+#include "datagen/rng.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+ChiSquaredOptions GOptions() {
+  ChiSquaredOptions options;
+  options.statistic = IndependenceStatistic::kLikelihoodRatioG;
+  return options;
+}
+
+TEST(GTest, HandComputedValue) {
+  // Cells: both=30, a=10, b=10, neither=50 (n=100, O(a)=O(b)=40).
+  std::vector<std::vector<ItemId>> baskets;
+  for (int i = 0; i < 30; ++i) baskets.push_back({0, 1});
+  for (int i = 0; i < 10; ++i) baskets.push_back({0});
+  for (int i = 0; i < 10; ++i) baskets.push_back({1});
+  for (int i = 0; i < 50; ++i) baskets.push_back({});
+  auto db = testing::MakeDatabase(2, baskets);
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  // E = {16, 24, 24, 36}; G = 2 * sum O ln(O/E).
+  double expected_g =
+      2.0 * (30 * std::log(30.0 / 16.0) + 10 * std::log(10.0 / 24.0) +
+             10 * std::log(10.0 / 24.0) + 50 * std::log(50.0 / 36.0));
+  ChiSquaredResult g = ComputeChiSquared(*table, GOptions());
+  EXPECT_NEAR(g.statistic, expected_g, 1e-10);
+  EXPECT_TRUE(g.SignificantAt(0.95));
+}
+
+TEST(GTest, ZeroForExactIndependence) {
+  auto db = testing::MakeDatabase(2, {{0, 1}, {0}, {1}, {}});
+  ScanCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(ComputeChiSquared(*table, GOptions()).statistic, 0.0, 1e-12);
+}
+
+TEST(GTest, CloseToPearsonForMildDeviations) {
+  // Both statistics are asymptotically equivalent; with large n and mild
+  // dependence they should nearly agree.
+  auto db = testing::RandomCorrelatedDatabase(2, 5000, 0.15, 7);
+  BitmapCountProvider provider(db);
+  auto table = ContingencyTable::Build(provider, Itemset{0, 1});
+  ASSERT_TRUE(table.ok());
+  double pearson = ComputeChiSquared(*table).statistic;
+  double g = ComputeChiSquared(*table, GOptions()).statistic;
+  EXPECT_NEAR(g, pearson, 0.05 * (1.0 + pearson));
+}
+
+TEST(GTest, SparseEqualsDense) {
+  auto db = testing::RandomCorrelatedDatabase(6, 300, 0.8, 21);
+  BitmapCountProvider provider(db);
+  for (auto s : {Itemset{0, 1}, Itemset{1, 2, 3}, Itemset{0, 2, 4, 5}}) {
+    auto dense = ContingencyTable::Build(provider, s);
+    auto sparse = SparseContingencyTable::Build(db, s);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(sparse.ok());
+    double d = ComputeChiSquared(*dense, GOptions()).statistic;
+    double sp = ComputeChiSquared(*sparse, GOptions()).statistic;
+    EXPECT_NEAR(sp, d, 1e-9 * (1.0 + d)) << s.ToString();
+  }
+}
+
+// Upward closure of G (log-sum inequality): adding an item never decreases
+// the statistic, so G-based mining has the same border structure.
+class GUpwardClosure : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GUpwardClosure, MonotoneUnderSupersets) {
+  auto db = testing::RandomCorrelatedDatabase(6, 250, 0.7, GetParam());
+  BitmapCountProvider provider(db);
+  datagen::Rng rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ItemId> items;
+    size_t size = 2 + rng.NextBelow(3);
+    while (items.size() < size) {
+      ItemId candidate = static_cast<ItemId>(rng.NextBelow(6));
+      if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+        items.push_back(candidate);
+      }
+    }
+    Itemset s(items);
+    ItemId extra = static_cast<ItemId>(rng.NextBelow(6));
+    if (s.Contains(extra)) continue;
+    if (db.ItemCount(extra) == 0 || db.ItemCount(extra) == db.num_baskets()) {
+      continue;
+    }
+    auto small = ContingencyTable::Build(provider, s);
+    auto big = ContingencyTable::Build(provider, s.WithItem(extra));
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(big.ok());
+    EXPECT_GE(ComputeChiSquared(*big, GOptions()).statistic,
+              ComputeChiSquared(*small, GOptions()).statistic - 1e-7)
+        << s.ToString() << " + " << extra;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GUpwardClosure,
+                         ::testing::Values(31, 62, 93, 124));
+
+TEST(GTest, MinerRunsWithGStatistic) {
+  auto db = testing::RandomCorrelatedDatabase(5, 400, 0.9, 3);
+  BitmapCountProvider provider(db);
+  MinerOptions options;
+  options.support.min_count = 4;
+  options.support.cell_fraction = 0.26;
+  options.chi2.statistic = IndependenceStatistic::kLikelihoodRatioG;
+  auto result = MineCorrelations(provider, db.num_items(), options);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const CorrelationRule& rule : result->significant) {
+    if (rule.itemset == Itemset{0, 1}) found = true;
+  }
+  EXPECT_TRUE(found) << "planted pair not found under the G statistic";
+}
+
+}  // namespace
+}  // namespace corrmine

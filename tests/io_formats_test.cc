@@ -1,0 +1,174 @@
+// Tests for the tokenizer, CSV reader and result serialization.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "io/result_io.h"
+#include "io/tokenizer.h"
+
+namespace corrmine::io {
+namespace {
+
+TEST(TokenizerTest, PaperWordDefinition) {
+  // "any consecutive sequence of alphabetic characters": possessive 's' is
+  // its own word, numbers vanish.
+  auto words = TokenizeWords("Mandela's 27 years; FREEDOM-now!");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0], "mandela");
+  EXPECT_EQ(words[1], "s");
+  EXPECT_EQ(words[2], "years");
+  EXPECT_EQ(words[3], "freedom");
+  EXPECT_EQ(words[4], "now");
+}
+
+TEST(TokenizerTest, ExactTokenCount) {
+  auto words = TokenizeWords("a1b2c3");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "a");
+  EXPECT_EQ(words[2], "c");
+  EXPECT_TRUE(TokenizeWords("123 456").empty());
+  EXPECT_TRUE(TokenizeWords("").empty());
+}
+
+TEST(TokenizerTest, BuildCorpusPrunesAndInterns) {
+  std::vector<std::string> docs = {
+      "alpha beta gamma alpha",  // alpha twice -> still one item.
+      "alpha beta delta",
+      "alpha epsilon zeta",
+      "alpha beta theta",
+  };
+  CorpusOptions options;
+  options.min_doc_frequency = 0.5;  // Words in >= 2 of 4 docs survive.
+  auto db = BuildCorpus(docs, options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_baskets(), 4u);
+  // Survivors: alpha (4 docs), beta (3 docs). Everything else pruned.
+  EXPECT_EQ(db->num_items(), 2u);
+  auto alpha = db->dictionary().Get("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(db->ItemCount(*alpha), 4u);
+}
+
+TEST(TokenizerTest, ShortDocumentsDropped) {
+  std::vector<std::string> docs = {"one two three four five",
+                                   "too short"};
+  CorpusOptions options;
+  options.min_words_per_document = 3;
+  auto db = BuildCorpus(docs, options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_baskets(), 1u);
+  CorpusOptions harsh;
+  harsh.min_words_per_document = 100;
+  EXPECT_TRUE(BuildCorpus(docs, harsh).status().IsFailedPrecondition());
+}
+
+// --- CSV ---
+
+constexpr char kCsv[] =
+    "color,size\n"
+    "red,small\n"
+    "red,big\n"
+    "blue,big\n"
+    "# comment row\n"
+    "blue,small\n";
+
+TEST(CsvTest, ParsesHeaderAndCategories) {
+  auto db = ParseCategoricalCsv(kCsv);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_rows(), 4u);
+  EXPECT_EQ(db->num_attributes(), 2);
+  EXPECT_EQ(db->attribute(0).name, "color");
+  ASSERT_EQ(db->attribute(0).arity(), 2);
+  EXPECT_EQ(db->attribute(0).categories[0], "red");  // First appearance.
+  EXPECT_EQ(db->value(2, 0), 1);                     // blue
+  EXPECT_EQ(db->CategoryCount(1, 1), 2u);            // big twice.
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ParseCategoricalCsv("").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseCategoricalCsv("a,b\n").status().IsInvalidArgument());  // No rows.
+  EXPECT_TRUE(ParseCategoricalCsv("a,b\nx\n").status().IsCorruption());
+  EXPECT_TRUE(ParseCategoricalCsv("a,b\nx,\n").status().IsCorruption());
+  EXPECT_TRUE(ParseCategoricalCsv("a,b\nx,y\n")
+                  .status()
+                  .IsFailedPrecondition());  // Single-category columns.
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto db = ParseCategoricalCsv(kCsv);
+  ASSERT_TRUE(db.ok());
+  std::string path = ::testing::TempDir() + "/corrmine_csv_test.csv";
+  ASSERT_TRUE(WriteCategoricalCsv(*db, path).ok());
+  auto reloaded = ReadCategoricalCsv(path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->num_rows(), db->num_rows());
+  for (size_t row = 0; row < db->num_rows(); ++row) {
+    for (int a = 0; a < db->num_attributes(); ++a) {
+      EXPECT_EQ(reloaded->value(row, a), db->value(row, a));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// --- Result serialization ---
+
+MiningResult SampleResult() {
+  MiningResult result;
+  LevelStats level;
+  level.level = 2;
+  level.possible_itemsets = 45;
+  level.candidates = 40;
+  level.discards = 3;
+  level.significant = 12;
+  level.not_significant = 25;
+  result.levels.push_back(level);
+  CorrelationRule rule;
+  rule.itemset = Itemset{3, 7, 11};
+  rule.chi2.statistic = 123.456;
+  rule.chi2.p_value = 1.25e-7;
+  rule.chi2.dof = 1;
+  rule.major_dependence.mask = 0b101;
+  rule.major_dependence.interest = 2.5;
+  result.significant.push_back(rule);
+  return result;
+}
+
+TEST(ResultIoTest, RoundTrip) {
+  MiningResult original = SampleResult();
+  auto parsed = ParseMiningResult(SerializeMiningResult(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->levels.size(), 1u);
+  EXPECT_EQ(parsed->levels[0].candidates, 40u);
+  EXPECT_EQ(parsed->levels[0].not_significant, 25u);
+  ASSERT_EQ(parsed->significant.size(), 1u);
+  const CorrelationRule& rule = parsed->significant[0];
+  EXPECT_EQ(rule.itemset, (Itemset{3, 7, 11}));
+  EXPECT_DOUBLE_EQ(rule.chi2.statistic, 123.456);
+  EXPECT_DOUBLE_EQ(rule.chi2.p_value, 1.25e-7);
+  EXPECT_EQ(rule.major_dependence.mask, 0b101u);
+  EXPECT_DOUBLE_EQ(rule.major_dependence.interest, 2.5);
+}
+
+TEST(ResultIoTest, FileRoundTrip) {
+  MiningResult original = SampleResult();
+  std::string path = ::testing::TempDir() + "/corrmine_result_test.txt";
+  ASSERT_TRUE(WriteMiningResult(original, path).ok());
+  auto parsed = ReadMiningResult(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->significant.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, RejectsGarbage) {
+  EXPECT_TRUE(ParseMiningResult("bogus 1 2 3\n").status().IsCorruption());
+  EXPECT_TRUE(ParseMiningResult("level 2 45\n").status().IsCorruption());
+  EXPECT_FALSE(ParseMiningResult("rule nan nan\n").ok());
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(ParseMiningResult("# hi\n\n").ok());
+}
+
+}  // namespace
+}  // namespace corrmine::io

@@ -1,0 +1,150 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/sym_matrix.h"
+
+namespace corrmine::linalg {
+namespace {
+
+TEST(SymMatrixTest, IdentityAndSet) {
+  SymMatrix m = SymMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  m.Set(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 0.5);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  SymMatrix m(3);
+  m.Set(0, 0, 3.0);
+  m.Set(1, 1, 1.0);
+  m.Set(2, 2, 2.0);
+  EigenDecomposition eig = JacobiEigen(m);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2,
+  // (1,-1)/sqrt2.
+  SymMatrix m(2);
+  m.Set(0, 0, 2.0);
+  m.Set(1, 1, 2.0);
+  m.Set(0, 1, 1.0);
+  EigenDecomposition eig = JacobiEigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(std::fabs(eig.vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(std::fabs(eig.vectors[0][1]), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  // A = V diag(lambda) V^T must reproduce the input.
+  SymMatrix m(4);
+  double values[4][4] = {{4.0, 1.2, -0.3, 0.5},
+                         {1.2, 3.0, 0.7, -0.2},
+                         {-0.3, 0.7, 2.0, 0.1},
+                         {0.5, -0.2, 0.1, 1.0}};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i; j < 4; ++j) m.Set(i, j, values[i][j]);
+  }
+  EigenDecomposition eig = JacobiEigen(m);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        sum += eig.values[k] * eig.vectors[k][i] * eig.vectors[k][j];
+      }
+      EXPECT_NEAR(sum, values[i][j], 1e-9) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  SymMatrix m(3);
+  m.Set(0, 0, 1.0);
+  m.Set(1, 1, 2.0);
+  m.Set(2, 2, 3.0);
+  m.Set(0, 1, 0.4);
+  m.Set(1, 2, -0.6);
+  m.Set(0, 2, 0.2);
+  EigenDecomposition eig = JacobiEigen(m);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < 3; ++i) dot += eig.vectors[a][i] * eig.vectors[b][i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(NearestCorrelationTest, PsdInputPassesThrough) {
+  SymMatrix m = SymMatrix::Identity(3);
+  m.Set(0, 1, 0.5);
+  m.Set(1, 2, 0.3);
+  SymMatrix fixed = NearestCorrelationMatrix(m);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(fixed.at(i, j), m.at(i, j), 1e-6);
+    }
+  }
+}
+
+TEST(NearestCorrelationTest, RepairsIndefiniteMatrix) {
+  // Pairwise correlations (0.9, 0.9, -0.9) are jointly infeasible.
+  SymMatrix m = SymMatrix::Identity(3);
+  m.Set(0, 1, 0.9);
+  m.Set(0, 2, 0.9);
+  m.Set(1, 2, -0.9);
+  SymMatrix fixed = NearestCorrelationMatrix(m);
+  // Result must have unit diagonal and all eigenvalues >= 0.
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(fixed.at(i, i), 1.0, 1e-12);
+  EigenDecomposition eig = JacobiEigen(fixed);
+  for (double lambda : eig.values) EXPECT_GE(lambda, -1e-10);
+  // Cholesky must now succeed.
+  EXPECT_TRUE(CholeskyFactor(fixed).ok());
+}
+
+TEST(CholeskyTest, KnownFactorization) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  SymMatrix m(2);
+  m.Set(0, 0, 4.0);
+  m.Set(0, 1, 2.0);
+  m.Set(1, 1, 3.0);
+  auto l = CholeskyFactor(m);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*l)[2], 1.0, 1e-12);
+  EXPECT_NEAR((*l)[3], std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, ReconstructsInput) {
+  SymMatrix m = SymMatrix::Identity(3);
+  m.Set(0, 1, 0.6);
+  m.Set(0, 2, -0.2);
+  m.Set(1, 2, 0.1);
+  auto l = CholeskyFactor(m);
+  ASSERT_TRUE(l.ok());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        sum += (*l)[i * 3 + k] * (*l)[j * 3 + k];
+      }
+      EXPECT_NEAR(sum, m.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  SymMatrix m = SymMatrix::Identity(2);
+  m.Set(0, 1, 1.5);  // |rho| > 1: not PSD.
+  EXPECT_TRUE(CholeskyFactor(m).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace corrmine::linalg

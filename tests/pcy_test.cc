@@ -1,0 +1,81 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "mining/apriori.h"
+#include "mining/pcy.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+std::map<Itemset, uint64_t> ToMap(const std::vector<FrequentItemset>& sets) {
+  std::map<Itemset, uint64_t> m;
+  for (const FrequentItemset& f : sets) m.emplace(f.itemset, f.count);
+  return m;
+}
+
+class PcyEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PcyEquivalence, MatchesApriori) {
+  auto db = testing::RandomCorrelatedDatabase(8, 200, 0.8, GetParam());
+  BitmapCountProvider provider(db);
+  AprioriOptions apriori_opts;
+  apriori_opts.min_support_fraction = 0.1;
+  auto apriori = MineFrequentItemsets(provider, db.num_items(), apriori_opts);
+  ASSERT_TRUE(apriori.ok());
+
+  PcyOptions pcy_opts;
+  pcy_opts.min_support_fraction = 0.1;
+  auto pcy = MineFrequentItemsetsPcy(db, pcy_opts);
+  ASSERT_TRUE(pcy.ok());
+
+  EXPECT_EQ(ToMap(*pcy), ToMap(*apriori));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcyEquivalence,
+                         ::testing::Values(10, 20, 30, 40));
+
+TEST(PcyTest, TinyBucketArrayStillCorrect) {
+  // Heavy collisions weaken pruning but must not change the result.
+  auto db = testing::RandomCorrelatedDatabase(6, 150, 0.7, 3);
+  PcyOptions few_buckets;
+  few_buckets.min_support_fraction = 0.1;
+  few_buckets.num_hash_buckets = 4;
+  PcyOptions many_buckets;
+  many_buckets.min_support_fraction = 0.1;
+  many_buckets.num_hash_buckets = 1 << 16;
+  auto a = MineFrequentItemsetsPcy(db, few_buckets);
+  auto b = MineFrequentItemsetsPcy(db, many_buckets);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToMap(*a), ToMap(*b));
+}
+
+TEST(PcyTest, StatsShowBucketPruning) {
+  auto db = testing::RandomIndependentDatabase(12, 300, 6);
+  PcyOptions options;
+  options.min_support_fraction = 0.25;
+  options.num_hash_buckets = 1 << 12;
+  PcyStats stats;
+  auto result = MineFrequentItemsetsPcy(db, options, &stats);
+  ASSERT_TRUE(result.ok());
+  // The bucket filter can only reduce the candidate set.
+  EXPECT_LE(stats.pair_candidates_after_bucket,
+            stats.pair_candidates_item_filter);
+}
+
+TEST(PcyTest, InputValidation) {
+  TransactionDatabase empty(2);
+  EXPECT_TRUE(MineFrequentItemsetsPcy(empty, PcyOptions())
+                  .status()
+                  .IsFailedPrecondition());
+  auto db = testing::RandomIndependentDatabase(3, 20, 1);
+  PcyOptions bad;
+  bad.num_hash_buckets = 0;
+  EXPECT_TRUE(
+      MineFrequentItemsetsPcy(db, bad).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace corrmine

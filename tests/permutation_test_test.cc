@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "stats/permutation_test.h"
+#include "test_util.h"
+
+namespace corrmine::stats {
+namespace {
+
+TEST(PermutationTest, RejectsPlantedCorrelation) {
+  auto db = testing::RandomCorrelatedDatabase(3, 300, 0.95, 11);
+  PermutationTestOptions options;
+  options.rounds = 400;
+  auto result = PermutationIndependenceTest(db, Itemset{0, 1}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->observed_statistic, 50.0);
+  // Best attainable p-value is 1/(rounds+1).
+  EXPECT_LE(result->p_value, 2.0 / 401.0);
+  EXPECT_LT(result->chi_squared_p_value, 1e-6);
+}
+
+TEST(PermutationTest, AcceptsIndependentItems) {
+  auto db = testing::RandomIndependentDatabase(3, 300, 13);
+  PermutationTestOptions options;
+  options.rounds = 300;
+  auto result = PermutationIndependenceTest(db, Itemset{0, 1}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.01);
+}
+
+TEST(PermutationTest, AgreesWithChiSquaredWhenValid) {
+  // Large n, balanced margins: the asymptotic approximation is good, so
+  // the Monte Carlo p-value should be close to the chi-squared one.
+  auto db = testing::RandomIndependentDatabase(2, 2000, 17);
+  PermutationTestOptions options;
+  options.rounds = 2000;
+  auto result = PermutationIndependenceTest(db, Itemset{0, 1}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->p_value, result->chi_squared_p_value, 0.08);
+}
+
+TEST(PermutationTest, HandlesThreeWayItemsets) {
+  auto db = testing::RandomCorrelatedDatabase(4, 250, 0.9, 23);
+  PermutationTestOptions options;
+  options.rounds = 200;
+  auto result = PermutationIndependenceTest(db, Itemset{0, 1, 2}, options);
+  ASSERT_TRUE(result.ok());
+  // {0,1} correlated implies the triple is too (upward closure).
+  EXPECT_LT(result->p_value, 0.05);
+}
+
+TEST(PermutationTest, DeterministicForSeed) {
+  auto db = testing::RandomCorrelatedDatabase(3, 150, 0.7, 29);
+  PermutationTestOptions options;
+  options.rounds = 100;
+  options.seed = 77;
+  auto a = PermutationIndependenceTest(db, Itemset{0, 1}, options);
+  auto b = PermutationIndependenceTest(db, Itemset{0, 1}, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->p_value, b->p_value);
+}
+
+TEST(PermutationTest, InputValidation) {
+  TransactionDatabase empty(3);
+  EXPECT_TRUE(PermutationIndependenceTest(empty, Itemset{0, 1})
+                  .status()
+                  .IsFailedPrecondition());
+  auto db = testing::RandomIndependentDatabase(3, 50, 1);
+  EXPECT_TRUE(PermutationIndependenceTest(db, Itemset{0})
+                  .status()
+                  .IsInvalidArgument());
+  PermutationTestOptions bad;
+  bad.rounds = 0;
+  EXPECT_TRUE(PermutationIndependenceTest(db, Itemset{0, 1}, bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace corrmine::stats

@@ -1,0 +1,114 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/random_walk_miner.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+std::set<Itemset> SignificantSets(const MiningResult& result) {
+  std::set<Itemset> sets;
+  for (const auto& rule : result.significant) sets.insert(rule.itemset);
+  return sets;
+}
+
+TEST(RandomWalkTest, FindsPlantedCorrelation) {
+  auto db = testing::RandomCorrelatedDatabase(5, 500, 0.95, 99);
+  BitmapCountProvider provider(db);
+  RandomWalkOptions options;
+  options.num_walks = 300;
+  options.miner.support.min_count = 5;
+  options.miner.support.cell_fraction = 0.26;
+  auto result =
+      MineCorrelationsRandomWalk(provider, db.num_items(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SignificantSets(*result).count(Itemset{0, 1}));
+}
+
+TEST(RandomWalkTest, ResultsAreSupportedCorrelatedAndMinimal) {
+  auto db = testing::RandomCorrelatedDatabase(6, 400, 0.8, 55);
+  BitmapCountProvider provider(db);
+  RandomWalkOptions options;
+  options.num_walks = 400;
+  options.miner.support.min_count = 4;
+  options.miner.support.cell_fraction = 0.26;
+  auto result =
+      MineCorrelationsRandomWalk(provider, db.num_items(), options);
+  ASSERT_TRUE(result.ok());
+  for (const CorrelationRule& rule : result->significant) {
+    auto table = ContingencyTable::Build(provider, rule.itemset);
+    ASSERT_TRUE(table.ok());
+    EXPECT_TRUE(HasCellSupport(*table, options.miner.support));
+    EXPECT_TRUE(ComputeChiSquared(*table, options.miner.chi2)
+                    .SignificantAt(options.miner.confidence_level));
+    // Minimality among supported sets: no immediate subset of size >= 2 is
+    // both supported and correlated.
+    if (rule.itemset.size() > 2) {
+      for (const Itemset& subset : rule.itemset.SubsetsMissingOne()) {
+        auto sub = ContingencyTable::Build(provider, subset);
+        ASSERT_TRUE(sub.ok());
+        bool supported = HasCellSupport(*sub, options.miner.support);
+        bool correlated = ComputeChiSquared(*sub, options.miner.chi2)
+                              .SignificantAt(options.miner.confidence_level);
+        EXPECT_FALSE(supported && correlated)
+            << rule.itemset.ToString() << " not minimal: subset "
+            << subset.ToString() << " is supported and correlated";
+      }
+    }
+  }
+}
+
+TEST(RandomWalkTest, EnoughWalksRecoverLevelWiseBorder) {
+  // With many walks the random-walk miner should find at least the sets the
+  // level-wise algorithm outputs (its SIG sets are reachable by chains of
+  // supported, uncorrelated sets).
+  auto db = testing::RandomCorrelatedDatabase(5, 300, 0.9, 77);
+  BitmapCountProvider provider(db);
+  MinerOptions miner;
+  miner.support.min_count = 3;
+  miner.support.cell_fraction = 0.26;
+  auto level_wise = MineCorrelations(provider, db.num_items(), miner);
+  ASSERT_TRUE(level_wise.ok());
+
+  RandomWalkOptions options;
+  options.miner = miner;
+  options.num_walks = 2000;
+  auto walks = MineCorrelationsRandomWalk(provider, db.num_items(), options);
+  ASSERT_TRUE(walks.ok());
+  auto walk_sets = SignificantSets(*walks);
+  for (const Itemset& s : SignificantSets(*level_wise)) {
+    EXPECT_TRUE(walk_sets.count(s)) << "missed " << s.ToString();
+  }
+}
+
+TEST(RandomWalkTest, DeterministicForFixedSeed) {
+  auto db = testing::RandomCorrelatedDatabase(5, 200, 0.9, 31);
+  BitmapCountProvider provider(db);
+  RandomWalkOptions options;
+  options.num_walks = 100;
+  options.seed = 4242;
+  auto a = MineCorrelationsRandomWalk(provider, db.num_items(), options);
+  auto b = MineCorrelationsRandomWalk(provider, db.num_items(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SignificantSets(*a), SignificantSets(*b));
+}
+
+TEST(RandomWalkTest, InputValidation) {
+  TransactionDatabase empty(3);
+  ScanCountProvider provider(empty);
+  EXPECT_TRUE(MineCorrelationsRandomWalk(provider, 3, RandomWalkOptions())
+                  .status()
+                  .IsFailedPrecondition());
+  auto db = testing::RandomIndependentDatabase(1, 50, 2);
+  ScanCountProvider one_item(db);
+  EXPECT_TRUE(MineCorrelationsRandomWalk(one_item, 1, RandomWalkOptions())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "mining/rare_pairs.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+// Database where rare items 0 and 1 always co-occur (5 of 500 baskets),
+// rare items 2 and 3 never co-occur but are independent of everything, and
+// item 4 is common.
+TransactionDatabase RareStructureDb() {
+  std::vector<std::vector<ItemId>> baskets;
+  for (int i = 0; i < 5; ++i) baskets.push_back({0, 1, 4});
+  for (int i = 0; i < 8; ++i) baskets.push_back({2, 4});
+  for (int i = 0; i < 8; ++i) baskets.push_back({3});
+  for (int i = 0; i < 300; ++i) baskets.push_back({4});
+  for (int i = 0; i < 179; ++i) baskets.push_back({});
+  return testing::MakeDatabase(5, baskets);
+}
+
+TEST(RarePairsTest, FindsCooccurringRareItems) {
+  auto db = RareStructureDb();
+  BitmapCountProvider provider(db);
+  RarePairOptions options;
+  options.max_item_fraction = 0.05;
+  auto results = MineRarePairs(provider, db.num_items(), options);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  // The perfectly co-occurring pair {0,1} must rank first, with a joint
+  // interest far above 1.
+  EXPECT_EQ((*results)[0].pair, (Itemset{0, 1}));
+  EXPECT_GT((*results)[0].joint_interest, 10.0);
+  EXPECT_LT((*results)[0].p_value, 1e-6);
+  EXPECT_EQ((*results)[0].count_both, 5u);
+}
+
+TEST(RarePairsTest, CommonItemsExcludedByAntiSupport) {
+  auto db = RareStructureDb();
+  BitmapCountProvider provider(db);
+  RarePairOptions options;
+  options.max_item_fraction = 0.05;
+  auto results = MineRarePairs(provider, db.num_items(), options);
+  ASSERT_TRUE(results.ok());
+  for (const RarePairResult& result : *results) {
+    EXPECT_FALSE(result.pair.Contains(4))
+        << "common item leaked through anti-support";
+  }
+}
+
+TEST(RarePairsTest, IndependentRarePairsNotReported) {
+  // 2 and 3 are rare and disjoint, but with these margins the exact test
+  // cannot reject independence at any strict threshold... verify they do
+  // not appear with a tight p-value cutoff.
+  auto db = RareStructureDb();
+  BitmapCountProvider provider(db);
+  RarePairOptions options;
+  options.max_item_fraction = 0.05;
+  options.max_p_value = 1e-4;
+  auto results = MineRarePairs(provider, db.num_items(), options);
+  ASSERT_TRUE(results.ok());
+  for (const RarePairResult& result : *results) {
+    EXPECT_NE(result.pair, (Itemset{2, 3}));
+  }
+}
+
+TEST(RarePairsTest, NullDataYieldsNothingAtStrictCutoff) {
+  auto db = testing::RandomIndependentDatabase(10, 400, 3);
+  BitmapCountProvider provider(db);
+  RarePairOptions options;
+  options.max_item_fraction = 0.3;
+  options.max_p_value = 1e-4;
+  auto results = MineRarePairs(provider, db.num_items(), options);
+  ASSERT_TRUE(results.ok());
+  EXPECT_LE(results->size(), 1u);
+}
+
+TEST(RarePairsTest, SortedByPValue) {
+  auto db = RareStructureDb();
+  BitmapCountProvider provider(db);
+  RarePairOptions options;
+  options.max_item_fraction = 0.06;
+  options.max_p_value = 0.5;
+  auto results = MineRarePairs(provider, db.num_items(), options);
+  ASSERT_TRUE(results.ok());
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_LE((*results)[i - 1].p_value, (*results)[i].p_value);
+  }
+}
+
+TEST(RarePairsTest, InputValidation) {
+  TransactionDatabase empty(3);
+  ScanCountProvider provider(empty);
+  EXPECT_TRUE(MineRarePairs(provider, 3, RarePairOptions())
+                  .status()
+                  .IsFailedPrecondition());
+  auto db = testing::RandomIndependentDatabase(3, 20, 1);
+  BitmapCountProvider ok_provider(db);
+  RarePairOptions bad;
+  bad.max_item_fraction = 0.0;
+  EXPECT_TRUE(
+      MineRarePairs(ok_provider, 3, bad).status().IsInvalidArgument());
+  RarePairOptions bad2;
+  bad2.max_p_value = 0.0;
+  EXPECT_TRUE(
+      MineRarePairs(ok_provider, 3, bad2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace corrmine

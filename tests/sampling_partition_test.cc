@@ -1,0 +1,138 @@
+// Tests for the sampled (Toivonen) and partitioned (Savasere et al.)
+// frequent-itemset miners: both must reproduce Apriori's output exactly on
+// any input, with their respective efficiency diagnostics behaving sanely.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "mining/partition.h"
+#include "mining/sampling.h"
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+std::map<Itemset, uint64_t> ToMap(const std::vector<FrequentItemset>& sets) {
+  std::map<Itemset, uint64_t> m;
+  for (const FrequentItemset& f : sets) m.emplace(f.itemset, f.count);
+  return m;
+}
+
+std::map<Itemset, uint64_t> AprioriReference(const TransactionDatabase& db,
+                                             double min_support) {
+  BitmapCountProvider provider(db);
+  AprioriOptions options;
+  options.min_support_fraction = min_support;
+  auto result = MineFrequentItemsets(provider, db.num_items(), options);
+  CORRMINE_CHECK(result.ok()) << result.status().ToString();
+  return ToMap(*result);
+}
+
+class SamplingEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SamplingEquivalence, MatchesApriori) {
+  auto db = testing::RandomCorrelatedDatabase(8, 400, 0.8, GetParam());
+  SamplingOptions options;
+  options.min_support_fraction = 0.1;
+  options.sample_fraction = 0.25;
+  options.seed = GetParam() * 7 + 1;
+  SamplingStats stats;
+  auto sampled = MineFrequentItemsetsSampling(db, options, &stats);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(ToMap(*sampled), AprioriReference(db, 0.1));
+  EXPECT_GT(stats.candidates_counted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplingEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SamplingTest, TinySampleStillExact) {
+  // A sample too small to be representative forces the negative-border
+  // fallback; the result must still be exact.
+  auto db = testing::RandomCorrelatedDatabase(6, 300, 0.9, 42);
+  SamplingOptions options;
+  options.min_support_fraction = 0.15;
+  options.sample_fraction = 0.03;  // ~9 baskets.
+  SamplingStats stats;
+  auto sampled = MineFrequentItemsetsSampling(db, options, &stats);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(ToMap(*sampled), AprioriReference(db, 0.15));
+}
+
+TEST(SamplingTest, MaxLevelRespected) {
+  auto db = testing::RandomCorrelatedDatabase(6, 200, 0.9, 9);
+  SamplingOptions options;
+  options.min_support_fraction = 0.05;
+  options.max_level = 2;
+  auto sampled = MineFrequentItemsetsSampling(db, options);
+  ASSERT_TRUE(sampled.ok());
+  for (const FrequentItemset& f : *sampled) {
+    EXPECT_LE(f.itemset.size(), 2u);
+  }
+}
+
+TEST(SamplingTest, InputValidation) {
+  TransactionDatabase empty(3);
+  EXPECT_TRUE(MineFrequentItemsetsSampling(empty, SamplingOptions())
+                  .status()
+                  .IsFailedPrecondition());
+  auto db = testing::RandomIndependentDatabase(3, 30, 1);
+  SamplingOptions bad;
+  bad.sample_fraction = 0.0;
+  EXPECT_TRUE(
+      MineFrequentItemsetsSampling(db, bad).status().IsInvalidArgument());
+  SamplingOptions bad2;
+  bad2.lowering_factor = 1.5;
+  EXPECT_TRUE(
+      MineFrequentItemsetsSampling(db, bad2).status().IsInvalidArgument());
+}
+
+class PartitionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionEquivalence, MatchesAprioriAcrossPartitionCounts) {
+  auto db = testing::RandomCorrelatedDatabase(8, 350, 0.75, 77);
+  PartitionOptions options;
+  options.min_support_fraction = 0.12;
+  options.num_partitions = GetParam();
+  PartitionStats stats;
+  auto partitioned = MineFrequentItemsetsPartition(db, options, &stats);
+  ASSERT_TRUE(partitioned.ok());
+  EXPECT_EQ(ToMap(*partitioned), AprioriReference(db, 0.12));
+  // Every true frequent itemset is among the global candidates.
+  EXPECT_GE(stats.global_candidates, partitioned->size());
+  EXPECT_EQ(stats.global_candidates - stats.false_candidates,
+            partitioned->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, PartitionEquivalence,
+                         ::testing::Values(1, 2, 3, 7, 50));
+
+TEST(PartitionTest, MorePartitionsMoreFalseCandidates) {
+  // Finer partitions make local thresholds easier to clear by luck, so
+  // false candidates (wasted phase-2 work) should not decrease.
+  auto db = testing::RandomIndependentDatabase(10, 500, 5);
+  PartitionStats coarse, fine;
+  PartitionOptions options;
+  options.min_support_fraction = 0.2;
+  options.num_partitions = 2;
+  ASSERT_TRUE(MineFrequentItemsetsPartition(db, options, &coarse).ok());
+  options.num_partitions = 25;
+  ASSERT_TRUE(MineFrequentItemsetsPartition(db, options, &fine).ok());
+  EXPECT_GE(fine.global_candidates, coarse.global_candidates);
+}
+
+TEST(PartitionTest, InputValidation) {
+  TransactionDatabase empty(3);
+  EXPECT_TRUE(MineFrequentItemsetsPartition(empty, PartitionOptions())
+                  .status()
+                  .IsFailedPrecondition());
+  auto db = testing::RandomIndependentDatabase(3, 30, 1);
+  PartitionOptions bad;
+  bad.num_partitions = 0;
+  EXPECT_TRUE(
+      MineFrequentItemsetsPartition(db, bad).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -1,0 +1,144 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/categorical_table.h"
+#include "stats/chi_squared_distribution.h"
+#include "stats/fisher_exact.h"
+
+namespace corrmine::stats {
+namespace {
+
+TEST(FisherExactTest, TeaTastingTable) {
+  // Fisher's classic lady-tasting-tea design: 3/1 vs 1/3 with fixed margins.
+  TwoByTwoCounts t{3, 1, 1, 3};
+  auto p = FisherExactTwoSided(t);
+  ASSERT_TRUE(p.ok());
+  // Enumerable by hand: p = 0.4857142857...
+  EXPECT_NEAR(*p, 0.4857142857142857, 1e-10);
+  auto greater = FisherExactGreater(t);
+  ASSERT_TRUE(greater.ok());
+  EXPECT_NEAR(*greater, 0.24285714285714285, 1e-10);
+}
+
+TEST(FisherExactTest, PerfectAssociationSmallTable) {
+  TwoByTwoCounts t{5, 0, 0, 5};
+  auto p = FisherExactTwoSided(t);
+  ASSERT_TRUE(p.ok());
+  // 2 * C(10,5)^{-1} * ... : the two extreme tables each have prob 1/252.
+  EXPECT_NEAR(*p, 2.0 / 252.0, 1e-10);
+}
+
+TEST(FisherExactTest, IndependentTableHasLargePValue) {
+  TwoByTwoCounts t{20, 20, 20, 20};
+  auto p = FisherExactTwoSided(t);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(*p, 0.99);
+}
+
+TEST(FisherExactTest, PointProbabilitiesSumToOne) {
+  // Sum of hypergeometric probabilities over all feasible tables = 1.
+  uint64_t row1 = 7, row2 = 5, col1 = 6;
+  double total = 0.0;
+  for (uint64_t a = 1; a <= 6; ++a) {  // a_min = col1 - row2 = 1.
+    TwoByTwoCounts t{a, row1 - a, col1 - a, row2 - (col1 - a)};
+    total += HypergeometricTableProbability(t);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FisherExactTest, AgreesWithChiSquaredAsymptotically) {
+  // Large balanced table with a clear effect: both tests reject crisply.
+  TwoByTwoCounts t{700, 300, 300, 700};
+  auto fisher = FisherExactTwoSided(t);
+  ASSERT_TRUE(fisher.ok());
+  EXPECT_LT(*fisher, 1e-10);
+}
+
+TEST(FisherExactTest, RejectsEmptyAndHugeTables) {
+  EXPECT_FALSE(FisherExactTwoSided(TwoByTwoCounts{0, 0, 0, 0}).ok());
+  TwoByTwoCounts huge{2000000, 1, 1, 1};
+  EXPECT_TRUE(FisherExactTwoSided(huge).status().IsOutOfRange());
+}
+
+// --- Categorical (r x c) tables ---
+
+TEST(CategoricalTableTest, CreateValidation) {
+  EXPECT_FALSE(CategoricalTable::Create(1, 3).ok());
+  EXPECT_FALSE(CategoricalTable::Create(2, 1).ok());
+  EXPECT_TRUE(CategoricalTable::Create(2, 2).ok());
+}
+
+TEST(CategoricalTableTest, MarginsAndExpectation) {
+  auto table = CategoricalTable::Create(2, 3);
+  ASSERT_TRUE(table.ok());
+  // Rows: [10 20 30], [20 40 60] — perfectly proportional.
+  int values[2][3] = {{10, 20, 30}, {20, 40, 60}};
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      table->set_count(r, c, values[r][c]);
+    }
+  }
+  EXPECT_EQ(table->RowTotal(0), 60u);
+  EXPECT_EQ(table->ColTotal(2), 90u);
+  EXPECT_EQ(table->GrandTotal(), 180u);
+  EXPECT_NEAR(table->Expected(0, 0), 60.0 * 30.0 / 180.0, 1e-12);
+
+  auto chi2 = table->ChiSquared();
+  ASSERT_TRUE(chi2.ok());
+  EXPECT_NEAR(*chi2, 0.0, 1e-12);  // Exactly independent.
+  EXPECT_EQ(table->DegreesOfFreedom(), 2);
+  auto p = table->PValue();
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 1.0, 1e-12);
+}
+
+TEST(CategoricalTableTest, KnownChiSquaredValue) {
+  // 2x2 with counts [[10, 20], [30, 40]]: chi2 = 100*(10*40-20*30)^2 /
+  // (30*70*40*60) = 0.7936...
+  auto table = CategoricalTable::Create(2, 2);
+  ASSERT_TRUE(table.ok());
+  table->set_count(0, 0, 10);
+  table->set_count(0, 1, 20);
+  table->set_count(1, 0, 30);
+  table->set_count(1, 1, 40);
+  auto chi2 = table->ChiSquared();
+  ASSERT_TRUE(chi2.ok());
+  double expected = 100.0 * std::pow(10.0 * 40 - 20.0 * 30, 2) /
+                    (30.0 * 70.0 * 40.0 * 60.0);
+  EXPECT_NEAR(*chi2, expected, 1e-10);
+}
+
+TEST(CategoricalTableTest, InterestMatchesObservedOverExpected) {
+  auto table = CategoricalTable::Create(2, 2);
+  ASSERT_TRUE(table.ok());
+  table->set_count(0, 0, 30);
+  table->set_count(0, 1, 10);
+  table->set_count(1, 0, 10);
+  table->set_count(1, 1, 30);
+  EXPECT_NEAR(table->Interest(0, 0), 30.0 / (40.0 * 40.0 / 80.0), 1e-12);
+}
+
+TEST(CategoricalTableTest, CramersVPerfectAssociation) {
+  auto table = CategoricalTable::Create(2, 2);
+  ASSERT_TRUE(table.ok());
+  table->set_count(0, 0, 50);
+  table->set_count(0, 1, 0);
+  table->set_count(1, 0, 0);
+  table->set_count(1, 1, 50);
+  auto v = table->CramersV();
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 1.0, 1e-12);
+}
+
+TEST(CategoricalTableTest, ErrorsOnDegenerateMargins) {
+  auto table = CategoricalTable::Create(2, 2);
+  ASSERT_TRUE(table.ok());
+  table->set_count(0, 0, 5);
+  table->set_count(0, 1, 5);
+  // Row 1 all zero.
+  EXPECT_TRUE(table->ChiSquared().status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace corrmine::stats

@@ -1,0 +1,129 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/chi_squared_distribution.h"
+#include "stats/gamma.h"
+
+namespace corrmine::stats {
+namespace {
+
+TEST(LogGammaTest, IntegerValuesMatchFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-10);
+}
+
+TEST(LogGammaTest, HalfIntegerValue) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-12);
+}
+
+TEST(LogGammaTest, RecurrenceHolds) {
+  // Gamma(x+1) = x * Gamma(x) across a range, including x < 0.5 where the
+  // reflection formula kicks in.
+  for (double x : {0.1, 0.3, 0.9, 2.7, 10.4, 55.5, 171.0}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), std::log(x) + LogGamma(x), 1e-9)
+        << "x = " << x;
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 700.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ComplementsSumToOne) {
+  for (double a : {0.5, 1.0, 3.5, 20.0}) {
+    for (double x : {0.01, 0.5, 1.0, 4.0, 25.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 1.0, 2.5, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(LogFactorialTest, SmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+}
+
+TEST(LogBinomialTest, MatchesDirectComputation) {
+  EXPECT_NEAR(std::exp(LogBinomial(10, 3)), 120.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(52, 5)), 2598960.0, 1e-3);
+  EXPECT_NEAR(LogBinomial(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(7, 7), 0.0, 1e-12);
+}
+
+// --- Chi-squared distribution ---
+
+TEST(ChiSquaredDistributionTest, PaperCutoffAt95Percent) {
+  // The cutoff the paper quotes throughout: 3.84 at the 95% level, 1 dof.
+  EXPECT_NEAR(ChiSquaredCriticalValue(0.95, 1), 3.841458820694124, 1e-8);
+}
+
+TEST(ChiSquaredDistributionTest, StandardCriticalValues) {
+  // Textbook chi-squared table entries.
+  EXPECT_NEAR(ChiSquaredCriticalValue(0.95, 2), 5.991464547107979, 1e-8);
+  EXPECT_NEAR(ChiSquaredCriticalValue(0.95, 5), 11.070497693516351, 1e-8);
+  EXPECT_NEAR(ChiSquaredCriticalValue(0.99, 1), 6.634896601021213, 1e-8);
+  EXPECT_NEAR(ChiSquaredCriticalValue(0.90, 10), 15.987179172105261, 1e-8);
+}
+
+TEST(ChiSquaredDistributionTest, CdfQuantileRoundTrip) {
+  for (int dof : {1, 2, 3, 7, 30, 100}) {
+    ChiSquaredDistribution dist(dof);
+    for (double p : {0.01, 0.25, 0.5, 0.9, 0.95, 0.999}) {
+      double x = dist.Quantile(p);
+      EXPECT_NEAR(dist.Cdf(x), p, 1e-9) << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(ChiSquaredDistributionTest, SurvivalComplementsCdf) {
+  ChiSquaredDistribution dist(3);
+  for (double x : {0.0, 0.5, 2.0, 10.0, 50.0}) {
+    EXPECT_NEAR(dist.Cdf(x) + dist.Survival(x), 1.0, 1e-12);
+  }
+}
+
+TEST(ChiSquaredDistributionTest, OneDofCdfMatchesNormalFold) {
+  // If Z ~ N(0,1), Z^2 ~ chi2(1): P(Z^2 <= x) = 2 Phi(sqrt(x)) - 1.
+  ChiSquaredDistribution dist(1);
+  for (double x : {0.1, 1.0, 3.84, 9.0}) {
+    double z = std::sqrt(x);
+    double expected = std::erf(z / std::sqrt(2.0));
+    EXPECT_NEAR(dist.Cdf(x), expected, 1e-10);
+  }
+}
+
+TEST(ChiSquaredDistributionTest, PValueHelper) {
+  EXPECT_NEAR(ChiSquaredPValue(3.841458820694124, 1), 0.05, 1e-8);
+  EXPECT_GT(ChiSquaredPValue(0.9, 1), 0.05);   // Paper's Example 3.
+  EXPECT_LT(ChiSquaredPValue(2006.0, 1), 1e-6);  // Paper's Example 4.
+}
+
+TEST(ChiSquaredDistributionTest, MeanIsDof) {
+  // Median sanity: CDF(dof) is a bit over 0.5 for small dof.
+  for (int dof : {1, 4, 16}) {
+    ChiSquaredDistribution dist(dof);
+    EXPECT_GT(dist.Cdf(static_cast<double>(dof)), 0.5);
+    EXPECT_LT(dist.Cdf(static_cast<double>(dof)), 0.75);
+  }
+}
+
+}  // namespace
+}  // namespace corrmine::stats

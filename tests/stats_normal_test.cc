@@ -1,0 +1,135 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/bivariate_normal.h"
+#include "stats/normal.h"
+#include "stats/tetrachoric.h"
+
+namespace corrmine::stats {
+namespace {
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalTest, CdfTailsAccurate) {
+  EXPECT_NEAR(NormalCdf(-6.0), 9.865876450376946e-10, 1e-18);
+  EXPECT_NEAR(1.0 - NormalCdf(6.0), 9.865876450377e-10, 1e-15);
+}
+
+TEST(NormalTest, QuantileRoundTrip) {
+  for (double p : {1e-10, 1e-4, 0.02425, 0.1, 0.5, 0.77, 0.975, 1 - 1e-6}) {
+    double x = NormalQuantile(p);
+    EXPECT_NEAR(NormalCdf(x), p, 1e-12) << "p = " << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6448536269514722, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963984540054, 1e-10);
+}
+
+// --- Bivariate normal ---
+
+TEST(BivariateNormalTest, IndependenceFactorizes) {
+  for (double h : {-1.5, 0.0, 0.7}) {
+    for (double k : {-0.3, 0.5, 2.0}) {
+      EXPECT_NEAR(BivariateNormalUpper(h, k, 0.0),
+                  (1.0 - NormalCdf(h)) * (1.0 - NormalCdf(k)), 1e-12);
+    }
+  }
+}
+
+TEST(BivariateNormalTest, PerfectCorrelationIsMin) {
+  // rho = 1: P(X > h, X > k) = 1 - Phi(max(h, k)).
+  EXPECT_NEAR(BivariateNormalUpper(0.5, -0.2, 1.0), 1.0 - NormalCdf(0.5),
+              1e-9);
+  // rho = -1: P(X > h, -X > k) = max(0, Phi(-k) - Phi(h)).
+  EXPECT_NEAR(BivariateNormalUpper(0.5, -0.2, -1.0), 0.0, 1e-12);
+  EXPECT_NEAR(BivariateNormalUpper(-0.5, -0.2, -1.0),
+              NormalCdf(0.2) - NormalCdf(-0.5), 1e-9);
+  EXPECT_NEAR(BivariateNormalUpper(1.0, 0.5, -1.0), 0.0, 1e-12);
+}
+
+TEST(BivariateNormalTest, SymmetricAtZeroThresholds) {
+  // P(X > 0, Y > 0) = 1/4 + asin(rho) / (2 pi): a classical identity.
+  for (double rho : {-0.9, -0.5, 0.0, 0.3, 0.8, 0.95}) {
+    double expected = 0.25 + std::asin(rho) / (2.0 * M_PI);
+    EXPECT_NEAR(BivariateNormalUpper(0.0, 0.0, rho), expected, 5e-8)
+        << "rho = " << rho;
+  }
+}
+
+TEST(BivariateNormalTest, MonotoneInRho) {
+  double prev = -1.0;
+  for (double rho = -0.99; rho <= 0.99; rho += 0.03) {
+    double value = BivariateNormalUpper(0.4, -0.6, rho);
+    EXPECT_GE(value, prev - 1e-12) << "rho = " << rho;
+    prev = value;
+  }
+}
+
+TEST(BivariateNormalTest, ArgumentSymmetry) {
+  EXPECT_NEAR(BivariateNormalUpper(0.3, 1.1, 0.6),
+              BivariateNormalUpper(1.1, 0.3, 0.6), 1e-12);
+}
+
+TEST(BivariateNormalTest, CdfAndUpperConsistent) {
+  // P(X<=h, Y<=k) + P(X>h) + P(Y>k) - P(X>h, Y>k) = 1.
+  for (double rho : {-0.7, 0.0, 0.85}) {
+    double h = 0.3, k = -0.9;
+    double total = BivariateNormalCdf(h, k, rho) + (1.0 - NormalCdf(h)) +
+                   (1.0 - NormalCdf(k)) - BivariateNormalUpper(h, k, rho);
+    EXPECT_NEAR(total, 1.0, 1e-10) << "rho = " << rho;
+  }
+}
+
+// --- Tetrachoric ---
+
+TEST(TetrachoricTest, RecoversIndependence) {
+  auto rho = TetrachoricCorrelation(0.4, 0.7, 0.4 * 0.7);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 0.0, 1e-8);
+}
+
+TEST(TetrachoricTest, RoundTripsThroughForwardMap) {
+  for (double target_rho : {-0.8, -0.3, 0.2, 0.6, 0.9}) {
+    for (auto [pa, pb] : {std::pair{0.3, 0.5}, {0.9, 0.1}, {0.62, 0.58}}) {
+      double joint = ThresholdedJointProbability(pa, pb, target_rho);
+      auto solved = TetrachoricCorrelation(pa, pb, joint);
+      ASSERT_TRUE(solved.ok());
+      EXPECT_NEAR(*solved, target_rho, 1e-7)
+          << "pa=" << pa << " pb=" << pb << " rho=" << target_rho;
+    }
+  }
+}
+
+TEST(TetrachoricTest, StructuralZeroClampsToBoundary) {
+  // Joint of exactly 0 for overlapping marginals is unattainable under a
+  // copula with |rho| < 1 -> clamp to -max_abs_rho.
+  auto rho = TetrachoricCorrelation(0.5, 0.5, 0.0);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, -0.999, 1e-12);
+}
+
+TEST(TetrachoricTest, RejectsBadInputs) {
+  EXPECT_FALSE(TetrachoricCorrelation(0.0, 0.5, 0.0).ok());
+  EXPECT_FALSE(TetrachoricCorrelation(0.5, 1.0, 0.5).ok());
+  EXPECT_FALSE(TetrachoricCorrelation(0.5, 0.5, 0.6).ok());  // > min marginal
+  EXPECT_FALSE(TetrachoricCorrelation(0.5, 0.5, -0.1).ok());
+}
+
+}  // namespace
+}  // namespace corrmine::stats

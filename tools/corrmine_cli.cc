@@ -1,0 +1,362 @@
+// Command-line front end: mine correlation rules (or the support-confidence
+// baseline) from a transaction file, or from a built-in generated dataset.
+//
+// Usage:
+//   corrmine_cli mine <file> [--support-count N] [--cell-fraction P]
+//                            [--confidence-level A] [--max-level L]
+//                            [--min-expected E] [--algo levelwise|walk]
+//   corrmine_cli rules <file> [--min-support F] [--min-confidence C]
+//   corrmine_cli generate quest|census|text [--out FILE] [--seed S]
+//                            [--baskets N]
+//   corrmine_cli --help
+//
+// Transaction files: one basket per line, whitespace-separated integer
+// item ids; '#' starts a comment line.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/chi_squared_miner.h"
+#include "core/interest.h"
+#include "core/random_walk_miner.h"
+#include "core/report.h"
+#include "datagen/census_generator.h"
+#include "datagen/quest_generator.h"
+#include "datagen/text_generator.h"
+#include "io/binary_io.h"
+#include "io/csv.h"
+#include "io/result_io.h"
+#include "io/table_printer.h"
+#include "io/transaction_io.h"
+#include "itemset/count_provider.h"
+#include "mining/apriori.h"
+#include "mining/association_rules.h"
+#include "mining/categorical_miner.h"
+#include "stats/permutation_test.h"
+
+namespace corrmine {
+namespace {
+
+constexpr char kUsage[] =
+    "corrmine_cli — correlation-rule mining (Brin/Motwani/Silverstein '97)\n"
+    "\n"
+    "commands:\n"
+    "  mine <file>      mine minimal correlated itemsets\n"
+    "      --names                baskets are word tokens, not integer ids\n"
+    "      --support-count N      cell support count s (default 3)\n"
+    "      --cell-fraction P      supported-cell fraction p (default 0.26)\n"
+    "      --confidence-level A   chi2 significance level (default 0.95)\n"
+    "      --max-level L          stop after itemsets of size L (0 = off)\n"
+    "      --min-expected E       ignore cells with expectation < E\n"
+    "      --algo levelwise|walk  search strategy (default levelwise)\n"
+    "      --walks N              random walks when --algo walk\n"
+    "      --out FILE             also write the result in the line format\n"
+    "      --report               render the analyst report instead of the\n"
+    "                             raw rule table (honors --fdr)\n"
+    "      --fdr Q                Benjamini-Hochberg FDR filter level\n"
+    "  check <file>     test one itemset exactly (Monte Carlo permutation)\n"
+    "      --items A,B[,C...]     item ids to test (required)\n"
+    "      --rounds N             permutation rounds (default 1000)\n"
+    "  rules <file>     support-confidence association rules (baseline)\n"
+    "      --min-support F        support fraction (default 0.01)\n"
+    "      --min-confidence C     confidence cutoff (default 0.5)\n"
+    "  dependencies <csv>  chi-squared dependencies between multi-valued\n"
+    "                      attributes (CSV: header + label rows)\n"
+    "      --confidence-level A   significance level (default 0.95)\n"
+    "      --min-expected E       ignore cells with expectation < E\n"
+    "  generate <kind>  write a synthetic dataset (quest|census|text)\n"
+    "      --out FILE             output path (default <kind>.txt)\n"
+    "      --baskets N            override basket count\n"
+    "      --seed S               generator seed\n"
+    "      --format text|binary   output encoding (readers auto-detect)\n";
+
+StatusOr<TransactionDatabase> LoadBaskets(const FlagParser& flags,
+                                          const std::string& path) {
+  if (io::LooksLikeBinaryTransactionFile(path)) {
+    return io::ReadBinaryTransactionFile(path);
+  }
+  if (!flags.GetBool("names", false)) {
+    return io::ReadTransactionFile(path);
+  }
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) return Status::IOError("error reading " + path);
+  return io::ParseNamedTransactions(content.str());
+}
+
+Status RunMine(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("mine: missing transaction file");
+  }
+  CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
+                            LoadBaskets(flags, flags.positional()[1]));
+  if (db.num_baskets() == 0) {
+    return Status::InvalidArgument("no baskets in input");
+  }
+  BitmapCountProvider provider(db);
+
+  MinerOptions options;
+  CORRMINE_ASSIGN_OR_RETURN(options.support.min_count,
+                            flags.GetUint64("support-count", 3));
+  CORRMINE_ASSIGN_OR_RETURN(options.support.cell_fraction,
+                            flags.GetDouble("cell-fraction", 0.26));
+  CORRMINE_ASSIGN_OR_RETURN(options.confidence_level,
+                            flags.GetDouble("confidence-level", 0.95));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t max_level,
+                            flags.GetUint64("max-level", 0));
+  options.max_level = static_cast<int>(max_level);
+  CORRMINE_ASSIGN_OR_RETURN(options.chi2.min_expected_cell,
+                            flags.GetDouble("min-expected", 0.0));
+
+  MiningResult result;
+  std::string algo = flags.GetString("algo", "levelwise");
+  if (algo == "levelwise") {
+    CORRMINE_ASSIGN_OR_RETURN(
+        result, MineCorrelations(provider, db.num_items(), options));
+  } else if (algo == "walk") {
+    RandomWalkOptions walk;
+    walk.miner = options;
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t walks,
+                              flags.GetUint64("walks", 1000));
+    walk.num_walks = static_cast<int>(walks);
+    CORRMINE_ASSIGN_OR_RETURN(
+        result,
+        MineCorrelationsRandomWalk(provider, db.num_items(), walk));
+  } else {
+    return Status::InvalidArgument("unknown --algo: " + algo);
+  }
+
+  if (flags.GetBool("report", false)) {
+    ReportOptions report_options;
+    CORRMINE_ASSIGN_OR_RETURN(report_options.fdr_level,
+                              flags.GetDouble("fdr", 0.0));
+    std::cout << RenderReport(result, &db.dictionary(), report_options);
+  } else {
+    io::TablePrinter table({"itemset", "chi2", "p-value",
+                            "major dependence", "interest"});
+    for (const CorrelationRule& rule : result.significant) {
+      table.AddRow({rule.itemset.ToString(),
+                    io::FormatDouble(rule.chi2.statistic, 3),
+                    io::FormatDouble(rule.chi2.p_value, 6),
+                    FormatCellPattern(rule.itemset,
+                                      rule.major_dependence.mask,
+                                      &db.dictionary()),
+                    io::FormatDouble(rule.major_dependence.interest, 3)});
+    }
+    table.Print(std::cout);
+    for (const LevelStats& level : result.levels) {
+      std::cout << "level " << level.level << ": |CAND| "
+                << level.candidates << ", discards " << level.discards
+                << ", |SIG| " << level.significant << ", |NOTSIG| "
+                << level.not_significant << "\n";
+    }
+  }
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    CORRMINE_RETURN_NOT_OK(io::WriteMiningResult(result, out));
+    std::cout << "result written to " << out << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunDependencies(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("dependencies: missing CSV file");
+  }
+  CORRMINE_ASSIGN_OR_RETURN(CategoricalDatabase db,
+                            io::ReadCategoricalCsv(flags.positional()[1]));
+  CategoricalMinerOptions options;
+  CORRMINE_ASSIGN_OR_RETURN(options.confidence_level,
+                            flags.GetDouble("confidence-level", 0.95));
+  CORRMINE_ASSIGN_OR_RETURN(options.min_expected_cell,
+                            flags.GetDouble("min-expected", 0.0));
+  CORRMINE_ASSIGN_OR_RETURN(auto deps,
+                            MineCategoricalDependencies(db, options));
+  io::TablePrinter table({"attribute a", "attribute b", "chi2", "dof",
+                          "p-value", "Cramer V", "dominant cells",
+                          "interest"});
+  for (const CategoricalDependency& dep : deps) {
+    const auto& a = db.attribute(dep.attribute_a);
+    const auto& b = db.attribute(dep.attribute_b);
+    table.AddRow({a.name, b.name, io::FormatDouble(dep.chi_squared, 2),
+                  std::to_string(dep.dof),
+                  io::FormatDouble(dep.p_value, 6),
+                  io::FormatDouble(dep.cramers_v, 3),
+                  a.categories[dep.dominant_category_a] + " x " +
+                      b.categories[dep.dominant_category_b],
+                  io::FormatDouble(dep.dominant_interest, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << deps.size() << " significant dependencies over "
+            << db.num_rows() << " rows\n";
+  return Status::OK();
+}
+
+Status RunCheck(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("check: missing transaction file");
+  }
+  CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
+                            io::ReadTransactionFile(flags.positional()[1]));
+  std::string items_arg = flags.GetString("items", "");
+  if (items_arg.empty()) {
+    return Status::InvalidArgument("check: --items A,B[,C...] is required");
+  }
+  std::vector<ItemId> items;
+  for (std::string_view token : SplitString(items_arg, ",")) {
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t id, ParseUint64(TrimString(token)));
+    if (id >= db.num_items()) {
+      return Status::OutOfRange("item id " + std::to_string(id) +
+                                " outside the database's item space");
+    }
+    items.push_back(static_cast<ItemId>(id));
+  }
+  Itemset s(std::move(items));
+
+  stats::PermutationTestOptions options;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t rounds,
+                            flags.GetUint64("rounds", 1000));
+  options.rounds = static_cast<int>(rounds);
+  CORRMINE_ASSIGN_OR_RETURN(
+      auto result, stats::PermutationIndependenceTest(db, s, options));
+  std::cout << "itemset " << s.ToString() << " over " << db.num_baskets()
+            << " baskets\n"
+            << "  chi-squared statistic : " << result.observed_statistic
+            << "\n"
+            << "  asymptotic p-value    : " << result.chi_squared_p_value
+            << "\n"
+            << "  exact (MC) p-value    : " << result.p_value << "  ("
+            << options.rounds << " rounds)\n";
+  return Status::OK();
+}
+
+Status RunRules(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("rules: missing transaction file");
+  }
+  CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
+                            io::ReadTransactionFile(flags.positional()[1]));
+  if (db.num_baskets() == 0) {
+    return Status::InvalidArgument("no baskets in input");
+  }
+  BitmapCountProvider provider(db);
+
+  AprioriOptions apriori;
+  CORRMINE_ASSIGN_OR_RETURN(apriori.min_support_fraction,
+                            flags.GetDouble("min-support", 0.01));
+  CORRMINE_ASSIGN_OR_RETURN(
+      auto frequent,
+      MineFrequentItemsets(provider, db.num_items(), apriori));
+
+  RuleOptions rule_options;
+  CORRMINE_ASSIGN_OR_RETURN(rule_options.min_confidence,
+                            flags.GetDouble("min-confidence", 0.5));
+  CORRMINE_ASSIGN_OR_RETURN(
+      auto rules,
+      GenerateAssociationRules(frequent, db.num_baskets(), rule_options));
+
+  io::TablePrinter table({"antecedent", "consequent", "support",
+                          "confidence"});
+  for (const AssociationRule& rule : rules) {
+    table.AddRow({rule.antecedent.ToString(), rule.consequent.ToString(),
+                  io::FormatDouble(rule.support, 4),
+                  io::FormatDouble(rule.confidence, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << frequent.size() << " frequent itemsets, " << rules.size()
+            << " rules\n";
+  return Status::OK();
+}
+
+Status RunGenerate(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("generate: missing dataset kind");
+  }
+  std::string kind = flags.positional()[1];
+  std::string out = flags.GetString("out", kind + ".txt");
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t seed, flags.GetUint64("seed", 1997));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t baskets,
+                            flags.GetUint64("baskets", 0));
+
+  TransactionDatabase db(1);
+  if (kind == "quest") {
+    datagen::QuestOptions options;
+    options.seed = seed;
+    if (baskets > 0) options.num_transactions = baskets;
+    CORRMINE_ASSIGN_OR_RETURN(db, datagen::GenerateQuestData(options));
+  } else if (kind == "census") {
+    datagen::CensusOptions options;
+    options.seed = seed;
+    if (baskets > 0) options.num_persons = baskets;
+    CORRMINE_ASSIGN_OR_RETURN(db, datagen::GenerateCensusData(options));
+  } else if (kind == "text") {
+    datagen::TextCorpusOptions options;
+    options.seed = seed;
+    if (baskets > 0) {
+      options.num_documents = static_cast<uint32_t>(baskets);
+    }
+    CORRMINE_ASSIGN_OR_RETURN(auto corpus,
+                              datagen::GenerateTextCorpus(options));
+    db = std::move(corpus.database);
+  } else {
+    return Status::InvalidArgument("unknown dataset kind: " + kind);
+  }
+  std::string format = flags.GetString("format", "text");
+  if (format == "binary") {
+    CORRMINE_RETURN_NOT_OK(io::WriteBinaryTransactionFile(db, out));
+  } else if (format == "text") {
+    CORRMINE_RETURN_NOT_OK(io::WriteTransactionFile(db, out));
+  } else {
+    return Status::InvalidArgument("unknown --format: " + format);
+  }
+  std::cout << "wrote " << db.num_baskets() << " baskets over "
+            << db.num_items() << " items to " << out << " (" << format
+            << ")\n";
+  return Status::OK();
+}
+
+int Main(int argc, const char* const* argv) {
+  auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n";
+    return 2;
+  }
+  const FlagParser& flags = *flags_or;
+  if (flags.GetBool("help", false) || flags.positional().empty()) {
+    std::cout << kUsage;
+    return flags.positional().empty() && !flags.GetBool("help", false) ? 2
+                                                                       : 0;
+  }
+  const std::string& command = flags.positional()[0];
+  Status status = Status::OK();
+  if (command == "mine") {
+    status = RunMine(flags);
+  } else if (command == "check") {
+    status = RunCheck(flags);
+  } else if (command == "dependencies") {
+    status = RunDependencies(flags);
+  } else if (command == "rules") {
+    status = RunRules(flags);
+  } else if (command == "generate") {
+    status = RunGenerate(flags);
+  } else {
+    std::cerr << "unknown command: " << command << "\n" << kUsage;
+    return 2;
+  }
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace corrmine
+
+int main(int argc, char** argv) { return corrmine::Main(argc, argv); }
