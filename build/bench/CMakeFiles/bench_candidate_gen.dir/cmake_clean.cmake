@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_candidate_gen.dir/bench_candidate_gen.cc.o"
+  "CMakeFiles/bench_candidate_gen.dir/bench_candidate_gen.cc.o.d"
+  "bench_candidate_gen"
+  "bench_candidate_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_candidate_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chi_squared.dir/bench_chi_squared.cc.o"
+  "CMakeFiles/bench_chi_squared.dir/bench_chi_squared.cc.o.d"
+  "bench_chi_squared"
+  "bench_chi_squared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chi_squared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

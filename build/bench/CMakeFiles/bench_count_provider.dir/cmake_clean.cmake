@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_count_provider.dir/bench_count_provider.cc.o"
+  "CMakeFiles/bench_count_provider.dir/bench_count_provider.cc.o.d"
+  "bench_count_provider"
+  "bench_count_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_count_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

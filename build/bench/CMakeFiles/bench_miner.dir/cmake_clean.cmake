@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_miner.dir/bench_miner.cc.o"
+  "CMakeFiles/bench_miner.dir/bench_miner.cc.o.d"
+  "bench_miner"
+  "bench_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

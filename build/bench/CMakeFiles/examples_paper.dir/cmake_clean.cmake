@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_paper.dir/examples_paper.cc.o"
+  "CMakeFiles/examples_paper.dir/examples_paper.cc.o.d"
+  "examples_paper"
+  "examples_paper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

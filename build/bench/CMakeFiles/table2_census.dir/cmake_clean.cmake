@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_census.dir/table2_census.cc.o"
+  "CMakeFiles/table2_census.dir/table2_census.cc.o.d"
+  "table2_census"
+  "table2_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

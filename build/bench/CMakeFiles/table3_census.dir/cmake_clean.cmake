@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_census.dir/table3_census.cc.o"
+  "CMakeFiles/table3_census.dir/table3_census.cc.o.d"
+  "table3_census"
+  "table3_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

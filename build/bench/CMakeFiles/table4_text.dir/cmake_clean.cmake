@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_text.dir/table4_text.cc.o"
+  "CMakeFiles/table4_text.dir/table4_text.cc.o.d"
+  "table4_text"
+  "table4_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

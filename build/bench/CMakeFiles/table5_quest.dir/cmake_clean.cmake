@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_quest.dir/table5_quest.cc.o"
+  "CMakeFiles/table5_quest.dir/table5_quest.cc.o.d"
+  "table5_quest"
+  "table5_quest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_quest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

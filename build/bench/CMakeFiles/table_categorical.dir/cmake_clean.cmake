@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_categorical.dir/table_categorical.cc.o"
+  "CMakeFiles/table_categorical.dir/table_categorical.cc.o.d"
+  "table_categorical"
+  "table_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rare_events.dir/rare_events.cpp.o"
+  "CMakeFiles/rare_events.dir/rare_events.cpp.o.d"
+  "rare_events"
+  "rare_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rare_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

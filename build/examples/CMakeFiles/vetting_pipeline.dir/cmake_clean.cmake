@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vetting_pipeline.dir/vetting_pipeline.cpp.o"
+  "CMakeFiles/vetting_pipeline.dir/vetting_pipeline.cpp.o.d"
+  "vetting_pipeline"
+  "vetting_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vetting_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/corrmine.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/corrmine.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/corrmine.dir/common/status.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/corrmine.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/batch_tables.cc" "src/CMakeFiles/corrmine.dir/core/batch_tables.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/batch_tables.cc.o.d"
+  "/root/repo/src/core/border.cc" "src/CMakeFiles/corrmine.dir/core/border.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/border.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/corrmine.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/cell_support.cc" "src/CMakeFiles/corrmine.dir/core/cell_support.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/cell_support.cc.o.d"
+  "/root/repo/src/core/chi_squared_miner.cc" "src/CMakeFiles/corrmine.dir/core/chi_squared_miner.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/chi_squared_miner.cc.o.d"
+  "/root/repo/src/core/chi_squared_test.cc" "src/CMakeFiles/corrmine.dir/core/chi_squared_test.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/chi_squared_test.cc.o.d"
+  "/root/repo/src/core/contingency_table.cc" "src/CMakeFiles/corrmine.dir/core/contingency_table.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/contingency_table.cc.o.d"
+  "/root/repo/src/core/fraction_estimator.cc" "src/CMakeFiles/corrmine.dir/core/fraction_estimator.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/fraction_estimator.cc.o.d"
+  "/root/repo/src/core/interest.cc" "src/CMakeFiles/corrmine.dir/core/interest.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/interest.cc.o.d"
+  "/root/repo/src/core/random_walk_miner.cc" "src/CMakeFiles/corrmine.dir/core/random_walk_miner.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/random_walk_miner.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/corrmine.dir/core/report.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/core/report.cc.o.d"
+  "/root/repo/src/cube/datacube.cc" "src/CMakeFiles/corrmine.dir/cube/datacube.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/cube/datacube.cc.o.d"
+  "/root/repo/src/datagen/categorical_census.cc" "src/CMakeFiles/corrmine.dir/datagen/categorical_census.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/datagen/categorical_census.cc.o.d"
+  "/root/repo/src/datagen/census_generator.cc" "src/CMakeFiles/corrmine.dir/datagen/census_generator.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/datagen/census_generator.cc.o.d"
+  "/root/repo/src/datagen/quest_generator.cc" "src/CMakeFiles/corrmine.dir/datagen/quest_generator.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/datagen/quest_generator.cc.o.d"
+  "/root/repo/src/datagen/rng.cc" "src/CMakeFiles/corrmine.dir/datagen/rng.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/datagen/rng.cc.o.d"
+  "/root/repo/src/datagen/text_generator.cc" "src/CMakeFiles/corrmine.dir/datagen/text_generator.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/datagen/text_generator.cc.o.d"
+  "/root/repo/src/hash/dynamic_perfect_hash.cc" "src/CMakeFiles/corrmine.dir/hash/dynamic_perfect_hash.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/hash/dynamic_perfect_hash.cc.o.d"
+  "/root/repo/src/hash/fks_perfect_hash.cc" "src/CMakeFiles/corrmine.dir/hash/fks_perfect_hash.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/hash/fks_perfect_hash.cc.o.d"
+  "/root/repo/src/hash/itemset_set.cc" "src/CMakeFiles/corrmine.dir/hash/itemset_set.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/hash/itemset_set.cc.o.d"
+  "/root/repo/src/hash/universal_hash.cc" "src/CMakeFiles/corrmine.dir/hash/universal_hash.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/hash/universal_hash.cc.o.d"
+  "/root/repo/src/io/binary_io.cc" "src/CMakeFiles/corrmine.dir/io/binary_io.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/io/binary_io.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/corrmine.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/result_io.cc" "src/CMakeFiles/corrmine.dir/io/result_io.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/io/result_io.cc.o.d"
+  "/root/repo/src/io/table_printer.cc" "src/CMakeFiles/corrmine.dir/io/table_printer.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/io/table_printer.cc.o.d"
+  "/root/repo/src/io/tokenizer.cc" "src/CMakeFiles/corrmine.dir/io/tokenizer.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/io/tokenizer.cc.o.d"
+  "/root/repo/src/io/transaction_io.cc" "src/CMakeFiles/corrmine.dir/io/transaction_io.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/io/transaction_io.cc.o.d"
+  "/root/repo/src/itemset/bitmap.cc" "src/CMakeFiles/corrmine.dir/itemset/bitmap.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/itemset/bitmap.cc.o.d"
+  "/root/repo/src/itemset/categorical_database.cc" "src/CMakeFiles/corrmine.dir/itemset/categorical_database.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/itemset/categorical_database.cc.o.d"
+  "/root/repo/src/itemset/compressed_bitmap.cc" "src/CMakeFiles/corrmine.dir/itemset/compressed_bitmap.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/itemset/compressed_bitmap.cc.o.d"
+  "/root/repo/src/itemset/count_provider.cc" "src/CMakeFiles/corrmine.dir/itemset/count_provider.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/itemset/count_provider.cc.o.d"
+  "/root/repo/src/itemset/itemset.cc" "src/CMakeFiles/corrmine.dir/itemset/itemset.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/itemset/itemset.cc.o.d"
+  "/root/repo/src/itemset/transaction_database.cc" "src/CMakeFiles/corrmine.dir/itemset/transaction_database.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/itemset/transaction_database.cc.o.d"
+  "/root/repo/src/linalg/sym_matrix.cc" "src/CMakeFiles/corrmine.dir/linalg/sym_matrix.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/linalg/sym_matrix.cc.o.d"
+  "/root/repo/src/mining/apriori.cc" "src/CMakeFiles/corrmine.dir/mining/apriori.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/apriori.cc.o.d"
+  "/root/repo/src/mining/association_rules.cc" "src/CMakeFiles/corrmine.dir/mining/association_rules.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/association_rules.cc.o.d"
+  "/root/repo/src/mining/categorical_miner.cc" "src/CMakeFiles/corrmine.dir/mining/categorical_miner.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/categorical_miner.cc.o.d"
+  "/root/repo/src/mining/eclat.cc" "src/CMakeFiles/corrmine.dir/mining/eclat.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/eclat.cc.o.d"
+  "/root/repo/src/mining/fp_growth.cc" "src/CMakeFiles/corrmine.dir/mining/fp_growth.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/fp_growth.cc.o.d"
+  "/root/repo/src/mining/maximal.cc" "src/CMakeFiles/corrmine.dir/mining/maximal.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/maximal.cc.o.d"
+  "/root/repo/src/mining/partition.cc" "src/CMakeFiles/corrmine.dir/mining/partition.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/partition.cc.o.d"
+  "/root/repo/src/mining/pcy.cc" "src/CMakeFiles/corrmine.dir/mining/pcy.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/pcy.cc.o.d"
+  "/root/repo/src/mining/rare_pairs.cc" "src/CMakeFiles/corrmine.dir/mining/rare_pairs.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/rare_pairs.cc.o.d"
+  "/root/repo/src/mining/rule_measures.cc" "src/CMakeFiles/corrmine.dir/mining/rule_measures.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/rule_measures.cc.o.d"
+  "/root/repo/src/mining/sampling.cc" "src/CMakeFiles/corrmine.dir/mining/sampling.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/mining/sampling.cc.o.d"
+  "/root/repo/src/stats/bivariate_normal.cc" "src/CMakeFiles/corrmine.dir/stats/bivariate_normal.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/bivariate_normal.cc.o.d"
+  "/root/repo/src/stats/categorical_table.cc" "src/CMakeFiles/corrmine.dir/stats/categorical_table.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/categorical_table.cc.o.d"
+  "/root/repo/src/stats/chi_squared_distribution.cc" "src/CMakeFiles/corrmine.dir/stats/chi_squared_distribution.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/chi_squared_distribution.cc.o.d"
+  "/root/repo/src/stats/fisher_exact.cc" "src/CMakeFiles/corrmine.dir/stats/fisher_exact.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/fisher_exact.cc.o.d"
+  "/root/repo/src/stats/gamma.cc" "src/CMakeFiles/corrmine.dir/stats/gamma.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/gamma.cc.o.d"
+  "/root/repo/src/stats/multiple_testing.cc" "src/CMakeFiles/corrmine.dir/stats/multiple_testing.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/multiple_testing.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/CMakeFiles/corrmine.dir/stats/normal.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/normal.cc.o.d"
+  "/root/repo/src/stats/permutation_test.cc" "src/CMakeFiles/corrmine.dir/stats/permutation_test.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/permutation_test.cc.o.d"
+  "/root/repo/src/stats/tetrachoric.cc" "src/CMakeFiles/corrmine.dir/stats/tetrachoric.cc.o" "gcc" "src/CMakeFiles/corrmine.dir/stats/tetrachoric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

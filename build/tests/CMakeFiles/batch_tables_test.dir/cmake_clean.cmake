@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_tables_test.dir/batch_tables_test.cc.o"
+  "CMakeFiles/batch_tables_test.dir/batch_tables_test.cc.o.d"
+  "batch_tables_test"
+  "batch_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/border_test.dir/border_test.cc.o"
+  "CMakeFiles/border_test.dir/border_test.cc.o.d"
+  "border_test"
+  "border_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/border_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

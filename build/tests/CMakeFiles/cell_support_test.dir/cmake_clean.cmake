@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_support_test.dir/cell_support_test.cc.o"
+  "CMakeFiles/cell_support_test.dir/cell_support_test.cc.o.d"
+  "cell_support_test"
+  "cell_support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chi_squared_test.dir/chi_squared_test.cc.o"
+  "CMakeFiles/chi_squared_test.dir/chi_squared_test.cc.o.d"
+  "chi_squared_test"
+  "chi_squared_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chi_squared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

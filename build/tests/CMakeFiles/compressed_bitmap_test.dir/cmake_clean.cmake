@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_bitmap_test.dir/compressed_bitmap_test.cc.o"
+  "CMakeFiles/compressed_bitmap_test.dir/compressed_bitmap_test.cc.o.d"
+  "compressed_bitmap_test"
+  "compressed_bitmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

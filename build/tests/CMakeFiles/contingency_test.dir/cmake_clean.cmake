@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contingency_test.dir/contingency_test.cc.o"
+  "CMakeFiles/contingency_test.dir/contingency_test.cc.o.d"
+  "contingency_test"
+  "contingency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contingency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

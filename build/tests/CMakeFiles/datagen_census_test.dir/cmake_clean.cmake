@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_census_test.dir/datagen_census_test.cc.o"
+  "CMakeFiles/datagen_census_test.dir/datagen_census_test.cc.o.d"
+  "datagen_census_test"
+  "datagen_census_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

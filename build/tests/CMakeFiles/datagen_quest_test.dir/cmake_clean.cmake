@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_quest_test.dir/datagen_quest_test.cc.o"
+  "CMakeFiles/datagen_quest_test.dir/datagen_quest_test.cc.o.d"
+  "datagen_quest_test"
+  "datagen_quest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_quest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

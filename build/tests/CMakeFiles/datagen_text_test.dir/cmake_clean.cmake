@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_text_test.dir/datagen_text_test.cc.o"
+  "CMakeFiles/datagen_text_test.dir/datagen_text_test.cc.o.d"
+  "datagen_text_test"
+  "datagen_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

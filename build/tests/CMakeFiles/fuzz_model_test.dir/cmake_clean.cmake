@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_model_test.dir/fuzz_model_test.cc.o"
+  "CMakeFiles/fuzz_model_test.dir/fuzz_model_test.cc.o.d"
+  "fuzz_model_test"
+  "fuzz_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

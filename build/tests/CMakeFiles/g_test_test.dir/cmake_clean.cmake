@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g_test_test.dir/g_test_test.cc.o"
+  "CMakeFiles/g_test_test.dir/g_test_test.cc.o.d"
+  "g_test_test"
+  "g_test_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

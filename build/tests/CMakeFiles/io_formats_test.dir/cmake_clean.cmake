@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_formats_test.dir/io_formats_test.cc.o"
+  "CMakeFiles/io_formats_test.dir/io_formats_test.cc.o.d"
+  "io_formats_test"
+  "io_formats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

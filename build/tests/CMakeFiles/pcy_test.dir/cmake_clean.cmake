@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcy_test.dir/pcy_test.cc.o"
+  "CMakeFiles/pcy_test.dir/pcy_test.cc.o.d"
+  "pcy_test"
+  "pcy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

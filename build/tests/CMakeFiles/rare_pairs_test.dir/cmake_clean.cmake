@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rare_pairs_test.dir/rare_pairs_test.cc.o"
+  "CMakeFiles/rare_pairs_test.dir/rare_pairs_test.cc.o.d"
+  "rare_pairs_test"
+  "rare_pairs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rare_pairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

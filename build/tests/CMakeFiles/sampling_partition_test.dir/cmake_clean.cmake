@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_partition_test.dir/sampling_partition_test.cc.o"
+  "CMakeFiles/sampling_partition_test.dir/sampling_partition_test.cc.o.d"
+  "sampling_partition_test"
+  "sampling_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

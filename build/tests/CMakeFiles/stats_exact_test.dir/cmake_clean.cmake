@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_exact_test.dir/stats_exact_test.cc.o"
+  "CMakeFiles/stats_exact_test.dir/stats_exact_test.cc.o.d"
+  "stats_exact_test"
+  "stats_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corrmine_cli.dir/corrmine_cli.cc.o"
+  "CMakeFiles/corrmine_cli.dir/corrmine_cli.cc.o.d"
+  "corrmine_cli"
+  "corrmine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corrmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
