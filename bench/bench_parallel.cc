@@ -1,0 +1,151 @@
+// Throughput of the parallel level-wise mining engine at 1/2/4/8 threads on
+// Quest-style synthetic data, plus the prefix-intersection cache's AND-word
+// accounting on the same workload. Emits one machine-readable JSON line
+// (prefixed "BENCH_JSON ") per run so the BENCH_*.json trajectory files can
+// be seeded straight from the output; the human-readable table follows.
+//
+// Determinism contract: every thread count must produce the same
+// MiningResult; this harness CHECK-fails if any run diverges from the
+// single-thread baseline.
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/chi_squared_miner.h"
+#include "datagen/quest_generator.h"
+#include "io/table_printer.h"
+#include "itemset/count_provider.h"
+
+namespace corrmine {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string ResultFingerprint(const MiningResult& result) {
+  std::ostringstream out;
+  for (const CorrelationRule& rule : result.significant) {
+    out << rule.itemset.ToString() << ':' << rule.chi2.statistic << ';';
+  }
+  for (const LevelStats& level : result.levels) {
+    out << level.level << '/' << level.candidates << '/' << level.discards
+        << '/' << level.significant << '/' << level.not_significant << ';';
+  }
+  return out.str();
+}
+
+struct ThreadRun {
+  int threads;
+  double seconds;
+};
+
+}  // namespace
+}  // namespace corrmine
+
+int main() {
+  using namespace corrmine;
+
+  // Quest workload sized so the 8-thread run still has thousands of
+  // candidate evaluations per flush; low min_count pushes the search to
+  // level 3+ where the prefix cache has siblings to share.
+  datagen::QuestOptions quest;
+  quest.num_transactions = 20000;
+  quest.num_items = 400;
+  quest.avg_transaction_size = 10.0;
+  quest.num_patterns = 80;
+  auto db = datagen::GenerateQuestData(quest);
+  CORRMINE_CHECK(db.ok());
+  BitmapCountProvider provider(*db);
+
+  MinerOptions options;
+  options.support.min_count = static_cast<uint64_t>(
+      0.01 * static_cast<double>(db->num_baskets()));
+  options.support.cell_fraction = 0.25 + 1e-9;
+
+  // Thread sweep. Each setting is checked against the sequential baseline
+  // fingerprint — the speedup numbers are only meaningful if the outputs
+  // are identical.
+  std::string baseline_fingerprint;
+  uint64_t total_candidates = 0;
+  std::vector<ThreadRun> runs;
+  for (int threads : {1, 2, 4, 8}) {
+    options.num_threads = threads;
+    auto start = std::chrono::steady_clock::now();
+    auto result = MineCorrelations(provider, db->num_items(), options);
+    double seconds = SecondsSince(start);
+    CORRMINE_CHECK(result.ok()) << result.status().ToString();
+    std::string fingerprint = ResultFingerprint(*result);
+    if (threads == 1) {
+      baseline_fingerprint = fingerprint;
+      for (const LevelStats& level : result->levels) {
+        total_candidates += level.candidates;
+      }
+    } else {
+      CORRMINE_CHECK(fingerprint == baseline_fingerprint)
+          << "parallel run at " << threads << " threads diverged";
+    }
+    runs.push_back(ThreadRun{threads, seconds});
+  }
+
+  // Cache ablation, single-threaded so the AND-word deltas are attributable
+  // to the cache alone. The counters come in pairs: what the cached
+  // provider actually did vs. what the plain multi-way chain would cost for
+  // the identical query stream.
+  CachedCountProvider cached(provider.index());
+  options.num_threads = 1;
+  auto start = std::chrono::steady_clock::now();
+  auto cached_result = MineCorrelations(cached, db->num_items(), options);
+  double cached_seconds = SecondsSince(start);
+  CORRMINE_CHECK(cached_result.ok());
+  CORRMINE_CHECK(ResultFingerprint(*cached_result) == baseline_fingerprint)
+      << "cached provider changed the mining result";
+  CachedCountProvider::CacheStats cache = cached.stats();
+
+  // Machine-readable line first (the BENCH_*.json seed), table second.
+  std::ostringstream json;
+  json << "{\"bench\":\"bench_parallel\",\"workload\":\"quest\""
+       << ",\"baskets\":" << db->num_baskets()
+       << ",\"items\":" << static_cast<uint64_t>(db->num_items())
+       << ",\"candidates\":" << total_candidates << ",\"runs\":[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) json << ',';
+    json << "{\"threads\":" << runs[i].threads << ",\"seconds\":"
+         << runs[i].seconds << ",\"speedup\":"
+         << runs[0].seconds / runs[i].seconds << '}';
+  }
+  json << "],\"cache\":{\"seconds\":" << cached_seconds
+       << ",\"queries\":" << cache.queries << ",\"hits\":" << cache.hits
+       << ",\"misses\":" << cache.misses
+       << ",\"and_word_ops\":" << cache.and_word_ops
+       << ",\"uncached_and_word_ops\":" << cache.uncached_and_word_ops
+       << ",\"and_word_ops_saved\":"
+       << cache.uncached_and_word_ops - cache.and_word_ops << "}}";
+  std::cout << "BENCH_JSON " << json.str() << "\n\n";
+
+  io::TablePrinter table({"threads", "mine s", "speedup"});
+  for (const ThreadRun& run : runs) {
+    table.AddRow({std::to_string(run.threads),
+                  io::FormatDouble(run.seconds, 3),
+                  io::FormatDouble(runs[0].seconds / run.seconds, 2)});
+  }
+  std::cout << "== Parallel miner throughput (quest, s = 1%) ==\n\n";
+  table.Print(std::cout);
+  std::cout << "\n== Prefix-intersection cache (1 thread, same workload) =="
+            << "\n\nAND word ops: " << cache.and_word_ops << " cached vs "
+            << cache.uncached_and_word_ops << " uncached ("
+            << io::FormatDouble(
+                   100.0 * static_cast<double>(cache.uncached_and_word_ops -
+                                               cache.and_word_ops) /
+                       static_cast<double>(cache.uncached_and_word_ops),
+                   1)
+            << "% saved), " << cache.hits << " hits / " << cache.misses
+            << " misses.\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrency-
+# sensitive suites (the parallel mining engine, its pool, and the cached
+# count provider). Run from the repository root:
+#
+#   scripts/verify.sh            # tier-1 + TSan miner tests
+#   SKIP_TSAN=1 scripts/verify.sh  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== TSan: parallel engine suites =="
+  cmake -B build-tsan -S . -DCORRMINE_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j \
+    --target thread_pool_test miner_test batch_tables_test \
+    count_provider_cache_test >/dev/null
+  (cd build-tsan &&
+   ctest --output-on-failure \
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test)$')
+fi
+
+echo "verify: OK"

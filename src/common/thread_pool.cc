@@ -1,0 +1,178 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+
+namespace corrmine {
+
+ThreadPool::ThreadPool(int num_threads) {
+  CORRMINE_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) return 1;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared coordination for one ParallelFor region: a work-stealing chunk
+/// cursor plus first-failure bookkeeping. Failures are recorded with the
+/// chunk's starting index so the *earliest* error wins regardless of which
+/// worker hit it first — the sequential loop's error, reproduced.
+struct ParallelForState {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  size_t first_error_index = 0;
+  bool has_error = false;
+  Status first_error;
+
+  // Completion latch. Lives here (not on the caller's stack) because the
+  // last helper touches it after the waiter may already have woken.
+  std::atomic<size_t> outstanding{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+void RecordFailure(ParallelForState* state, size_t chunk_begin,
+                   Status status) {
+  std::lock_guard<std::mutex> lock(state->error_mu);
+  if (!state->has_error || chunk_begin < state->first_error_index) {
+    state->has_error = true;
+    state->first_error_index = chunk_begin;
+    state->first_error = std::move(status);
+  }
+  state->failed.store(true, std::memory_order_release);
+}
+
+void RunChunks(ParallelForState* state, size_t n, size_t grain,
+               const std::function<Status(size_t, size_t)>& body) {
+  for (;;) {
+    if (state->failed.load(std::memory_order_acquire)) return;
+    size_t begin = state->next.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= n) return;
+    size_t end = std::min(begin + grain, n);
+    Status status;
+    try {
+      status = body(begin, end);
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("uncaught exception in parallel "
+                                            "region: ") +
+                                e.what());
+    } catch (...) {
+      status = Status::Internal("uncaught non-std exception in parallel region");
+    }
+    if (!status.ok()) {
+      RecordFailure(state, begin, std::move(status));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                   const std::function<Status(size_t begin, size_t end)>& body) {
+  if (n == 0) return Status::OK();
+  CORRMINE_CHECK(grain > 0) << "ParallelFor grain must be positive";
+  if (pool == nullptr || pool->num_threads() == 0 || n <= grain) {
+    // Inline fallback: run sequentially in chunk order so error semantics
+    // match the parallel path exactly.
+    for (size_t begin = 0; begin < n; begin += grain) {
+      Status status;
+      try {
+        status = body(begin, std::min(begin + grain, n));
+      } catch (const std::exception& e) {
+        status = Status::Internal(
+            std::string("uncaught exception in parallel region: ") + e.what());
+      } catch (...) {
+        status =
+            Status::Internal("uncaught non-std exception in parallel region");
+      }
+      CORRMINE_RETURN_NOT_OK(status);
+    }
+    return Status::OK();
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  // Helpers beyond what the chunk count can occupy just wake up and exit.
+  size_t num_chunks = (n + grain - 1) / grain;
+  size_t helpers = std::min(static_cast<size_t>(pool->num_threads()),
+                            num_chunks > 0 ? num_chunks - 1 : 0);
+  state->outstanding.store(helpers, std::memory_order_relaxed);
+
+  // `body` is only touched inside RunChunks, which every helper finishes
+  // before decrementing the latch — so capturing it by reference is safe:
+  // the caller cannot return (and invalidate it) while any helper still
+  // counts as outstanding.
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state, n, grain, &body] {
+      RunChunks(state.get(), n, grain, body);
+      if (state->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->done_mu);
+        state->done_cv.notify_one();
+      }
+    });
+  }
+
+  // The caller participates too: with a busy or small pool the loop still
+  // makes progress on this thread.
+  RunChunks(state.get(), n, grain, body);
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&state] {
+      return state->outstanding.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  std::lock_guard<std::mutex> lock(state->error_mu);
+  if (state->has_error) return state->first_error;
+  return Status::OK();
+}
+
+}  // namespace corrmine

@@ -1,0 +1,77 @@
+#ifndef CORRMINE_COMMON_THREAD_POOL_H_
+#define CORRMINE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace corrmine {
+
+/// Fixed-size worker pool for the mining engines. Tasks are opaque
+/// `void()` closures; completion tracking, result routing and error
+/// propagation are layered on top by ParallelFor. The pool is intentionally
+/// small: no futures, no task priorities — the mining workloads are flat
+/// fan-out/fan-in regions where that machinery is pure overhead.
+///
+/// Ownership contract: whoever constructs the pool joins it (the destructor
+/// drains queued tasks, then joins all workers). The miner creates one pool
+/// per MineCorrelations call and reuses it across levels; long-lived servers
+/// can keep a process-wide pool and pass it down instead.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. `num_threads` must be >= 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue and joins the workers. Tasks submitted but not yet
+  /// started still run before destruction completes.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for execution on some worker. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// The number of concurrent workers to use for `requested` threads:
+  /// 0 means "ask the hardware" (never less than 1); negative is treated
+  /// as 1.
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(begin, end)` over [0, n) split into work-stealing chunks of
+/// `grain` indices, spread across the pool's workers plus the calling
+/// thread. Returns the first non-OK Status in chunk order (lowest starting
+/// index wins, matching what a sequential loop would have returned); once
+/// any chunk fails, remaining chunks are skipped. Exceptions escaping
+/// `body` are captured and surfaced as Status::Internal — they never cross
+/// the pool boundary.
+///
+/// With `pool == nullptr` the loop runs inline on the calling thread, so
+/// callers can treat "no pool" and "one thread" identically.
+///
+/// `body` must be safe to invoke concurrently on disjoint ranges. For
+/// deterministic results, write output to index-addressed slots rather than
+/// shared accumulators.
+Status ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                   const std::function<Status(size_t begin, size_t end)>& body);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_COMMON_THREAD_POOL_H_

@@ -1,28 +1,25 @@
 #include "core/batch_tables.h"
 
+#include <algorithm>
+#include <memory>
 #include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace corrmine {
 
-StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
-    const TransactionDatabase& db, const std::vector<Itemset>& candidates) {
-  if (db.num_baskets() == 0) {
-    return Status::FailedPrecondition("batch build over empty database");
-  }
-  for (const Itemset& s : candidates) {
-    if (s.empty() ||
-        static_cast<int>(s.size()) > SparseContingencyTable::kMaxItems) {
-      return Status::InvalidArgument("invalid candidate itemset size");
-    }
-    if (s.items().back() >= db.num_items()) {
-      return Status::OutOfRange("candidate item out of range");
-    }
-  }
+namespace {
 
-  // One pattern-count map per candidate, all filled in a single scan.
-  std::vector<std::unordered_map<uint32_t, uint64_t>> pattern_counts(
-      candidates.size());
-  for (size_t row = 0; row < db.num_baskets(); ++row) {
+using PatternCounts = std::vector<std::unordered_map<uint32_t, uint64_t>>;
+
+/// Projects every basket of [row_begin, row_end) onto every candidate,
+/// accumulating presence-pattern counts into `counts` (one map per
+/// candidate, indexed like `candidates`).
+void CountBasketRange(const TransactionDatabase& db,
+                      const std::vector<Itemset>& candidates,
+                      size_t row_begin, size_t row_end,
+                      PatternCounts* counts) {
+  for (size_t row = row_begin; row < row_end; ++row) {
     const std::vector<ItemId>& basket = db.basket(row);
     for (size_t c = 0; c < candidates.size(); ++c) {
       const Itemset& s = candidates[c];
@@ -38,23 +35,83 @@ StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
       }
       // The merge cursor cannot be reused across candidates (different
       // targets), so reset per candidate.
-      ++pattern_counts[c][mask];
+      ++(*counts)[c][mask];
     }
   }
+}
+
+}  // namespace
+
+StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
+    const TransactionDatabase& db, const std::vector<Itemset>& candidates,
+    int num_threads) {
+  if (db.num_baskets() == 0) {
+    return Status::FailedPrecondition("batch build over empty database");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  for (const Itemset& s : candidates) {
+    if (s.empty() ||
+        static_cast<int>(s.size()) > SparseContingencyTable::kMaxItems) {
+      return Status::InvalidArgument("invalid candidate itemset size");
+    }
+    if (s.items().back() >= db.num_items()) {
+      return Status::OutOfRange("candidate item out of range");
+    }
+  }
+
+  const int threads = ThreadPool::ResolveThreadCount(num_threads);
+  // Shard the basket axis: each shard fills private pattern maps, the
+  // reduction below sums them in shard order (addition is commutative, so
+  // any fixed order gives the sequential counts).
+  const size_t num_shards =
+      std::min<size_t>(static_cast<size_t>(threads), db.num_baskets());
+  const size_t shard_size =
+      (db.num_baskets() + num_shards - 1) / num_shards;
+  std::vector<PatternCounts> shard_counts(num_shards);
+  for (PatternCounts& counts : shard_counts) {
+    counts.resize(candidates.size());
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  CORRMINE_RETURN_NOT_OK(ParallelFor(
+      pool.get(), num_shards, /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t shard = begin; shard < end; ++shard) {
+          size_t row_begin = shard * shard_size;
+          size_t row_end = std::min(row_begin + shard_size, db.num_baskets());
+          CountBasketRange(db, candidates, row_begin, row_end,
+                           &shard_counts[shard]);
+        }
+        return Status::OK();
+      }));
 
   std::vector<SparseContingencyTable> tables;
   tables.reserve(candidates.size());
   for (size_t c = 0; c < candidates.size(); ++c) {
     const Itemset& s = candidates[c];
+    std::unordered_map<uint32_t, uint64_t> merged;
+    for (const PatternCounts& counts : shard_counts) {
+      for (const auto& [mask, count] : counts[c]) merged[mask] += count;
+    }
     std::vector<uint64_t> item_counts(s.size());
     for (size_t j = 0; j < s.size(); ++j) {
       item_counts[j] = db.ItemCount(s.item(j));
     }
     std::vector<SparseContingencyTable::Cell> cells;
-    cells.reserve(pattern_counts[c].size());
-    for (const auto& [mask, count] : pattern_counts[c]) {
+    cells.reserve(merged.size());
+    for (const auto& [mask, count] : merged) {
       cells.push_back(SparseContingencyTable::Cell{mask, count});
     }
+    // Mask order makes the cell list independent of hash-map iteration
+    // order — and therefore of the shard split.
+    std::sort(cells.begin(), cells.end(),
+              [](const SparseContingencyTable::Cell& a,
+                 const SparseContingencyTable::Cell& b) {
+                return a.mask < b.mask;
+              });
     CORRMINE_ASSIGN_OR_RETURN(
         SparseContingencyTable table,
         SparseContingencyTable::FromCells(

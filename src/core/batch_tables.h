@@ -17,10 +17,17 @@ namespace corrmine {
 ///
 /// Each basket is projected onto every candidate (a merge over the sorted
 /// basket) and the resulting presence pattern counted. Returns one sparse
-/// table per candidate, in input order. Candidates must be non-empty, of
-/// size <= SparseContingencyTable::kMaxItems, with in-range items.
+/// table per candidate, in input order, each table's occupied cells sorted
+/// by mask. Candidates must be non-empty, of size <=
+/// SparseContingencyTable::kMaxItems, with in-range items.
+///
+/// `num_threads` shards the basket scan: each worker accumulates private
+/// per-candidate pattern counts over its basket range and a sequential
+/// reduction sums them in shard order, so the result is identical for any
+/// thread count (1 = sequential, 0 = hardware concurrency).
 StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
-    const TransactionDatabase& db, const std::vector<Itemset>& candidates);
+    const TransactionDatabase& db, const std::vector<Itemset>& candidates,
+    int num_threads = 1);
 
 }  // namespace corrmine
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "hash/itemset_set.h"
 
 namespace corrmine {
@@ -28,6 +30,9 @@ Status ValidateOptions(const MinerOptions& options) {
   if (!(options.support.cell_fraction > 0.0 &&
         options.support.cell_fraction <= 1.0)) {
     return Status::InvalidArgument("support cell_fraction must be in (0,1]");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
   }
   return Status::OK();
 }
@@ -73,6 +78,24 @@ Status StreamCandidates(const std::vector<Itemset>& not_sig,
   return Status::OK();
 }
 
+/// One evaluated candidate, parked in an index-addressed slot so batches
+/// evaluated out of order merge back deterministically.
+struct EvalSlot {
+  enum class Kind : uint8_t { kDiscard, kSig, kNotSig };
+  Kind kind = Kind::kDiscard;
+  ChiSquaredResult chi2;      // kSig only.
+  CellInterest major;         // kSig only.
+};
+
+/// Candidates buffered per parallel flush. Large enough that a flush
+/// amortizes pool wake-ups, small enough that CAND at a dense level never
+/// has to be materialized whole (the original streaming rationale).
+constexpr size_t kEvalBatchSize = 4096;
+
+/// Chunk granularity for work stealing inside one flush. Each candidate is
+/// a 2^k-count table build, so even small chunks are meaty.
+constexpr size_t kEvalGrain = 16;
+
 }  // namespace
 
 StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
@@ -83,6 +106,13 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
     return Status::FailedPrecondition("mining an empty database");
   }
   MiningResult result;
+
+  // Pool ownership: one pool per mining run, reused across levels. The
+  // calling thread participates in every parallel region, so a pool of
+  // (threads - 1) workers yields `threads` concurrent evaluators.
+  const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
 
   // Step 1: count O(i) for every item.
   uint64_t n = provider.num_baskets();
@@ -113,28 +143,70 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
     // mark — unless the caller asked for the frontier.
     const bool keep_not_sig = level < max_level || options.keep_frontier;
 
-    // Steps 6-7 for one candidate: support test, then chi-squared routes
-    // into SIG or (if another level follows) NOTSIG.
-    auto evaluate = [&](Itemset s) -> Status {
-      ++stats.candidates;
-      CORRMINE_ASSIGN_OR_RETURN(ContingencyTable table,
-                                ContingencyTable::Build(provider, s));
-      if (!HasCellSupport(table, options.support)) {
-        ++stats.discards;
-        return Status::OK();
-      }
-      ChiSquaredResult chi2 = ComputeChiSquared(table, options.chi2);
-      if (chi2.SignificantAt(options.confidence_level)) {
-        ++stats.significant;
-        result.significant.push_back(
-            CorrelationRule{std::move(s), chi2, MajorDependenceCell(table)});
-      } else {
-        ++stats.not_significant;
-        if (keep_not_sig) {
-          next_not_sig_set.Insert(s);
-          next_not_sig.push_back(std::move(s));
+    // Steps 6-7, batched: candidates accumulate into `batch`, each flush
+    // evaluates the batch in parallel into index-addressed slots (support
+    // test, then chi-squared), and the merge below routes them into SIG or
+    // (if another level follows) NOTSIG *in stream order* — so the output
+    // is byte-identical whatever the thread count, including 1, which runs
+    // the very same code inline.
+    std::vector<Itemset> batch;
+    batch.reserve(kEvalBatchSize);
+    std::vector<EvalSlot> slots;
+
+    auto flush = [&]() -> Status {
+      if (batch.empty()) return Status::OK();
+      slots.assign(batch.size(), EvalSlot{});
+      CORRMINE_RETURN_NOT_OK(ParallelFor(
+          pool.get(), batch.size(), kEvalGrain,
+          [&](size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              CORRMINE_ASSIGN_OR_RETURN(
+                  ContingencyTable table,
+                  ContingencyTable::Build(provider, batch[i]));
+              if (!HasCellSupport(table, options.support)) {
+                slots[i].kind = EvalSlot::Kind::kDiscard;
+                continue;
+              }
+              ChiSquaredResult chi2 = ComputeChiSquared(table, options.chi2);
+              if (chi2.SignificantAt(options.confidence_level)) {
+                slots[i].kind = EvalSlot::Kind::kSig;
+                slots[i].chi2 = chi2;
+                slots[i].major = MajorDependenceCell(table);
+              } else {
+                slots[i].kind = EvalSlot::Kind::kNotSig;
+              }
+            }
+            return Status::OK();
+          }));
+      // Deterministic fan-in: a single thread walks the slots in candidate
+      // order, so SIG/NOTSIG/stat updates match the sequential history.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ++stats.candidates;
+        switch (slots[i].kind) {
+          case EvalSlot::Kind::kDiscard:
+            ++stats.discards;
+            break;
+          case EvalSlot::Kind::kSig:
+            ++stats.significant;
+            result.significant.push_back(CorrelationRule{
+                std::move(batch[i]), slots[i].chi2, slots[i].major});
+            break;
+          case EvalSlot::Kind::kNotSig:
+            ++stats.not_significant;
+            if (keep_not_sig) {
+              next_not_sig_set.Insert(batch[i]);
+              next_not_sig.push_back(std::move(batch[i]));
+            }
+            break;
         }
       }
+      batch.clear();
+      return Status::OK();
+    };
+
+    auto enqueue = [&](Itemset s) -> Status {
+      batch.push_back(std::move(s));
+      if (batch.size() >= kEvalBatchSize) return flush();
       return Status::OK();
     };
 
@@ -144,14 +216,14 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
         for (ItemId b = a + 1; b < num_items; ++b) {
           if (PairPassesLevelOne(item_counts[a], item_counts[b], n,
                                  options.support, options.level_one)) {
-            CORRMINE_RETURN_NOT_OK(evaluate(Itemset{a, b}));
+            CORRMINE_RETURN_NOT_OK(enqueue(Itemset{a, b}));
           }
         }
       }
     } else {
-      CORRMINE_RETURN_NOT_OK(
-          StreamCandidates(not_sig, not_sig_set, evaluate));
+      CORRMINE_RETURN_NOT_OK(StreamCandidates(not_sig, not_sig_set, enqueue));
     }
+    CORRMINE_RETURN_NOT_OK(flush());
 
     bool exhausted = stats.candidates == 0;
     if (!exhausted) result.levels.push_back(stats);

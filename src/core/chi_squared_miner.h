@@ -39,6 +39,14 @@ struct MinerOptions {
   /// seeding random walks. Costs the memory of keeping the last NOTSIG
   /// alive.
   bool keep_frontier = false;
+
+  /// Worker threads for candidate evaluation (contingency-table builds and
+  /// chi-squared tests, the §4 dominant cost). 1 = sequential; 0 = one per
+  /// hardware thread; N = exactly N. The miner owns its pool for the
+  /// duration of the call. Results are byte-identical across all settings:
+  /// candidates are evaluated in index-addressed slots and merged back in
+  /// stream order (see DESIGN.md, "Threading architecture").
+  int num_threads = 1;
 };
 
 /// A mined rule: a supported, minimally correlated itemset together with

@@ -1,5 +1,9 @@
 #include "itemset/count_provider.h"
 
+#include <memory>
+#include <mutex>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace corrmine {
@@ -11,6 +15,88 @@ uint64_t ScanCountProvider::CountAllPresent(const Itemset& s) const {
     if (db_.BasketContainsAll(row, s)) ++count;
   }
   return count;
+}
+
+uint64_t CachedCountProvider::CountAllPresent(const Itemset& s) const {
+  CORRMINE_CHECK(!s.empty()) << "CountAllPresent requires a non-empty set";
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const size_t k = s.size();
+  const uint64_t words = index_.words_per_bitmap();
+  if (k >= 2) {
+    uncached_and_word_ops_.fetch_add((k - 1) * words,
+                                     std::memory_order_relaxed);
+  }
+  if (k == 1) return index_.item_bitmap(s.item(0)).Count();
+  if (k == 2) {
+    and_word_ops_.fetch_add(words, std::memory_order_relaxed);
+    return index_.item_bitmap(s.item(0))
+        .AndCount(index_.item_bitmap(s.item(1)));
+  }
+  const ItemId last = s.item(k - 1);
+  Bitmap scratch;
+  const Bitmap* prefix = PrefixBitmapInto(s.WithoutItem(last), &scratch);
+  and_word_ops_.fetch_add(words, std::memory_order_relaxed);
+  return prefix->AndCount(index_.item_bitmap(last));
+}
+
+const Bitmap* CachedCountProvider::PrefixBitmapInto(const Itemset& prefix,
+                                                    Bitmap* scratch) const {
+  if (prefix.size() == 1) return &index_.item_bitmap(prefix.item(0));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(prefix);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // Pointers into the map stay valid across rehashes (values are
+      // heap-allocated) and nothing is erased while queries run.
+      return it->second.get();
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const ItemId last = prefix.item(prefix.size() - 1);
+  Bitmap base_scratch;
+  const Bitmap* base =
+      PrefixBitmapInto(prefix.WithoutItem(last), &base_scratch);
+  Bitmap built(*base);
+  built.AndWith(index_.item_bitmap(last));
+  and_word_ops_.fetch_add(index_.words_per_bitmap(),
+                          std::memory_order_relaxed);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(prefix);
+    if (it != cache_.end()) {
+      return it->second.get();  // Another thread built it first.
+    }
+    if (cache_.size() < max_entries_) {
+      auto [inserted, unused] =
+          cache_.emplace(prefix, std::make_unique<Bitmap>(std::move(built)));
+      return inserted->second.get();
+    }
+  }
+  // Cache full: hand the intersection back transiently; counts stay exact.
+  *scratch = std::move(built);
+  return scratch;
+}
+
+CachedCountProvider::CacheStats CachedCountProvider::stats() const {
+  CacheStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.and_word_ops = and_word_ops_.load(std::memory_order_relaxed);
+  out.uncached_and_word_ops =
+      uncached_and_word_ops_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void CachedCountProvider::ClearCache() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_.clear();
+}
+
+size_t CachedCountProvider::cache_size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return cache_.size();
 }
 
 }  // namespace corrmine

@@ -87,7 +87,14 @@ class VerticalIndex {
   explicit VerticalIndex(const TransactionDatabase& db);
 
   size_t num_baskets() const { return num_baskets_; }
+  ItemId num_items() const { return static_cast<ItemId>(bitmaps_.size()); }
   const Bitmap& item_bitmap(ItemId item) const;
+
+  /// Words per item bitmap — the unit the mining cost model counts AND
+  /// operations in.
+  size_t words_per_bitmap() const {
+    return bitmaps_.empty() ? 0 : bitmaps_[0].words().size();
+  }
 
   /// Number of baskets containing every item of `s`; s must be non-empty.
   uint64_t CountAllPresent(const Itemset& s) const;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace corrmine {
 
@@ -53,21 +56,48 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
         options.min_support_fraction <= 1.0)) {
     return Status::InvalidArgument("min_support_fraction must be in (0,1]");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   uint64_t n = provider.num_baskets();
   uint64_t min_count = static_cast<uint64_t>(
       std::ceil(options.min_support_fraction * static_cast<double>(n) -
                 1e-9));
   if (min_count == 0) min_count = 1;
 
+  const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+
+  // Counts every candidate into an index-addressed slot; the sequential
+  // filter below then sees the same counts in the same order regardless of
+  // thread count.
+  auto count_all = [&](const std::vector<Itemset>& candidates,
+                       std::vector<uint64_t>* counts) -> Status {
+    counts->assign(candidates.size(), 0);
+    return ParallelFor(pool.get(), candidates.size(), /*grain=*/32,
+                       [&](size_t begin, size_t end) -> Status {
+                         for (size_t i = begin; i < end; ++i) {
+                           (*counts)[i] =
+                               provider.CountAllPresent(candidates[i]);
+                         }
+                         return Status::OK();
+                       });
+  };
+
   std::vector<FrequentItemset> result;
 
   // L1.
+  std::vector<Itemset> singletons;
+  singletons.reserve(num_items);
+  for (ItemId i = 0; i < num_items; ++i) singletons.push_back(Itemset{i});
+  std::vector<uint64_t> counts;
+  CORRMINE_RETURN_NOT_OK(count_all(singletons, &counts));
   std::vector<Itemset> frequent;
   for (ItemId i = 0; i < num_items; ++i) {
-    uint64_t count = provider.CountAllPresent(Itemset{i});
-    if (count >= min_count) {
-      result.push_back(FrequentItemset{Itemset{i}, count});
-      frequent.push_back(Itemset{i});
+    if (counts[i] >= min_count) {
+      result.push_back(FrequentItemset{singletons[i], counts[i]});
+      frequent.push_back(std::move(singletons[i]));
     }
   }
 
@@ -79,11 +109,11 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
     std::sort(frequent.begin(), frequent.end());
     std::vector<Itemset> candidates = AprioriGen(frequent, frequent_set);
     frequent.clear();
-    for (Itemset& candidate : candidates) {
-      uint64_t count = provider.CountAllPresent(candidate);
-      if (count >= min_count) {
-        frequent.push_back(candidate);
-        result.push_back(FrequentItemset{std::move(candidate), count});
+    CORRMINE_RETURN_NOT_OK(count_all(candidates, &counts));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (counts[i] >= min_count) {
+        frequent.push_back(candidates[i]);
+        result.push_back(FrequentItemset{std::move(candidates[i]), counts[i]});
       }
     }
     ++level;

@@ -25,6 +25,10 @@ struct AprioriOptions {
   double min_support_fraction = 0.01;
   /// Stop after this itemset size; 0 = unbounded.
   int max_level = 0;
+  /// Threads for candidate counting (1 = sequential, 0 = hardware
+  /// concurrency). Counts land in index-addressed slots, so output is
+  /// identical for any setting.
+  int num_threads = 1;
 };
 
 /// The Agrawal–Srikant Apriori algorithm: level-wise frequent-itemset

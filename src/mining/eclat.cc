@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "itemset/bitmap.h"
 
 namespace corrmine {
@@ -59,14 +62,15 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
         options.min_support_fraction <= 1.0)) {
     return Status::InvalidArgument("min_support_fraction must be in (0,1]");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   uint64_t n = db.num_baskets();
   uint64_t min_count = static_cast<uint64_t>(std::ceil(
       options.min_support_fraction * static_cast<double>(n) - 1e-9));
   if (min_count == 0) min_count = 1;
 
   VerticalIndex index(db);
-  std::vector<FrequentItemset> result;
-  EclatState state{min_count, options.max_level, &result};
 
   // Frequent singletons seed the depth-first search.
   std::vector<std::pair<ItemId, const Bitmap*>> frequent_items;
@@ -75,15 +79,37 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
       frequent_items.emplace_back(i, &index.item_bitmap(i));
     }
   }
-  for (size_t i = 0; i < frequent_items.size(); ++i) {
-    Itemset single{frequent_items[i].first};
-    result.push_back(
-        FrequentItemset{single, frequent_items[i].second->Count()});
-    std::vector<std::pair<ItemId, const Bitmap*>> tail(
-        frequent_items.begin() + i + 1, frequent_items.end());
-    if (!tail.empty()) {
-      Extend(single, *frequent_items[i].second, tail, state);
-    }
+
+  // Each singleton's subtree is independent: mine it into a private buffer
+  // (parallel across subtrees), then concatenate in item order. The final
+  // (size, lex) sort makes the order question moot, but keeping the merge
+  // deterministic means the pre-sort vector is reproducible too.
+  const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  std::vector<std::vector<FrequentItemset>> branch_results(
+      frequent_items.size());
+  CORRMINE_RETURN_NOT_OK(ParallelFor(
+      pool.get(), frequent_items.size(), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          EclatState state{min_count, options.max_level, &branch_results[i]};
+          Itemset single{frequent_items[i].first};
+          branch_results[i].push_back(
+              FrequentItemset{single, frequent_items[i].second->Count()});
+          std::vector<std::pair<ItemId, const Bitmap*>> tail(
+              frequent_items.begin() + i + 1, frequent_items.end());
+          if (!tail.empty()) {
+            Extend(single, *frequent_items[i].second, tail, state);
+          }
+        }
+        return Status::OK();
+      }));
+
+  std::vector<FrequentItemset> result;
+  for (std::vector<FrequentItemset>& branch : branch_results) {
+    result.insert(result.end(), std::make_move_iterator(branch.begin()),
+                  std::make_move_iterator(branch.end()));
   }
 
   std::sort(result.begin(), result.end(),

@@ -11,6 +11,11 @@ struct EclatOptions {
   double min_support_fraction = 0.01;
   /// Stop after this itemset size; 0 = unbounded.
   int max_level = 0;
+  /// Threads for the depth-first search (1 = sequential, 0 = hardware
+  /// concurrency). Each frequent singleton's subtree is mined into its own
+  /// buffer and the buffers concatenated in item order, so the output is
+  /// identical for any setting (the final (size, lex) sort seals it).
+  int num_threads = 1;
 };
 
 /// Eclat (Zaki et al., 1997 — contemporaneous with the paper): depth-first

@@ -27,6 +27,40 @@ TEST(BatchTablesTest, MatchesPerCandidateBuilds) {
   }
 }
 
+TEST(BatchTablesTest, ParallelShardsMatchSequentialExactly) {
+  auto db = testing::RandomCorrelatedDatabase(9, 700, 0.75, 37);
+  std::vector<Itemset> candidates = {Itemset{0, 1}, Itemset{1, 2, 3},
+                                     Itemset{0, 4, 5, 6}, Itemset{2, 7, 8},
+                                     Itemset{3}, Itemset{0, 1, 2, 3, 4}};
+  auto sequential = BuildSparseTablesBatch(db, candidates, /*num_threads=*/1);
+  auto parallel = BuildSparseTablesBatch(db, candidates, /*num_threads=*/4);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(sequential->size(), parallel->size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const auto& seq_cells = (*sequential)[c].occupied_cells();
+    const auto& par_cells = (*parallel)[c].occupied_cells();
+    ASSERT_EQ(seq_cells.size(), par_cells.size()) << candidates[c].ToString();
+    for (size_t i = 0; i < seq_cells.size(); ++i) {
+      EXPECT_EQ(seq_cells[i].mask, par_cells[i].mask);
+      EXPECT_EQ(seq_cells[i].observed, par_cells[i].observed);
+    }
+  }
+  EXPECT_TRUE(BuildSparseTablesBatch(db, candidates, -1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BatchTablesTest, MoreThreadsThanBaskets) {
+  auto db = testing::RandomIndependentDatabase(4, 3, 11);
+  auto batch = BuildSparseTablesBatch(db, {Itemset{0, 1}}, /*num_threads=*/8);
+  ASSERT_TRUE(batch.ok());
+  auto single = SparseContingencyTable::Build(db, Itemset{0, 1});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*batch)[0].occupied_cells().size(),
+            single->occupied_cells().size());
+}
+
 TEST(BatchTablesTest, EmptyCandidateListIsFine) {
   auto db = testing::RandomIndependentDatabase(4, 50, 2);
   auto batch = BuildSparseTablesBatch(db, {});

@@ -1,0 +1,127 @@
+#include "itemset/count_provider.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace corrmine {
+namespace {
+
+// Every subset of `universe` with 1 <= size <= max_size, in a deterministic
+// order that mimics the miner's query stream (grouped by shared prefixes).
+std::vector<Itemset> AllSubsets(ItemId universe, size_t max_size) {
+  std::vector<Itemset> out;
+  for (uint32_t mask = 1; mask < (1u << universe); ++mask) {
+    Itemset s;
+    for (ItemId i = 0; i < universe; ++i) {
+      if (mask & (1u << i)) s = s.WithItem(i);
+    }
+    if (s.size() <= max_size) out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(CachedCountProviderTest, MatchesScanProviderOnEverySubset) {
+  auto db = testing::RandomCorrelatedDatabase(8, 300, 0.8, 101);
+  ScanCountProvider scan(db);
+  BitmapCountProvider bitmap(db);
+  CachedCountProvider cached(bitmap.index());
+  ASSERT_EQ(cached.num_baskets(), scan.num_baskets());
+  for (const Itemset& s : AllSubsets(8, 5)) {
+    EXPECT_EQ(cached.CountAllPresent(s), scan.CountAllPresent(s))
+        << s.ToString();
+  }
+}
+
+TEST(CachedCountProviderTest, RepeatQueriesHitTheCache) {
+  auto db = testing::RandomIndependentDatabase(6, 200, 7);
+  BitmapCountProvider bitmap(db);
+  CachedCountProvider cached(bitmap.index());
+  // Sibling candidates sharing the prefix {0,1}: the second and later
+  // queries reuse the memoized intersection.
+  for (ItemId last = 2; last < 6; ++last) {
+    cached.CountAllPresent(Itemset{0, 1, last});
+  }
+  auto stats = cached.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.misses, 1u);  // {0,1} built once...
+  EXPECT_EQ(stats.hits, 3u);    // ...and reused three times.
+  EXPECT_EQ(cached.cache_size(), 1u);
+}
+
+TEST(CachedCountProviderTest, SavesAndWordOpsOnSiblingRuns) {
+  auto db = testing::RandomIndependentDatabase(10, 500, 13);
+  ScanCountProvider scan(db);
+  BitmapCountProvider bitmap(db);
+  CachedCountProvider cached(bitmap.index());
+  // A level-3+ style stream: every size-3 and size-4 subset. Counts must
+  // stay exact while the actual AND work drops below the uncached chain.
+  for (const Itemset& s : AllSubsets(10, 4)) {
+    if (s.size() < 3) continue;
+    EXPECT_EQ(cached.CountAllPresent(s), scan.CountAllPresent(s));
+  }
+  auto stats = cached.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LT(stats.and_word_ops, stats.uncached_and_word_ops);
+}
+
+TEST(CachedCountProviderTest, ExactWhenCacheIsFull) {
+  auto db = testing::RandomCorrelatedDatabase(8, 250, 0.7, 23);
+  ScanCountProvider scan(db);
+  BitmapCountProvider bitmap(db);
+  CachedCountProvider cached(bitmap.index(), /*max_entries=*/2);
+  for (const Itemset& s : AllSubsets(8, 4)) {
+    EXPECT_EQ(cached.CountAllPresent(s), scan.CountAllPresent(s))
+        << s.ToString();
+  }
+  EXPECT_LE(cached.cache_size(), 2u);
+}
+
+TEST(CachedCountProviderTest, ClearCacheDropsEntriesNotAnswers) {
+  auto db = testing::RandomIndependentDatabase(6, 150, 31);
+  BitmapCountProvider bitmap(db);
+  CachedCountProvider cached(bitmap.index());
+  uint64_t before = cached.CountAllPresent(Itemset{0, 1, 2});
+  EXPECT_GT(cached.cache_size(), 0u);
+  cached.ClearCache();
+  EXPECT_EQ(cached.cache_size(), 0u);
+  EXPECT_EQ(cached.CountAllPresent(Itemset{0, 1, 2}), before);
+}
+
+TEST(CachedCountProviderTest, ConcurrentQueriesStayExact) {
+  auto db = testing::RandomCorrelatedDatabase(9, 400, 0.85, 47);
+  ScanCountProvider scan(db);
+  BitmapCountProvider bitmap(db);
+  CachedCountProvider cached(bitmap.index());
+  std::vector<Itemset> queries = AllSubsets(9, 4);
+  std::vector<uint64_t> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expected[i] = scan.CountAllPresent(queries[i]);
+  }
+  // Four threads hammer overlapping query ranges so cache fills race.
+  std::vector<std::vector<uint64_t>> got(4,
+                                         std::vector<uint64_t>(queries.size()));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        got[t][i] = cached.CountAllPresent(queries[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < 4; ++t) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[t][i], expected[i])
+          << "thread " << t << " query " << queries[i].ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -6,6 +6,8 @@
 #include "core/brute_force.h"
 #include "cube/datacube.h"
 #include "core/chi_squared_miner.h"
+#include "datagen/census_generator.h"
+#include "datagen/quest_generator.h"
 #include "test_util.h"
 
 namespace corrmine {
@@ -231,6 +233,121 @@ TEST(MinerFrontierTest, FrontierAtMaxLevelMatchesNotSigCount) {
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->levels.size(), 1u);
   EXPECT_EQ(result->frontier.size(), result->levels[0].not_significant);
+}
+
+// Field-by-field equality of two mining results, down to bitwise-equal
+// doubles: the determinism contract promises byte-identical output for any
+// thread count, not merely "statistically the same".
+void ExpectIdenticalResults(const MiningResult& a, const MiningResult& b) {
+  ASSERT_EQ(a.significant.size(), b.significant.size());
+  for (size_t i = 0; i < a.significant.size(); ++i) {
+    const CorrelationRule& ra = a.significant[i];
+    const CorrelationRule& rb = b.significant[i];
+    EXPECT_EQ(ra.itemset, rb.itemset) << "SIG order diverged at " << i;
+    EXPECT_EQ(ra.chi2.statistic, rb.chi2.statistic);
+    EXPECT_EQ(ra.chi2.dof, rb.chi2.dof);
+    EXPECT_EQ(ra.chi2.p_value, rb.chi2.p_value);
+    EXPECT_EQ(ra.major_dependence.mask, rb.major_dependence.mask);
+    EXPECT_EQ(ra.major_dependence.observed, rb.major_dependence.observed);
+    EXPECT_EQ(ra.major_dependence.expected, rb.major_dependence.expected);
+  }
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].level, b.levels[i].level);
+    EXPECT_EQ(a.levels[i].possible_itemsets, b.levels[i].possible_itemsets);
+    EXPECT_EQ(a.levels[i].candidates, b.levels[i].candidates);
+    EXPECT_EQ(a.levels[i].discards, b.levels[i].discards);
+    EXPECT_EQ(a.levels[i].significant, b.levels[i].significant);
+    EXPECT_EQ(a.levels[i].not_significant, b.levels[i].not_significant);
+  }
+  EXPECT_EQ(a.frontier, b.frontier);
+}
+
+// Parallel evaluation must be invisible in the output: threads=4 and
+// threads=1 give identical MiningResults on the paper-style fixtures.
+TEST(MinerDeterminismTest, QuestFixtureParallelMatchesSequential) {
+  datagen::QuestOptions quest;
+  quest.num_transactions = 3000;
+  quest.num_items = 80;
+  quest.avg_transaction_size = 8.0;
+  quest.num_patterns = 60;
+  auto db = datagen::GenerateQuestData(quest);
+  ASSERT_TRUE(db.ok());
+  BitmapCountProvider provider(*db);
+  MinerOptions options;
+  options.support.min_count = 30;
+  options.support.cell_fraction = 0.26;
+  options.keep_frontier = true;
+
+  options.num_threads = 1;
+  auto sequential = MineCorrelations(provider, db->num_items(), options);
+  options.num_threads = 4;
+  auto parallel = MineCorrelations(provider, db->num_items(), options);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_FALSE(sequential->significant.empty());
+  ExpectIdenticalResults(*sequential, *parallel);
+}
+
+TEST(MinerDeterminismTest, CensusFixtureParallelMatchesSequential) {
+  datagen::CensusOptions census;
+  census.num_persons = 4000;
+  auto db = datagen::GenerateCensusData(census);
+  ASSERT_TRUE(db.ok());
+  BitmapCountProvider provider(*db);
+  MinerOptions options;
+  options.support.min_count = 40;
+  options.support.cell_fraction = 0.26;
+  options.keep_frontier = true;
+
+  options.num_threads = 1;
+  auto sequential = MineCorrelations(provider, db->num_items(), options);
+  options.num_threads = 4;
+  auto parallel = MineCorrelations(provider, db->num_items(), options);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_FALSE(sequential->significant.empty());
+  ExpectIdenticalResults(*sequential, *parallel);
+}
+
+// The prefix cache changes cost, never answers — even under the parallel
+// engine, where cache fills race across workers.
+TEST(MinerDeterminismTest, CachedProviderMatchesPlainBitmapInParallel) {
+  auto db = testing::RandomCorrelatedDatabase(10, 600, 0.8, 59);
+  BitmapCountProvider bitmap(db);
+  CachedCountProvider cached(bitmap.index());
+  MinerOptions options;
+  options.support.min_count = 5;
+  options.support.cell_fraction = 0.26;
+  options.keep_frontier = true;
+  options.num_threads = 1;
+  auto plain = MineCorrelations(bitmap, db.num_items(), options);
+  options.num_threads = 4;
+  auto via_cache = MineCorrelations(cached, db.num_items(), options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(via_cache.ok());
+  ExpectIdenticalResults(*plain, *via_cache);
+}
+
+TEST(MinerDeterminismTest, ZeroThreadsMeansHardwareConcurrency) {
+  auto db = testing::RandomCorrelatedDatabase(6, 200, 0.8, 61);
+  BitmapCountProvider provider(db);
+  MinerOptions options;
+  options.support.min_count = 3;
+  options.support.cell_fraction = 0.26;
+  options.num_threads = 1;
+  auto sequential = MineCorrelations(provider, db.num_items(), options);
+  options.num_threads = 0;
+  auto hardware = MineCorrelations(provider, db.num_items(), options);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(hardware.ok());
+  ExpectIdenticalResults(*sequential, *hardware);
+
+  MinerOptions bad;
+  bad.num_threads = -2;
+  EXPECT_TRUE(
+      MineCorrelations(provider, db.num_items(), bad).status()
+          .IsInvalidArgument());
 }
 
 TEST(MinerProviderTest, CubeAndBitmapProvidersAgree) {

@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corrmine {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(3), 3);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-5), 1);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);  // Hardware-dependent.
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  Status status = ParallelFor(&pool, kN, /*grain=*/7,
+                              [&](size_t begin, size_t end) -> Status {
+                                for (size_t i = begin; i < end; ++i) {
+                                  touched[i].fetch_add(1);
+                                }
+                                return Status::OK();
+                              });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, InlineWithoutPool) {
+  std::vector<int> values(100, 0);
+  Status status = ParallelFor(nullptr, values.size(), /*grain=*/9,
+                              [&](size_t begin, size_t end) -> Status {
+                                for (size_t i = begin; i < end; ++i) {
+                                  values[i] = static_cast<int>(i);
+                                }
+                                return Status::OK();
+                              });
+  ASSERT_TRUE(status.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsOk) {
+  ThreadPool pool(2);
+  bool ran = false;
+  Status status = ParallelFor(&pool, 0, 1, [&](size_t, size_t) -> Status {
+    ran = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, PropagatesEarliestError) {
+  ThreadPool pool(4);
+  // Several chunks fail; the reported error must be the one a sequential
+  // loop would have hit first (lowest starting index).
+  for (int round = 0; round < 20; ++round) {
+    Status status = ParallelFor(
+        &pool, 1000, /*grain=*/10, [&](size_t begin, size_t) -> Status {
+          if (begin >= 500) {
+            return Status::Internal("late chunk " + std::to_string(begin));
+          }
+          if (begin >= 200) {
+            return Status::InvalidArgument("early chunk");
+          }
+          return Status::OK();
+        });
+    ASSERT_FALSE(status.ok());
+    // Chunks race, so any failing chunk may be *observed* first, but the
+    // recorded winner must always be the earliest-index failure among the
+    // chunks that ran — and chunk 200 always runs before the cursor can
+    // skip it... the contract we can assert deterministically is weaker:
+    // the error is one of the declared failures, and chunk-200's class wins
+    // whenever both classes were recorded.
+    EXPECT_TRUE(status.IsInvalidArgument() ||
+                status.code() == StatusCode::kInternal);
+  }
+}
+
+TEST(ParallelForTest, SequentialErrorOrderWithoutPool) {
+  // Inline mode must return exactly the first error in index order.
+  Status status = ParallelFor(
+      nullptr, 100, /*grain=*/10, [&](size_t begin, size_t) -> Status {
+        if (begin >= 30) return Status::Internal("chunk " + std::to_string(begin));
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "chunk 30");
+}
+
+TEST(ParallelForTest, ExceptionsBecomeInternalStatus) {
+  ThreadPool pool(2);
+  Status status = ParallelFor(&pool, 100, /*grain=*/5,
+                              [&](size_t begin, size_t) -> Status {
+                                if (begin == 50) {
+                                  throw std::runtime_error("boom");
+                                }
+                                return Status::OK();
+                              });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(ParallelForTest, ManySmallRegionsReuseOnePool) {
+  // The miner's usage pattern: one pool, many flushes. Stress the
+  // region-setup/teardown path for latent races (meaningful under TSan).
+  ThreadPool pool(3);
+  for (int region = 0; region < 200; ++region) {
+    std::atomic<uint64_t> sum{0};
+    Status status = ParallelFor(&pool, 64, /*grain=*/3,
+                                [&](size_t begin, size_t end) -> Status {
+                                  uint64_t local = 0;
+                                  for (size_t i = begin; i < end; ++i) {
+                                    local += i;
+                                  }
+                                  sum.fetch_add(local);
+                                  return Status::OK();
+                                });
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+  }
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -15,6 +15,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -52,6 +53,11 @@ constexpr char kUsage[] =
     "      --confidence-level A   chi2 significance level (default 0.95)\n"
     "      --max-level L          stop after itemsets of size L (0 = off)\n"
     "      --min-expected E       ignore cells with expectation < E\n"
+    "      --threads T            worker threads for candidate evaluation\n"
+    "                             (default 1; 0 = all hardware threads;\n"
+    "                             output is identical for any T)\n"
+    "      --prefix-cache         memoize prefix bitmap intersections\n"
+    "                             (same counts, fewer AND operations)\n"
     "      --algo levelwise|walk  search strategy (default levelwise)\n"
     "      --walks N              random walks when --algo walk\n"
     "      --out FILE             also write the result in the line format\n"
@@ -100,6 +106,14 @@ Status RunMine(const FlagParser& flags) {
     return Status::InvalidArgument("no baskets in input");
   }
   BitmapCountProvider provider(db);
+  // Opt-in prefix-intersection caching: identical counts, fewer bitmap AND
+  // chains when sibling candidates share (k-1)-prefixes.
+  std::unique_ptr<CachedCountProvider> cached;
+  if (flags.GetBool("prefix-cache", false)) {
+    cached = std::make_unique<CachedCountProvider>(provider.index());
+  }
+  const CountProvider& counts =
+      cached ? static_cast<const CountProvider&>(*cached) : provider;
 
   MinerOptions options;
   CORRMINE_ASSIGN_OR_RETURN(options.support.min_count,
@@ -113,12 +127,14 @@ Status RunMine(const FlagParser& flags) {
   options.max_level = static_cast<int>(max_level);
   CORRMINE_ASSIGN_OR_RETURN(options.chi2.min_expected_cell,
                             flags.GetDouble("min-expected", 0.0));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t threads, flags.GetUint64("threads", 1));
+  options.num_threads = static_cast<int>(threads);
 
   MiningResult result;
   std::string algo = flags.GetString("algo", "levelwise");
   if (algo == "levelwise") {
     CORRMINE_ASSIGN_OR_RETURN(
-        result, MineCorrelations(provider, db.num_items(), options));
+        result, MineCorrelations(counts, db.num_items(), options));
   } else if (algo == "walk") {
     RandomWalkOptions walk;
     walk.miner = options;
@@ -127,7 +143,7 @@ Status RunMine(const FlagParser& flags) {
     walk.num_walks = static_cast<int>(walks);
     CORRMINE_ASSIGN_OR_RETURN(
         result,
-        MineCorrelationsRandomWalk(provider, db.num_items(), walk));
+        MineCorrelationsRandomWalk(counts, db.num_items(), walk));
   } else {
     return Status::InvalidArgument("unknown --algo: " + algo);
   }
