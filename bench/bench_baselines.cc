@@ -4,6 +4,8 @@
 // batch per-level table builder against per-candidate builds.
 
 #include <chrono>
+
+#include "bench_metrics.h"
 #include <iostream>
 #include <map>
 #include <string>
@@ -158,5 +160,6 @@ int main() {
     std::cout << "per-candidate bitmap : "
               << io::FormatDouble(SecondsSince(start), 3) << " s\n";
   }
+  corrmine::bench::EmitMetricsLine("bench_baselines");
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
+
 #include "common/logging.h"
 
 #include "core/chi_squared_miner.h"
@@ -88,4 +90,13 @@ BENCHMARK(BM_ItemsetHash);
 }  // namespace
 }  // namespace corrmine
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run ends with a
+// BENCH_METRICS registry snapshot, like the harness-style benches.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  corrmine::bench::EmitMetricsLine("bench_candidate_gen");
+  return 0;
+}

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
+
 #include "common/logging.h"
 
 #include "core/chi_squared_test.h"
@@ -97,4 +99,13 @@ BENCHMARK(BM_ChiSquaredCriticalValue)->Arg(1)->Arg(10)->Arg(100);
 }  // namespace
 }  // namespace corrmine
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run ends with a
+// BENCH_METRICS registry snapshot, like the harness-style benches.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  corrmine::bench::EmitMetricsLine("bench_chi_squared");
+  return 0;
+}

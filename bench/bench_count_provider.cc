@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
+
 #include "cube/datacube.h"
 #include "datagen/quest_generator.h"
 #include "itemset/compressed_bitmap.h"
@@ -123,4 +125,13 @@ BENCHMARK(BM_VerticalIndexBuild)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace corrmine
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run ends with a
+// BENCH_METRICS registry snapshot, like the harness-style benches.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  corrmine::bench::EmitMetricsLine("bench_count_provider");
+  return 0;
+}

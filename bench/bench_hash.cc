@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
+
 #include "hash/dynamic_perfect_hash.h"
 #include "hash/fks_perfect_hash.h"
 #include "hash/itemset_set.h"
@@ -136,4 +138,13 @@ BENCHMARK(BM_UnorderedItemsetSetContains);
 }  // namespace
 }  // namespace corrmine::hash
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run ends with a
+// BENCH_METRICS registry snapshot, like the harness-style benches.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  corrmine::bench::EmitMetricsLine("bench_hash");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#ifndef CORRMINE_BENCH_BENCH_METRICS_H_
+#define CORRMINE_BENCH_BENCH_METRICS_H_
+
+#include <cstdio>
+
+#include "common/metrics.h"
+
+namespace corrmine {
+namespace bench {
+
+/// Prints the global metrics registry as one machine-greppable line:
+///   BENCH_METRICS {"bench":"<name>", ...registry snapshot...}
+/// Every bench binary calls this at exit, so scripted sweeps can diff the
+/// instrumentation (cache hits, candidates, pool activity) across runs
+/// without parsing the human-readable tables. With CORRMINE_METRICS=OFF
+/// the line still prints, with all-zero values.
+inline void EmitMetricsLine(const char* bench_name) {
+  // ToJson always renders "{\"metrics_compiled\":...}"; splice the bench
+  // name in as the object's first key.
+  std::string snapshot = MetricsRegistry::Global().ToJson();
+  std::printf("BENCH_METRICS {\"bench\":\"%s\",%s\n", bench_name,
+              snapshot.c_str() + 1);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace corrmine
+
+#endif  // CORRMINE_BENCH_BENCH_METRICS_H_

@@ -8,6 +8,8 @@
 //  - Apriori baseline cost on the same data.
 
 #include "common/logging.h"
+
+#include "bench_metrics.h"
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -142,5 +144,6 @@ int main() {
   }
 
   table.Print(std::cout);
+  corrmine::bench::EmitMetricsLine("bench_miner");
   return 0;
 }

@@ -9,6 +9,8 @@
 // single-thread baseline.
 
 #include <chrono>
+
+#include "bench_metrics.h"
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -45,6 +47,10 @@ struct ThreadRun {
   int threads;
   double seconds;
 };
+
+/// a/b with a 0 fallback: sub-millisecond timer readings can round to 0 on
+/// fast machines, and a speedup of 0 is a clearer "no signal" than inf/nan.
+double SafeRatio(double a, double b) { return b > 0.0 ? a / b : 0.0; }
 
 }  // namespace
 }  // namespace corrmine
@@ -118,7 +124,7 @@ int main() {
     if (i > 0) json << ',';
     json << "{\"threads\":" << runs[i].threads << ",\"seconds\":"
          << runs[i].seconds << ",\"speedup\":"
-         << runs[0].seconds / runs[i].seconds << '}';
+         << SafeRatio(runs[0].seconds, runs[i].seconds) << '}';
   }
   json << "],\"cache\":{\"seconds\":" << cached_seconds
        << ",\"queries\":" << cache.queries << ",\"hits\":" << cache.hits
@@ -133,7 +139,8 @@ int main() {
   for (const ThreadRun& run : runs) {
     table.AddRow({std::to_string(run.threads),
                   io::FormatDouble(run.seconds, 3),
-                  io::FormatDouble(runs[0].seconds / run.seconds, 2)});
+                  io::FormatDouble(SafeRatio(runs[0].seconds, run.seconds),
+                                   2)});
   }
   std::cout << "== Parallel miner throughput (quest, s = 1%) ==\n\n";
   table.Print(std::cout);
@@ -141,11 +148,15 @@ int main() {
             << "\n\nAND word ops: " << cache.and_word_ops << " cached vs "
             << cache.uncached_and_word_ops << " uncached ("
             << io::FormatDouble(
-                   100.0 * static_cast<double>(cache.uncached_and_word_ops -
-                                               cache.and_word_ops) /
-                       static_cast<double>(cache.uncached_and_word_ops),
+                   100.0 *
+                       SafeRatio(
+                           static_cast<double>(cache.uncached_and_word_ops -
+                                               cache.and_word_ops),
+                           static_cast<double>(cache.uncached_and_word_ops)),
                    1)
             << "% saved), " << cache.hits << " hits / " << cache.misses
             << " misses.\n";
+  cached.PublishMetrics(&MetricsRegistry::Global());
+  corrmine::bench::EmitMetricsLine("bench_parallel");
   return 0;
 }

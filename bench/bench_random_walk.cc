@@ -5,6 +5,8 @@
 // flags as future work.
 
 #include <chrono>
+
+#include "bench_metrics.h"
 #include <iostream>
 #include <string>
 
@@ -110,5 +112,6 @@ int main() {
   std::cout << "\nwalks find subsets of the exact border ("
             << level_wise_found
             << " sets); coverage grows with the walk budget.\n";
+  corrmine::bench::EmitMetricsLine("bench_random_walk");
   return 0;
 }

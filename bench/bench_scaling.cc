@@ -4,6 +4,8 @@
 // timing (Section 5.3) with the curves a systems reader would ask for.
 
 #include <chrono>
+
+#include "bench_metrics.h"
 #include <iostream>
 #include <string>
 
@@ -93,5 +95,6 @@ int main() {
   std::cout << "\nmine time is dominated by level-2 candidate evaluation "
                "(popcounts scale\nlinearly in baskets; candidate count "
                "quadratically in frequent items).\n";
+  corrmine::bench::EmitMetricsLine("bench_scaling");
   return 0;
 }

@@ -4,6 +4,8 @@
 // the numbers appear in bench_output.txt next to the tables.
 
 #include "common/logging.h"
+
+#include "bench_metrics.h"
 #include <iostream>
 #include <string>
 #include <vector>
@@ -118,5 +120,6 @@ int main() {
 
   std::cout << "== Worked examples: computed vs paper ==\n\n";
   table.Print(std::cout);
+  corrmine::bench::EmitMetricsLine("examples_paper");
   return 0;
 }

@@ -3,6 +3,8 @@
 // shown in the paper's "basket -> items" form.
 
 #include "common/logging.h"
+
+#include "bench_metrics.h"
 #include <iostream>
 #include <string>
 
@@ -52,5 +54,6 @@ int main() {
                       io::FormatPercent(*p, 1)});
   }
   marginals.Print(std::cout);
+  corrmine::bench::EmitMetricsLine("table1_census");
   return 0;
 }

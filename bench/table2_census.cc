@@ -4,6 +4,8 @@
 // with the most extreme interest of significant pairs marked '*'.
 
 #include "common/logging.h"
+
+#include "bench_metrics.h"
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -71,5 +73,6 @@ int main() {
             << " / 45 (paper: 38 / 45 bold chi2 values in Table 2)\n";
   std::cout << "Paper's notable uncorrelated pairs {i1,i4} and {i1,i5} "
                "should be among the non-significant rows above.\n";
+  corrmine::bench::EmitMetricsLine("table2_census");
   return 0;
 }

@@ -5,6 +5,8 @@
 // joints, the printed supports double as a paper-vs-measured check.
 
 #include "common/logging.h"
+
+#include "bench_metrics.h"
 #include <iostream>
 #include <string>
 
@@ -69,5 +71,6 @@ int main() {
                "cells above 1% support,\nso support-confidence mining "
                "floods the analyst while the chi-squared test\n(Table 2) "
                "cleanly separates correlated from uncorrelated pairs.\n";
+  corrmine::bench::EmitMetricsLine("table3_census");
   return 0;
 }

@@ -5,6 +5,8 @@
 // prints headline pairs and the strongest minimal triples.
 
 #include "common/logging.h"
+
+#include "bench_metrics.h"
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -133,5 +135,6 @@ int main() {
               << " vs max triple chi2 " << triples[0]->chi2.statistic
               << " (paper: pairs up to 91.0, no minimal triple above 10)\n";
   }
+  corrmine::bench::EmitMetricsLine("table4_text");
   return 0;
 }

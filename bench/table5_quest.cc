@@ -10,6 +10,8 @@
 // shrink-per-level shape.
 
 #include "common/logging.h"
+
+#include "bench_metrics.h"
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -75,5 +77,6 @@ int main() {
             << "  level 4: |CAND| 0 (search terminates)\n";
   std::cout << "\nmining wall clock: " << io::FormatDouble(mine_seconds, 2)
             << " s (paper: 2349 CPU s on a 166 MHz Pentium Pro)\n";
+  corrmine::bench::EmitMetricsLine("table5_quest");
   return 0;
 }

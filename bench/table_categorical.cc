@@ -6,6 +6,8 @@
 // drive it (e.g. carpooling vs. not driving behave differently).
 
 #include <iostream>
+
+#include "bench_metrics.h"
 #include <string>
 
 #include "common/logging.h"
@@ -60,5 +62,6 @@ int main() {
                "veteran x over-40 cell\n(the paper's Example 4), while "
                "binary mining could never separate 'carpools'\nfrom 'does "
                "not drive' in the transport column.\n";
+  corrmine::bench::EmitMetricsLine("table_categorical");
   return 0;
 }

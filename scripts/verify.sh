@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the concurrency-
-# sensitive suites (the parallel mining engine, its pool, and the cached
-# count provider). Run from the repository root:
+# Tier-1 verification plus two hardening passes: the full test suite with
+# the metrics layer compiled out (CORRMINE_METRICS=OFF must stay a working
+# configuration), and a ThreadSanitizer run over the concurrency-sensitive
+# suites (the parallel mining engine, its pool, and the cached count
+# provider). Run from the repository root:
 #
-#   scripts/verify.sh            # tier-1 + TSan miner tests
-#   SKIP_TSAN=1 scripts/verify.sh  # tier-1 only
+#   scripts/verify.sh                  # tier-1 + metrics-off + TSan
+#   SKIP_TSAN=1 scripts/verify.sh      # skip the TSan stage
+#   SKIP_METRICS_OFF=1 scripts/verify.sh  # skip the metrics-off stage
+#
+# Test slices by ctest label (tier-1 build):
+#   (cd build && ctest -L unit)          # fast unit suites
+#   (cd build && ctest -L differential)  # cross-implementation agreement
+#   (cd build && ctest -L golden)        # paper-table golden snapshots
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +20,13 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j)
+
+if [[ "${SKIP_METRICS_OFF:-0}" != "1" ]]; then
+  echo "== metrics compiled out: build + ctest =="
+  cmake -B build-nometrics -S . -DCORRMINE_METRICS=OFF >/dev/null
+  cmake --build build-nometrics -j >/dev/null
+  (cd build-nometrics && ctest --output-on-failure -j)
+fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== TSan: parallel engine suites =="

@@ -1,0 +1,277 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <new>
+#include <sstream>
+
+namespace corrmine {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Index of the log2 bucket covering `value` (0 for values 0 and 1).
+size_t BucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  size_t bits = 64 - static_cast<size_t>(__builtin_clzll(value));
+  return std::min(bits - 1, Histogram::kBuckets - 1);
+}
+
+/// Minimal JSON string escaping: the metric names are identifiers, but the
+/// writer must never emit malformed output whatever the caller passes.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t sticky =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return sticky;
+}
+
+void Histogram::Observe(uint64_t value) {
+  if constexpr (!kMetricsEnabled) {
+    (void)value;
+    return;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Data Histogram::Value() const {
+  Data data;
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  data.min = data.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  data.max = max_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    data.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return data;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  if constexpr (kMetricsEnabled) epoch_ns_ = SteadyNowNanos();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RecordSpan(const std::string& name, uint64_t start_ns,
+                                 uint64_t duration_ns) {
+  if constexpr (!kMetricsEnabled) {
+    (void)name;
+    (void)start_ns;
+    (void)duration_ns;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxTraceSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(TraceSpan{name, start_ns, duration_ns});
+}
+
+uint64_t MetricsRegistry::NowNanos() const {
+  if constexpr (!kMetricsEnabled) return 0;
+  return SteadyNowNanos() - epoch_ns_;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Value();
+  }
+  snapshot.spans = spans_;
+  snapshot.spans_dropped = spans_dropped_;
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  Snapshot snapshot = Snap();
+  std::ostringstream out;
+  out << "{\"metrics_compiled\":" << (kMetricsEnabled ? "true" : "false");
+  out << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(name) << "\":{\"count\":" << data.count
+        << ",\"sum\":" << data.sum << ",\"min\":" << data.min
+        << ",\"max\":" << data.max << '}';
+  }
+  out << "},\"spans\":[";
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << JsonEscape(snapshot.spans[i].name)
+        << "\",\"start_ns\":" << snapshot.spans[i].start_ns
+        << ",\"duration_ns\":" << snapshot.spans[i].duration_ns << '}';
+  }
+  out << "],\"spans_dropped\":" << snapshot.spans_dropped << '}';
+  return out.str();
+}
+
+std::string MetricsRegistry::DumpMetrics() const {
+  Snapshot snapshot = Snap();
+  std::ostringstream out;
+  out << "== metrics ==" << (kMetricsEnabled ? "" : " (compiled out)")
+      << "\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "counter   " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "gauge     " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    out << "histogram " << name << ": count " << data.count << ", sum "
+        << data.sum << ", min " << data.min << ", max " << data.max;
+    if (data.count > 0) out << ", mean " << data.sum / data.count;
+    out << "\n";
+  }
+  if (!snapshot.spans.empty()) {
+    out << "-- trace spans (" << snapshot.spans.size() << " kept, "
+        << snapshot.spans_dropped << " dropped) --\n";
+    for (const TraceSpan& span : snapshot.spans) {
+      out << "  " << span.name << " @" << span.start_ns << "ns +"
+          << span.duration_ns << "ns\n";
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  // Swapping in fresh objects would invalidate handed-out handles, so each
+  // metric is rebuilt in place (the atomics make them non-assignable).
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) {
+    entry.second->~Counter();
+    new (entry.second.get()) Counter();
+  }
+  for (auto& entry : gauges_) {
+    entry.second->~Gauge();
+    new (entry.second.get()) Gauge();
+  }
+  for (auto& entry : histograms_) {
+    entry.second->~Histogram();
+    new (entry.second.get()) Histogram();
+  }
+  spans_.clear();
+  spans_dropped_ = 0;
+}
+
+PhaseTimer::PhaseTimer(MetricsRegistry* registry, std::string name)
+    : registry_(registry), name_(std::move(name)) {
+  if constexpr (kMetricsEnabled) start_ns_ = registry_->NowNanos();
+}
+
+void PhaseTimer::Stop() {
+  if constexpr (!kMetricsEnabled) return;
+  if (stopped_) return;
+  stopped_ = true;
+  uint64_t duration = registry_->NowNanos() - start_ns_;
+  registry_->GetHistogram(name_ + ".ns")->Observe(duration);
+  registry_->GetCounter(name_ + ".calls")->Add();
+  registry_->RecordSpan(name_, start_ns_, duration);
+}
+
+}  // namespace corrmine

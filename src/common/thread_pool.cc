@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace corrmine {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads)
+    : tasks_submitted_(
+          MetricsRegistry::Global().GetCounter("pool.tasks_submitted")),
+      tasks_executed_(
+          MetricsRegistry::Global().GetCounter("pool.tasks_executed")),
+      idle_ns_(MetricsRegistry::Global().GetCounter("pool.idle_ns")) {
   CORRMINE_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -28,6 +35,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted_->Add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -47,13 +55,28 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      if constexpr (kMetricsEnabled) {
+        if (!shutting_down_ && queue_.empty()) {
+          // Only a blocking wait pays for the clock reads; the fast path
+          // (work already queued) stays clock-free.
+          auto idle_start = std::chrono::steady_clock::now();
+          work_available_.wait(
+              lock, [this] { return shutting_down_ || !queue_.empty(); });
+          idle_ns_->Add(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - idle_start)
+                  .count()));
+        }
+      } else {
+        work_available_.wait(
+            lock, [this] { return shutting_down_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // Shutting down and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
+    tasks_executed_->Add();
   }
 }
 

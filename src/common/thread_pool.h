@@ -13,6 +13,8 @@
 
 namespace corrmine {
 
+class Counter;
+
 /// Fixed-size worker pool for the mining engines. Tasks are opaque
 /// `void()` closures; completion tracking, result routing and error
 /// propagation are layered on top by ParallelFor. The pool is intentionally
@@ -53,6 +55,13 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+
+  // Pool observability (MetricsRegistry::Global(), "pool.*"): submissions,
+  // completions, and the ns workers spent blocked waiting for work. Resolved
+  // once at construction; no registry lookups on the task path.
+  Counter* tasks_submitted_;
+  Counter* tasks_executed_;
+  Counter* idle_ns_;
 };
 
 /// Runs `body(begin, end)` over [0, n) split into work-stealing chunks of

@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace corrmine {
@@ -51,6 +52,10 @@ StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
   if (num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0");
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  PhaseTimer timer(&registry, "batch_tables.build");
+  registry.GetCounter("batch_tables.candidates")->Add(candidates.size());
+  registry.GetCounter("batch_tables.baskets")->Add(db.num_baskets());
   for (const Itemset& s : candidates) {
     if (s.empty() ||
         static_cast<int>(s.size()) > SparseContingencyTable::kMaxItems) {

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace corrmine {
 
 CorrelationBorder::CorrelationBorder(std::vector<Itemset> correlated_sets) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  PhaseTimer timer(&registry, "border.build");
+  registry.GetCounter("border.input_sets")->Add(correlated_sets.size());
   // Sort by size so any proper subset precedes its supersets; keep a set
   // only if no already-kept set is contained in it.
   std::sort(correlated_sets.begin(), correlated_sets.end(),
@@ -26,6 +31,7 @@ CorrelationBorder::CorrelationBorder(std::vector<Itemset> correlated_sets) {
     if (minimal) minimal_.push_back(s);
   }
   std::sort(minimal_.begin(), minimal_.end());
+  registry.GetCounter("border.minimal_sets")->Add(minimal_.size());
 }
 
 bool CorrelationBorder::IsAboveBorder(const Itemset& s) const {

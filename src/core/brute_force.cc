@@ -80,6 +80,8 @@ StatusOr<MiningResult> MineCorrelationsBruteForce(
         return;
       }
       ChiSquaredResult chi2 = ComputeChiSquared(table, options.chi2);
+      ++stats.chi2_tests;
+      stats.masked_cells += chi2.validity.masked_cells;
       if (chi2.SignificantAt(options.confidence_level)) {
         ++stats.significant;
         result.significant.push_back(

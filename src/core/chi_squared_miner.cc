@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "hash/itemset_set.h"
 
@@ -85,6 +86,40 @@ struct EvalSlot {
   Kind kind = Kind::kDiscard;
   ChiSquaredResult chi2;      // kSig only.
   CellInterest major;         // kSig only.
+  /// §3.3 low-expectation cells excluded from this candidate's statistic
+  /// (recorded for kSig and kNotSig; discards never reach the test).
+  uint64_t masked_cells = 0;
+};
+
+/// Counter handles for one mining run, resolved once so the per-level
+/// fan-in pays a handful of sharded adds, not registry lookups.
+struct MinerCounters {
+  explicit MinerCounters(MetricsRegistry* registry)
+      : candidates(registry->GetCounter("miner.candidates")),
+        discards(registry->GetCounter("miner.discards_cell_support")),
+        chi2_tests(registry->GetCounter("miner.chi2_tests")),
+        masked_cells(registry->GetCounter("miner.masked_cells")),
+        sig(registry->GetCounter("miner.sig")),
+        notsig(registry->GetCounter("miner.notsig")),
+        levels(registry->GetCounter("miner.levels")) {}
+
+  void AddLevel(const LevelStats& stats) const {
+    candidates->Add(stats.candidates);
+    discards->Add(stats.discards);
+    chi2_tests->Add(stats.chi2_tests);
+    masked_cells->Add(stats.masked_cells);
+    sig->Add(stats.significant);
+    notsig->Add(stats.not_significant);
+    levels->Add();
+  }
+
+  Counter* candidates;
+  Counter* discards;
+  Counter* chi2_tests;
+  Counter* masked_cells;
+  Counter* sig;
+  Counter* notsig;
+  Counter* levels;
 };
 
 /// Candidates buffered per parallel flush. Large enough that a flush
@@ -106,6 +141,12 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
     return Status::FailedPrecondition("mining an empty database");
   }
   MiningResult result;
+
+  MetricsRegistry& registry =
+      options.metrics ? *options.metrics : MetricsRegistry::Global();
+  registry.GetCounter("miner.runs")->Add();
+  MinerCounters counters(&registry);
+  PhaseTimer run_timer(&registry, "miner.mine");
 
   // Pool ownership: one pool per mining run, reused across levels. The
   // calling thread participates in every parallel region, so a pool of
@@ -132,6 +173,7 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
   hash::ItemsetPerfectSet not_sig_set;
 
   for (int level = 2; level <= max_level; ++level) {
+    PhaseTimer level_timer(&registry, "miner.level");
     LevelStats stats;
     stats.level = level;
     stats.possible_itemsets = BinomialCount(num_items, level);
@@ -168,6 +210,7 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
                 continue;
               }
               ChiSquaredResult chi2 = ComputeChiSquared(table, options.chi2);
+              slots[i].masked_cells = chi2.validity.masked_cells;
               if (chi2.SignificantAt(options.confidence_level)) {
                 slots[i].kind = EvalSlot::Kind::kSig;
                 slots[i].chi2 = chi2;
@@ -188,11 +231,15 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
             break;
           case EvalSlot::Kind::kSig:
             ++stats.significant;
+            ++stats.chi2_tests;
+            stats.masked_cells += slots[i].masked_cells;
             result.significant.push_back(CorrelationRule{
                 std::move(batch[i]), slots[i].chi2, slots[i].major});
             break;
           case EvalSlot::Kind::kNotSig:
             ++stats.not_significant;
+            ++stats.chi2_tests;
+            stats.masked_cells += slots[i].masked_cells;
             if (keep_not_sig) {
               next_not_sig_set.Insert(batch[i]);
               next_not_sig.push_back(std::move(batch[i]));
@@ -226,7 +273,10 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
     CORRMINE_RETURN_NOT_OK(flush());
 
     bool exhausted = stats.candidates == 0;
-    if (!exhausted) result.levels.push_back(stats);
+    if (!exhausted) {
+      result.levels.push_back(stats);
+      counters.AddLevel(stats);
+    }
 
     // Step 8: the surviving NOTSIG list seeds the next level.
     std::sort(next_not_sig.begin(), next_not_sig.end());

@@ -12,6 +12,8 @@
 
 namespace corrmine {
 
+class MetricsRegistry;
+
 /// Options for the chi-squared/support mining algorithm (Figure 1 of the
 /// paper).
 struct MinerOptions {
@@ -47,6 +49,12 @@ struct MinerOptions {
   /// candidates are evaluated in index-addressed slots and merged back in
   /// stream order (see DESIGN.md, "Threading architecture").
   int num_threads = 1;
+
+  /// Registry the run's counters and phase spans are recorded into;
+  /// nullptr means MetricsRegistry::Global(). The per-level numbers also
+  /// land in MiningResult::levels, which is what the deterministic
+  /// stats-json section reports (DESIGN.md §6).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// A mined rule: a supported, minimally correlated itemset together with
@@ -70,6 +78,12 @@ struct LevelStats {
   uint64_t significant = 0;
   /// |NOTSIG|: supported but uncorrelated itemsets at this level.
   uint64_t not_significant = 0;
+  /// Chi-squared statistics actually computed (candidates that survived the
+  /// support test; equals candidates - discards).
+  uint64_t chi2_tests = 0;
+  /// Contingency cells excluded by ChiSquaredOptions::min_expected_cell
+  /// across this level's tests — the §3.3 validity workaround's footprint.
+  uint64_t masked_cells = 0;
 };
 
 struct MiningResult {

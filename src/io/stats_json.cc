@@ -1,0 +1,72 @@
+#include "io/stats_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/metrics.h"
+
+namespace corrmine {
+
+std::string RenderDeterministicStats(
+    const MiningResult& result,
+    const CachedCountProvider::CacheStats* cache_stats) {
+  std::ostringstream out;
+  out << "{\"schema\":\"corrmine-stats-v1\"";
+  out << ",\"rules\":" << result.significant.size();
+  out << ",\"levels\":[";
+  for (size_t i = 0; i < result.levels.size(); ++i) {
+    const LevelStats& s = result.levels[i];
+    if (i > 0) out << ",";
+    out << "{\"level\":" << s.level
+        << ",\"possible\":" << s.possible_itemsets
+        << ",\"cand\":" << s.candidates
+        << ",\"discards\":" << s.discards
+        << ",\"chi2_tests\":" << s.chi2_tests
+        << ",\"masked_cells\":" << s.masked_cells
+        << ",\"sig\":" << s.significant
+        << ",\"notsig\":" << s.not_significant << "}";
+  }
+  out << "]";
+  if (cache_stats != nullptr) {
+    out << ",\"cache\":{\"queries\":" << cache_stats->queries
+        << ",\"hits\":" << cache_stats->hits
+        << ",\"misses\":" << cache_stats->misses
+        << ",\"overflow_builds\":" << cache_stats->overflow_builds
+        << ",\"and_word_ops\":" << cache_stats->and_word_ops
+        << ",\"uncached_and_word_ops\":" << cache_stats->uncached_and_word_ops
+        << "}";
+  } else {
+    out << ",\"cache\":null";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string RenderStatsJson(const MiningResult& result,
+                            const CachedCountProvider::CacheStats* cache_stats,
+                            const MetricsRegistry& registry) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"corrmine-stats-v1\",\n";
+  out << "  \"deterministic\": "
+      << RenderDeterministicStats(result, cache_stats) << ",\n";
+  out << "  \"runtime\": " << registry.ToJson() << "\n";
+  out << "}";
+  return out.str();
+}
+
+Status WriteStatsJson(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open stats file for writing: " + path);
+  }
+  out << json << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing stats file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace corrmine

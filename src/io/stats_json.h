@@ -1,0 +1,58 @@
+#ifndef CORRMINE_IO_STATS_JSON_H_
+#define CORRMINE_IO_STATS_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/chi_squared_miner.h"
+#include "itemset/count_provider.h"
+
+namespace corrmine {
+
+class MetricsRegistry;
+
+/// Machine-readable run statistics ("corrmine-stats-v1", DESIGN.md §6).
+///
+/// The report is split into two sections with different reproducibility
+/// guarantees:
+///
+///  - "deterministic": derived purely from the mining result and the
+///    count-provider cache accounting. Byte-identical for the same input,
+///    options, and cache configuration, *regardless of thread count* —
+///    compare these lines directly in tests and CI.
+///  - "runtime": a MetricsRegistry snapshot (timings, pool activity,
+///    per-process counter totals). Informative, never stable across runs.
+///
+/// The deterministic object is rendered onto a single line so a script (or
+/// a CMake test) can `grep '"deterministic"'` two reports and compare with
+/// string equality.
+
+/// Renders the deterministic section as one compact JSON object line:
+///   {"schema":"corrmine-stats-v1","rules":R,"levels":[{"level":2,
+///    "possible":P,"cand":C,"discards":D,"chi2_tests":T,"masked_cells":M,
+///    "sig":S,"notsig":N},...],"cache":{...}|null}
+/// `cache` is null when mining ran without a CachedCountProvider. The cache
+/// counters are deterministic while `overflow_builds` is 0 (see
+/// CachedCountProvider::CacheStats).
+std::string RenderDeterministicStats(
+    const MiningResult& result,
+    const CachedCountProvider::CacheStats* cache_stats);
+
+/// Renders the full stats document (multi-line, human-skimmable):
+///   {
+///     "schema": "corrmine-stats-v1",
+///     "deterministic": {...one line...},
+///     "runtime": {...one line, registry snapshot...}
+///   }
+/// When metrics are compiled out (CORRMINE_METRICS=OFF) the runtime section
+/// reports zeros; the deterministic section is unaffected.
+std::string RenderStatsJson(const MiningResult& result,
+                            const CachedCountProvider::CacheStats* cache_stats,
+                            const MetricsRegistry& registry);
+
+/// Writes `json` to `path` (overwriting), with a trailing newline.
+Status WriteStatsJson(const std::string& path, const std::string& json);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_IO_STATS_JSON_H_

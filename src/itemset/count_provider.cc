@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace corrmine {
 
@@ -42,17 +43,39 @@ uint64_t CachedCountProvider::CountAllPresent(const Itemset& s) const {
 const Bitmap* CachedCountProvider::PrefixBitmapInto(const Itemset& prefix,
                                                     Bitmap* scratch) const {
   if (prefix.size() == 1) return &index_.item_bitmap(prefix.item(0));
+
+  // Claim-or-find under the map lock. Exactly one arrival per prefix
+  // becomes the builder; everyone else gets the (possibly in-flight) entry.
+  std::shared_ptr<Entry> entry;
+  bool builder = false;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(prefix);
     if (it != cache_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      // Pointers into the map stay valid across rehashes (values are
-      // heap-allocated) and nothing is erased while queries run.
-      return it->second.get();
+      entry = it->second;
+    } else if (cache_.size() < max_entries_) {
+      entry = std::make_shared<Entry>();
+      cache_.emplace(prefix, entry);
+      builder = true;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  if (entry && !builder) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(entry->mu);
+    entry->ready_cv.wait(lock, [&entry] { return entry->ready; });
+    // Entry bitmaps are never moved or erased while queries run, so the
+    // pointer stays valid after the lock is released.
+    return &entry->bits;
+  }
+
+  if (builder) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Cache full: compute transiently. Counts stay exact; only these
+    // rebuilds make the cost counters schedule-dependent.
+    overflow_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
   const ItemId last = prefix.item(prefix.size() - 1);
   Bitmap base_scratch;
   const Bitmap* base =
@@ -61,21 +84,18 @@ const Bitmap* CachedCountProvider::PrefixBitmapInto(const Itemset& prefix,
   built.AndWith(index_.item_bitmap(last));
   and_word_ops_.fetch_add(index_.words_per_bitmap(),
                           std::memory_order_relaxed);
-  {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    auto it = cache_.find(prefix);
-    if (it != cache_.end()) {
-      return it->second.get();  // Another thread built it first.
-    }
-    if (cache_.size() < max_entries_) {
-      auto [inserted, unused] =
-          cache_.emplace(prefix, std::make_unique<Bitmap>(std::move(built)));
-      return inserted->second.get();
-    }
+
+  if (!builder) {
+    *scratch = std::move(built);
+    return scratch;
   }
-  // Cache full: hand the intersection back transiently; counts stay exact.
-  *scratch = std::move(built);
-  return scratch;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->bits = std::move(built);
+    entry->ready = true;
+  }
+  entry->ready_cv.notify_all();
+  return &entry->bits;
 }
 
 CachedCountProvider::CacheStats CachedCountProvider::stats() const {
@@ -83,19 +103,37 @@ CachedCountProvider::CacheStats CachedCountProvider::stats() const {
   out.queries = queries_.load(std::memory_order_relaxed);
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
+  out.overflow_builds = overflow_builds_.load(std::memory_order_relaxed);
   out.and_word_ops = and_word_ops_.load(std::memory_order_relaxed);
   out.uncached_and_word_ops =
       uncached_and_word_ops_.load(std::memory_order_relaxed);
   return out;
 }
 
+void CachedCountProvider::PublishMetrics(MetricsRegistry* registry) const {
+  CacheStats snapshot = stats();
+  registry->GetGauge("cache.queries")
+      ->Set(static_cast<int64_t>(snapshot.queries));
+  registry->GetGauge("cache.hits")->Set(static_cast<int64_t>(snapshot.hits));
+  registry->GetGauge("cache.misses")
+      ->Set(static_cast<int64_t>(snapshot.misses));
+  registry->GetGauge("cache.overflow_builds")
+      ->Set(static_cast<int64_t>(snapshot.overflow_builds));
+  registry->GetGauge("cache.and_word_ops")
+      ->Set(static_cast<int64_t>(snapshot.and_word_ops));
+  registry->GetGauge("cache.uncached_and_word_ops")
+      ->Set(static_cast<int64_t>(snapshot.uncached_and_word_ops));
+  registry->GetGauge("cache.entries")
+      ->Set(static_cast<int64_t>(cache_size()));
+}
+
 void CachedCountProvider::ClearCache() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
 }
 
 size_t CachedCountProvider::cache_size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
 }
 

@@ -2,13 +2,18 @@
 #define CORRMINE_ITEMSET_COUNT_PROVIDER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <unordered_map>
 
 #include "itemset/itemset.h"
 #include "itemset/transaction_database.h"
+
+namespace corrmine {
+class MetricsRegistry;
+}
 
 namespace corrmine {
 
@@ -75,9 +80,15 @@ class BitmapCountProvider : public CountProvider {
 /// changes cost, never answers — so it can be swapped in anywhere,
 /// including under the deterministic parallel miner.
 ///
-/// Thread safety: CountAllPresent may be called concurrently (the cache is
-/// guarded by a shared_mutex; inserted bitmaps are never moved or erased
-/// while queries run). ClearCache must not race with queries.
+/// Thread safety: CountAllPresent may be called concurrently. Each prefix
+/// is materialized exactly once: the first arrival claims the cache entry
+/// and builds it, later arrivals block until it is ready (the prefix chain
+/// is acyclic, so waiting cannot deadlock). Build-once is what makes the
+/// cost counters below *deterministic* across thread counts — no thread
+/// ever duplicates another's AND chain, so hits/misses/and_word_ops depend
+/// only on the query multiset, not the schedule (the stats-json determinism
+/// contract in DESIGN.md §6 leans on this). ClearCache must not race with
+/// queries.
 class CachedCountProvider : public CountProvider {
  public:
   /// `index` must outlive this provider. `max_entries` bounds the cache;
@@ -94,16 +105,27 @@ class CachedCountProvider : public CountProvider {
   /// strategy. `and_word_ops` is the number of 64-bit AND operations this
   /// provider actually performed; `uncached_and_word_ops` is what the
   /// plain multi-way chain would have cost for the same query stream
-  /// ((k-1) * words per size-k query). All counters are cumulative and
-  /// thread-safe.
+  /// ((k-1) * words per size-k query). A `miss` is a prefix materialized
+  /// into the cache (each distinct prefix misses exactly once); a `hit` is
+  /// any other arrival at a cached prefix, including arrivals that waited
+  /// on an in-flight build. `overflow_builds` counts transient rebuilds
+  /// once the cache is full — the only path on which the counters can
+  /// depend on thread schedule. All counters are cumulative, thread-safe,
+  /// and (while overflow_builds == 0) identical for any thread count.
   struct CacheStats {
     uint64_t queries = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t overflow_builds = 0;
     uint64_t and_word_ops = 0;
     uint64_t uncached_and_word_ops = 0;
   };
   CacheStats stats() const;
+
+  /// Copies the current stats into `registry` as gauges under
+  /// "cache.<field>" — call before snapshotting/dumping the registry. The
+  /// cache does not touch the registry on the query path.
+  void PublishMetrics(MetricsRegistry* registry) const;
 
   /// Drops every memoized prefix. Within one mining run retained entries
   /// keep paying off (contingency tables re-query every subset, so short
@@ -115,6 +137,15 @@ class CachedCountProvider : public CountProvider {
   size_t cache_size() const;
 
  private:
+  /// One memoized prefix: claimed under the map lock by its builder, filled
+  /// outside it, waited on by concurrent arrivals.
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable ready_cv;
+    bool ready = false;
+    Bitmap bits;
+  };
+
   /// Intersection bitmap of `prefix`, memoized when the cache has room;
   /// otherwise computed into `*scratch`. The returned pointer is either a
   /// cache entry (stable until ClearCache), an item bitmap, or `scratch`.
@@ -122,12 +153,13 @@ class CachedCountProvider : public CountProvider {
 
   const VerticalIndex& index_;
   const size_t max_entries_;
-  mutable std::shared_mutex mu_;
-  mutable std::unordered_map<Itemset, std::unique_ptr<Bitmap>, ItemsetHasher>
+  mutable std::mutex mu_;
+  mutable std::unordered_map<Itemset, std::shared_ptr<Entry>, ItemsetHasher>
       cache_;
   mutable std::atomic<uint64_t> queries_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> overflow_builds_{0};
   mutable std::atomic<uint64_t> and_word_ops_{0};
   mutable std::atomic<uint64_t> uncached_and_word_ops_{0};
 };

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace corrmine {
@@ -65,6 +66,11 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
                 1e-9));
   if (min_count == 0) min_count = 1;
 
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  PhaseTimer timer(&registry, "apriori.mine");
+  Counter* candidates_counted = registry.GetCounter("apriori.candidates");
+  Counter* frequent_found = registry.GetCounter("apriori.frequent");
+
   const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
@@ -74,6 +80,7 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
   // thread count.
   auto count_all = [&](const std::vector<Itemset>& candidates,
                        std::vector<uint64_t>* counts) -> Status {
+    candidates_counted->Add(candidates.size());
     counts->assign(candidates.size(), 0);
     return ParallelFor(pool.get(), candidates.size(), /*grain=*/32,
                        [&](size_t begin, size_t end) -> Status {
@@ -118,6 +125,7 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
     }
     ++level;
   }
+  frequent_found->Add(result.size());
   return result;
 }
 

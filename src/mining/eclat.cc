@@ -5,6 +5,7 @@
 #include <iterator>
 #include <memory>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "itemset/bitmap.h"
 
@@ -16,6 +17,9 @@ struct EclatState {
   uint64_t min_count;
   int max_level;  // 0 = unbounded.
   std::vector<FrequentItemset>* out;
+  /// Tidset intersections performed in this branch (private per branch so
+  /// the hot loop stays atomic-free; summed into the registry at the end).
+  uint64_t* intersections;
 };
 
 /// Depth-first extension: `prefix` is frequent with basket set
@@ -31,6 +35,7 @@ void Extend(const Itemset& prefix, const Bitmap& prefix_rows,
   // Intersect the prefix's rows with each tail item; survivors recurse.
   std::vector<std::pair<ItemId, Bitmap>> extensions;
   for (const auto& [item, rows] : tail) {
+    ++*state.intersections;
     Bitmap joined = prefix_rows;
     joined.AndWith(*rows);
     if (joined.Count() >= state.min_count) {
@@ -87,13 +92,17 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
   const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  PhaseTimer timer(&registry, "eclat.mine");
   std::vector<std::vector<FrequentItemset>> branch_results(
       frequent_items.size());
+  std::vector<uint64_t> branch_intersections(frequent_items.size(), 0);
   CORRMINE_RETURN_NOT_OK(ParallelFor(
       pool.get(), frequent_items.size(), /*grain=*/1,
       [&](size_t begin, size_t end) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          EclatState state{min_count, options.max_level, &branch_results[i]};
+          EclatState state{min_count, options.max_level, &branch_results[i],
+                           &branch_intersections[i]};
           Itemset single{frequent_items[i].first};
           branch_results[i].push_back(
               FrequentItemset{single, frequent_items[i].second->Count()});
@@ -111,6 +120,10 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
     result.insert(result.end(), std::make_move_iterator(branch.begin()),
                   std::make_move_iterator(branch.end()));
   }
+  uint64_t total_intersections = 0;
+  for (uint64_t c : branch_intersections) total_intersections += c;
+  registry.GetCounter("eclat.intersections")->Add(total_intersections);
+  registry.GetCounter("eclat.frequent")->Add(result.size());
 
   std::sort(result.begin(), result.end(),
             [](const FrequentItemset& a, const FrequentItemset& b) {

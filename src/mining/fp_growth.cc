@@ -6,6 +6,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/metrics.h"
+
 namespace corrmine {
 
 namespace {
@@ -63,8 +65,11 @@ void FinalizeOrder(FpTree* tree) {
 }
 
 /// Recursive FP-growth over `tree`, emitting suffix-extended itemsets.
+/// `conditional_trees` tallies projections built (mining is single-threaded,
+/// so a plain counter suffices).
 void Mine(const FpTree& tree, const Itemset& suffix, uint64_t min_count,
-          int max_level, std::vector<FrequentItemset>* out) {
+          int max_level, std::vector<FrequentItemset>* out,
+          uint64_t* conditional_trees) {
   for (ItemId item : tree.items_ascending) {
     uint64_t item_count = tree.item_counts.at(item);
     if (item_count < min_count) continue;
@@ -106,8 +111,10 @@ void Mine(const FpTree& tree, const Itemset& suffix, uint64_t min_count,
       }
     }
     if (!conditional.item_counts.empty()) {
+      ++*conditional_trees;
       FinalizeOrder(&conditional);
-      Mine(conditional, extended, min_count, max_level, out);
+      Mine(conditional, extended, min_count, max_level, out,
+           conditional_trees);
     }
   }
 }
@@ -156,8 +163,14 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsFpGrowth(
     if (!filtered.empty()) Insert(&tree, filtered, 1);
   }
 
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  PhaseTimer timer(&registry, "fp_growth.mine");
   std::vector<FrequentItemset> result;
-  Mine(tree, Itemset{}, min_count, options.max_level, &result);
+  uint64_t conditional_trees = 0;
+  Mine(tree, Itemset{}, min_count, options.max_level, &result,
+       &conditional_trees);
+  registry.GetCounter("fp_growth.conditional_trees")->Add(conditional_trees);
+  registry.GetCounter("fp_growth.frequent")->Add(result.size());
   std::sort(result.begin(), result.end(),
             [](const FrequentItemset& a, const FrequentItemset& b) {
               if (a.itemset.size() != b.itemset.size()) {

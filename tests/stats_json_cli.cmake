@@ -1,0 +1,53 @@
+# End-to-end check of the --stats-json determinism contract (ISSUE/DESIGN
+# §6): mine the same Quest fixture at --threads 1 and --threads 8 with the
+# prefix cache on, and require the "deterministic" line of the two stats
+# files to be byte-identical. The "runtime" sections (timings, pool
+# activity) are expected to differ and are not compared.
+execute_process(
+  COMMAND ${CLI} generate quest --baskets 2000 --out ${WORKDIR}/stats_fixture.txt
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}")
+endif()
+
+foreach(threads 1 8)
+  execute_process(
+    COMMAND ${CLI} mine ${WORKDIR}/stats_fixture.txt
+            --support-count 100 --cell-fraction 0.26 --max-level 3
+            --threads ${threads} --prefix-cache
+            --stats-json ${WORKDIR}/stats_t${threads}.json
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "mine --threads ${threads} failed: ${rc}")
+  endif()
+  if(NOT EXISTS ${WORKDIR}/stats_t${threads}.json)
+    message(FATAL_ERROR "--stats-json wrote no file at ${threads} threads")
+  endif()
+endforeach()
+
+foreach(threads 1 8)
+  file(STRINGS ${WORKDIR}/stats_t${threads}.json lines_t${threads}
+       REGEX "\"deterministic\"")
+  list(LENGTH lines_t${threads} n)
+  if(NOT n EQUAL 1)
+    message(FATAL_ERROR
+            "expected exactly one deterministic line at ${threads} threads, "
+            "got ${n}")
+  endif()
+endforeach()
+
+if(NOT lines_t1 STREQUAL lines_t8)
+  message(FATAL_ERROR
+          "deterministic stats diverged across thread counts:\n"
+          "  threads=1: ${lines_t1}\n"
+          "  threads=8: ${lines_t8}")
+endif()
+
+# Schema sanity on the full document.
+file(READ ${WORKDIR}/stats_t1.json doc)
+foreach(key "\"schema\": \"corrmine-stats-v1\"" "\"runtime\":" "\"cache\":")
+  string(FIND "${doc}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "stats json missing ${key}:\n${doc}")
+  endif()
+endforeach()

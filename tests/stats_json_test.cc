@@ -1,0 +1,140 @@
+#include "io/stats_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "core/chi_squared_miner.h"
+#include "datagen/quest_generator.h"
+#include "itemset/count_provider.h"
+
+namespace corrmine {
+namespace {
+
+datagen::QuestOptions SmallQuest() {
+  datagen::QuestOptions quest;
+  quest.num_transactions = 2000;
+  quest.num_items = 60;
+  quest.avg_transaction_size = 8.0;
+  quest.num_patterns = 15;
+  return quest;
+}
+
+MinerOptions SmallMinerOptions() {
+  MinerOptions options;
+  options.support.min_count = 20;
+  options.support.cell_fraction = 0.25;
+  return options;
+}
+
+TEST(StatsJsonTest, DeterministicSectionSchema) {
+  MiningResult result;
+  LevelStats level;
+  level.level = 2;
+  level.possible_itemsets = 45;
+  level.candidates = 10;
+  level.discards = 2;
+  level.chi2_tests = 8;
+  level.masked_cells = 3;
+  level.significant = 5;
+  level.not_significant = 3;
+  result.levels.push_back(level);
+
+  std::string json = RenderDeterministicStats(result, nullptr);
+  EXPECT_EQ(json,
+            "{\"schema\":\"corrmine-stats-v1\",\"rules\":0,\"levels\":["
+            "{\"level\":2,\"possible\":45,\"cand\":10,\"discards\":2,"
+            "\"chi2_tests\":8,\"masked_cells\":3,\"sig\":5,\"notsig\":3}"
+            "],\"cache\":null}");
+
+  CachedCountProvider::CacheStats cache;
+  cache.queries = 4;
+  cache.hits = 3;
+  cache.misses = 1;
+  cache.and_word_ops = 10;
+  cache.uncached_and_word_ops = 20;
+  std::string with_cache = RenderDeterministicStats(result, &cache);
+  EXPECT_NE(with_cache.find("\"cache\":{\"queries\":4,\"hits\":3,"
+                            "\"misses\":1,\"overflow_builds\":0,"
+                            "\"and_word_ops\":10,"
+                            "\"uncached_and_word_ops\":20}"),
+            std::string::npos)
+      << with_cache;
+  // Single line (grep-comparable).
+  EXPECT_EQ(with_cache.find('\n'), std::string::npos);
+}
+
+TEST(StatsJsonTest, FullDocumentHasBothSections) {
+  MiningResult result;
+  MetricsRegistry registry;
+  registry.GetCounter("miner.runs")->Add();
+  std::string json = RenderStatsJson(result, nullptr, registry);
+  EXPECT_NE(json.find("\"schema\": \"corrmine-stats-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"deterministic\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"runtime\": {"), std::string::npos);
+  // The deterministic object must sit on one line of the document, so
+  // `grep '"deterministic"'` pulls exactly the comparable section.
+  std::istringstream lines(json);
+  std::string line;
+  int deterministic_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("\"deterministic\"") != std::string::npos) {
+      ++deterministic_lines;
+      EXPECT_NE(line.find("corrmine-stats-v1"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(deterministic_lines, 1);
+}
+
+TEST(StatsJsonTest, WriteStatsJsonRoundTrips) {
+  std::string path = ::testing::TempDir() + "/stats_json_test_out.json";
+  Status status = WriteStatsJson(path, "{\"x\":1}");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "{\"x\":1}\n");
+  std::remove(path.c_str());
+}
+
+TEST(StatsJsonTest, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(
+      WriteStatsJson("/nonexistent-dir-xyz/stats.json", "{}").ok());
+}
+
+// The acceptance bar for the whole observability layer: the deterministic
+// section is byte-identical across thread counts on the same workload.
+TEST(StatsJsonTest, DeterministicSectionThreadCountInvariant) {
+  auto db = datagen::GenerateQuestData(SmallQuest());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  BitmapCountProvider provider(*db);
+
+  std::string baseline;
+  for (int threads : {1, 8}) {
+    CachedCountProvider cached(provider.index());
+    MinerOptions options = SmallMinerOptions();
+    options.num_threads = threads;
+    MetricsRegistry registry;
+    options.metrics = &registry;
+    auto result = MineCorrelations(cached, db->num_items(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    CachedCountProvider::CacheStats cache = cached.stats();
+    std::string json = RenderDeterministicStats(*result, &cache);
+    if (threads == 1) {
+      baseline = json;
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(json, baseline)
+          << "deterministic stats diverged at " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corrmine

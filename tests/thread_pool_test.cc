@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -73,29 +75,69 @@ TEST(ParallelForTest, EmptyRangeIsOk) {
 
 TEST(ParallelForTest, PropagatesEarliestError) {
   ThreadPool pool(4);
-  // Several chunks fail; the reported error must be the one a sequential
-  // loop would have hit first (lowest starting index).
+  // Chunk 0 is deterministically claimed (the first fetch_add hands out
+  // index 0, and the failed-flag check precedes every claim), so when chunk
+  // 0 fails its error must win over every later failure, no matter how the
+  // chunks interleave. This is the sequential loop's answer, reproduced.
   for (int round = 0; round < 20; ++round) {
     Status status = ParallelFor(
         &pool, 1000, /*grain=*/10, [&](size_t begin, size_t) -> Status {
+          if (begin == 0) return Status::InvalidArgument("chunk 0");
           if (begin >= 500) {
             return Status::Internal("late chunk " + std::to_string(begin));
-          }
-          if (begin >= 200) {
-            return Status::InvalidArgument("early chunk");
           }
           return Status::OK();
         });
     ASSERT_FALSE(status.ok());
-    // Chunks race, so any failing chunk may be *observed* first, but the
-    // recorded winner must always be the earliest-index failure among the
-    // chunks that ran — and chunk 200 always runs before the cursor can
-    // skip it... the contract we can assert deterministically is weaker:
-    // the error is one of the declared failures, and chunk-200's class wins
-    // whenever both classes were recorded.
-    EXPECT_TRUE(status.IsInvalidArgument() ||
-                status.code() == StatusCode::kInternal);
+    EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+    EXPECT_EQ(status.message(), "chunk 0");
   }
+}
+
+TEST(ParallelForTest, CallerParticipatesWhenPoolIsBusy) {
+  // Park every worker on a condition variable, then run a ParallelFor
+  // region: the first chunk can only be executed by the calling thread
+  // (the helper tasks are queued behind the parked workers). That first
+  // chunk releases the workers so the region can finish. Everything is
+  // asserted via thread identity and completion counts — no timing.
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> parked{0};
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      parked.fetch_add(1);
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  {
+    // All workers demonstrably parked: chunks cannot start on pool threads.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return parked.load() == 3; });
+  }
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<size_t> covered{0};
+  std::atomic<bool> first_chunk_on_caller{false};
+  std::atomic<bool> first_seen{false};
+  Status status = ParallelFor(
+      &pool, 1000, /*grain=*/10, [&](size_t begin, size_t end) -> Status {
+        if (!first_seen.exchange(true)) {
+          first_chunk_on_caller.store(std::this_thread::get_id() == caller);
+          std::lock_guard<std::mutex> lock(mu);
+          release = true;
+          cv.notify_all();
+        }
+        covered.fetch_add(end - begin);
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(first_chunk_on_caller.load())
+      << "first chunk ran on a pool thread that should have been parked";
+  EXPECT_EQ(covered.load(), 1000u);
 }
 
 TEST(ParallelForTest, SequentialErrorOrderWithoutPool) {

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/chi_squared_miner.h"
 #include "core/interest.h"
@@ -31,6 +32,7 @@
 #include "io/binary_io.h"
 #include "io/csv.h"
 #include "io/result_io.h"
+#include "io/stats_json.h"
 #include "io/table_printer.h"
 #include "io/transaction_io.h"
 #include "itemset/count_provider.h"
@@ -61,6 +63,11 @@ constexpr char kUsage[] =
     "      --algo levelwise|walk  search strategy (default levelwise)\n"
     "      --walks N              random walks when --algo walk\n"
     "      --out FILE             also write the result in the line format\n"
+    "      --stats-json FILE      write run statistics as JSON (schema\n"
+    "                             corrmine-stats-v1: a \"deterministic\"\n"
+    "                             section identical for any --threads, and\n"
+    "                             a \"runtime\" metrics snapshot)\n"
+    "      --stats                print the metrics report to stderr\n"
     "      --report               render the analyst report instead of the\n"
     "                             raw rule table (honors --fdr)\n"
     "      --fdr Q                Benjamini-Hochberg FDR filter level\n"
@@ -177,6 +184,25 @@ Status RunMine(const FlagParser& flags) {
   if (!out.empty()) {
     CORRMINE_RETURN_NOT_OK(io::WriteMiningResult(result, out));
     std::cout << "result written to " << out << "\n";
+  }
+
+  std::string stats_path = flags.GetString("stats-json", "");
+  bool print_stats = flags.GetBool("stats", false);
+  if (!stats_path.empty() || print_stats) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    CachedCountProvider::CacheStats cache_stats;
+    if (cached) {
+      cache_stats = cached->stats();
+      cached->PublishMetrics(&registry);
+    }
+    if (!stats_path.empty()) {
+      CORRMINE_RETURN_NOT_OK(WriteStatsJson(
+          stats_path,
+          RenderStatsJson(result, cached ? &cache_stats : nullptr,
+                          registry)));
+      std::cout << "stats written to " << stats_path << "\n";
+    }
+    if (print_stats) std::cerr << registry.DumpMetrics();
   }
   return Status::OK();
 }
