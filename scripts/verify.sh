@@ -13,6 +13,7 @@
 #   (cd build && ctest -L unit)          # fast unit suites
 #   (cd build && ctest -L differential)  # cross-implementation agreement
 #   (cd build && ctest -L golden)        # paper-table golden snapshots
+#   (cd build && ctest -L sharded)       # K-invariance / sharded core
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,9 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j)
+
+echo "== sharded slice: K-invariance suites =="
+(cd build && ctest --output-on-failure -L sharded)
 
 if [[ "${SKIP_METRICS_OFF:-0}" != "1" ]]; then
   echo "== metrics compiled out: build + ctest =="
@@ -33,10 +37,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DCORRMINE_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j \
     --target thread_pool_test miner_test batch_tables_test \
-    count_provider_cache_test >/dev/null
+    count_provider_cache_test sharded_database_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test)$')
 fi
 
 echo "verify: OK"

@@ -5,6 +5,7 @@
 
 #include "common/status_or.h"
 #include "core/contingency_table.h"
+#include "itemset/sharded_database.h"
 #include "itemset/transaction_database.h"
 
 namespace corrmine {
@@ -28,6 +29,15 @@ namespace corrmine {
 StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
     const TransactionDatabase& db, const std::vector<Itemset>& candidates,
     int num_threads = 1);
+
+/// Shard-native overload: each database shard is counted by one task into
+/// private pattern maps, merged in shard order. The shard partition is the
+/// parallel unit (no re-splitting of the basket axis), and per the
+/// K-invariance contract (DESIGN.md §7) the summed tables are identical to
+/// the monolithic build for any K and any thread count.
+StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
+    const ShardedTransactionDatabase& db,
+    const std::vector<Itemset>& candidates, int num_threads = 1);
 
 }  // namespace corrmine
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -122,14 +125,51 @@ struct MinerCounters {
   Counter* levels;
 };
 
-/// Candidates buffered per parallel flush. Large enough that a flush
-/// amortizes pool wake-ups, small enough that CAND at a dense level never
-/// has to be materialized whole (the original streaming rationale).
-constexpr size_t kEvalBatchSize = 4096;
-
-/// Chunk granularity for work stealing inside one flush. Each candidate is
-/// a 2^k-count table build, so even small chunks are meaty.
+/// Chunk granularity for work stealing across candidate evaluation. Each
+/// candidate is a 2^k-cell table assembly plus a chi-squared test, so even
+/// small chunks are meaty.
 constexpr size_t kEvalGrain = 16;
+
+/// The deduplicated all-items-present queries of one level, plus the
+/// per-candidate index table that maps every nonzero submask of every
+/// candidate to its slot in the batch answer. Sibling candidates share
+/// almost all of their proper subsets (the join emits runs with a common
+/// (k-1)-prefix, and every (k-1)-subset is itself a NOTSIG member), so the
+/// deduplicated batch is typically several times smaller than the naive
+/// per-candidate query stream — that, not just parallel fan-out, is where
+/// the batch API's throughput comes from (DESIGN.md §7).
+struct LevelQueryPlan {
+  std::vector<Itemset> queries;
+  /// cand_query_index[ci * num_cells + m] answers submask m of candidate
+  /// ci; entry 0 of each row is unused (the empty mask is n).
+  std::vector<uint32_t> cand_query_index;
+  uint32_t num_cells = 0;
+
+  /// Builds the plan for a level of uniform-size candidates.
+  static LevelQueryPlan Build(const std::vector<Itemset>& cand, int level) {
+    LevelQueryPlan plan;
+    const int k = level;
+    plan.num_cells = uint32_t{1} << k;
+    plan.cand_query_index.assign(cand.size() * plan.num_cells, 0);
+    std::unordered_map<Itemset, uint32_t, ItemsetHasher> ids;
+    std::vector<ItemId> items;
+    for (size_t ci = 0; ci < cand.size(); ++ci) {
+      const Itemset& s = cand[ci];
+      for (uint32_t m = 1; m < plan.num_cells; ++m) {
+        items.clear();
+        for (int j = 0; j < k; ++j) {
+          if ((m >> j) & 1) items.push_back(s.item(j));
+        }
+        Itemset sub(items);
+        auto [it, inserted] =
+            ids.emplace(sub, static_cast<uint32_t>(plan.queries.size()));
+        if (inserted) plan.queries.push_back(std::move(sub));
+        plan.cand_query_index[ci * plan.num_cells + m] = it->second;
+      }
+    }
+    return plan;
+  }
+};
 
 }  // namespace
 
@@ -148,19 +188,26 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
   MinerCounters counters(&registry);
   PhaseTimer run_timer(&registry, "miner.mine");
 
-  // Pool ownership: one pool per mining run, reused across levels. The
-  // calling thread participates in every parallel region, so a pool of
-  // (threads - 1) workers yields `threads` concurrent evaluators.
+  // Pool ownership: one pool per mining run, reused across levels — unless
+  // the caller (typically a MiningSession) lends one, in which case it is
+  // borrowed for the duration of the call. The calling thread participates
+  // in every parallel region, so an owned pool of (threads - 1) workers
+  // yields `threads` concurrent evaluators.
   const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
-
-  // Step 1: count O(i) for every item.
-  uint64_t n = provider.num_baskets();
-  std::vector<uint64_t> item_counts(num_items);
-  for (ItemId i = 0; i < num_items; ++i) {
-    item_counts[i] = provider.CountAllPresent(Itemset{i});
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(threads - 1);
+    pool = owned_pool.get();
   }
+
+  // Step 1: count O(i) for every item — one batch over the singletons.
+  uint64_t n = provider.num_baskets();
+  std::vector<Itemset> singletons;
+  singletons.reserve(num_items);
+  for (ItemId i = 0; i < num_items; ++i) singletons.push_back(Itemset{i});
+  std::vector<uint64_t> item_counts(num_items);
+  provider.CountAllPresentBatch(singletons, item_counts, pool);
 
   const int max_level = options.max_level > 0
                             ? std::min(options.max_level,
@@ -185,26 +232,62 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
     // mark — unless the caller asked for the frontier.
     const bool keep_not_sig = level < max_level || options.keep_frontier;
 
-    // Steps 6-7, batched: candidates accumulate into `batch`, each flush
-    // evaluates the batch in parallel into index-addressed slots (support
-    // test, then chi-squared), and the merge below routes them into SIG or
-    // (if another level follows) NOTSIG *in stream order* — so the output
-    // is byte-identical whatever the thread count, including 1, which runs
-    // the very same code inline.
-    std::vector<Itemset> batch;
-    batch.reserve(kEvalBatchSize);
-    std::vector<EvalSlot> slots;
+    // Steps 6-7, batched per level: CAND is materialized whole, its
+    // deduplicated submask queries are answered by ONE CountAllPresentBatch
+    // call against the provider, and candidates are then evaluated in
+    // parallel into index-addressed slots (support test, then chi-squared).
+    // The fan-in below routes them into SIG or (if another level follows)
+    // NOTSIG *in stream order* — so the output is byte-identical whatever
+    // the thread or shard count, including the inline single-threaded path.
+    //
+    // Materializing CAND trades the old 32-MB streaming discipline for the
+    // single-batch contract that sharded/remote providers need (issuing one
+    // round trip per level instead of one per candidate); CAND at level k
+    // is bounded by the NOTSIG join, which pruning keeps far below the
+    // raw C(|I|, k) lattice width.
+    std::vector<Itemset> cand;
+    if (level == 2) {
+      // Step 3: level-2 candidates via level-1 pruning.
+      for (ItemId a = 0; a < num_items; ++a) {
+        for (ItemId b = a + 1; b < num_items; ++b) {
+          if (PairPassesLevelOne(item_counts[a], item_counts[b], n,
+                                 options.support, options.level_one)) {
+            cand.push_back(Itemset{a, b});
+          }
+        }
+      }
+    } else {
+      CORRMINE_RETURN_NOT_OK(
+          StreamCandidates(not_sig, not_sig_set, [&](Itemset s) -> Status {
+            cand.push_back(std::move(s));
+            return Status::OK();
+          }));
+    }
 
-    auto flush = [&]() -> Status {
-      if (batch.empty()) return Status::OK();
-      slots.assign(batch.size(), EvalSlot{});
+    std::vector<EvalSlot> slots;
+    if (!cand.empty()) {
+      LevelQueryPlan plan = LevelQueryPlan::Build(cand, level);
+      std::vector<uint64_t> query_counts(plan.queries.size());
+      {
+        PhaseTimer count_timer(&registry, "miner.count_batch");
+        provider.CountAllPresentBatch(plan.queries, query_counts, pool);
+      }
+
+      slots.assign(cand.size(), EvalSlot{});
       CORRMINE_RETURN_NOT_OK(ParallelFor(
-          pool.get(), batch.size(), kEvalGrain,
+          pool, cand.size(), kEvalGrain,
           [&](size_t begin, size_t end) -> Status {
+            std::vector<uint64_t> all_present(plan.num_cells);
             for (size_t i = begin; i < end; ++i) {
+              all_present[0] = n;
+              const uint32_t* row = &plan.cand_query_index[i * plan.num_cells];
+              for (uint32_t m = 1; m < plan.num_cells; ++m) {
+                all_present[m] = query_counts[row[m]];
+              }
               CORRMINE_ASSIGN_OR_RETURN(
                   ContingencyTable table,
-                  ContingencyTable::Build(provider, batch[i]));
+                  ContingencyTable::FromAllPresentCounts(cand[i],
+                                                         all_present));
               if (!HasCellSupport(table, options.support)) {
                 slots[i].kind = EvalSlot::Kind::kDiscard;
                 continue;
@@ -223,7 +306,7 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
           }));
       // Deterministic fan-in: a single thread walks the slots in candidate
       // order, so SIG/NOTSIG/stat updates match the sequential history.
-      for (size_t i = 0; i < batch.size(); ++i) {
+      for (size_t i = 0; i < cand.size(); ++i) {
         ++stats.candidates;
         switch (slots[i].kind) {
           case EvalSlot::Kind::kDiscard:
@@ -234,43 +317,20 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
             ++stats.chi2_tests;
             stats.masked_cells += slots[i].masked_cells;
             result.significant.push_back(CorrelationRule{
-                std::move(batch[i]), slots[i].chi2, slots[i].major});
+                std::move(cand[i]), slots[i].chi2, slots[i].major});
             break;
           case EvalSlot::Kind::kNotSig:
             ++stats.not_significant;
             ++stats.chi2_tests;
             stats.masked_cells += slots[i].masked_cells;
             if (keep_not_sig) {
-              next_not_sig_set.Insert(batch[i]);
-              next_not_sig.push_back(std::move(batch[i]));
+              next_not_sig_set.Insert(cand[i]);
+              next_not_sig.push_back(std::move(cand[i]));
             }
             break;
         }
       }
-      batch.clear();
-      return Status::OK();
-    };
-
-    auto enqueue = [&](Itemset s) -> Status {
-      batch.push_back(std::move(s));
-      if (batch.size() >= kEvalBatchSize) return flush();
-      return Status::OK();
-    };
-
-    if (level == 2) {
-      // Step 3: level-2 candidates via level-1 pruning.
-      for (ItemId a = 0; a < num_items; ++a) {
-        for (ItemId b = a + 1; b < num_items; ++b) {
-          if (PairPassesLevelOne(item_counts[a], item_counts[b], n,
-                                 options.support, options.level_one)) {
-            CORRMINE_RETURN_NOT_OK(enqueue(Itemset{a, b}));
-          }
-        }
-      }
-    } else {
-      CORRMINE_RETURN_NOT_OK(StreamCandidates(not_sig, not_sig_set, enqueue));
     }
-    CORRMINE_RETURN_NOT_OK(flush());
 
     bool exhausted = stats.candidates == 0;
     if (!exhausted) {

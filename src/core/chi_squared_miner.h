@@ -13,6 +13,7 @@
 namespace corrmine {
 
 class MetricsRegistry;
+class ThreadPool;
 
 /// Options for the chi-squared/support mining algorithm (Figure 1 of the
 /// paper).
@@ -44,11 +45,17 @@ struct MinerOptions {
 
   /// Worker threads for candidate evaluation (contingency-table builds and
   /// chi-squared tests, the §4 dominant cost). 1 = sequential; 0 = one per
-  /// hardware thread; N = exactly N. The miner owns its pool for the
-  /// duration of the call. Results are byte-identical across all settings:
-  /// candidates are evaluated in index-addressed slots and merged back in
-  /// stream order (see DESIGN.md, "Threading architecture").
+  /// hardware thread; N = exactly N. Results are byte-identical across all
+  /// settings: candidates are evaluated in index-addressed slots and merged
+  /// back in stream order (see DESIGN.md, "Threading architecture").
   int num_threads = 1;
+
+  /// Optional borrowed pool (e.g. a MiningSession's); when null the miner
+  /// creates its own for the duration of the call, sized num_threads - 1 so
+  /// the calling thread's participation yields num_threads evaluators. A
+  /// borrowed pool overrides num_threads for parallel regions; determinism
+  /// holds either way.
+  ThreadPool* pool = nullptr;
 
   /// Registry the run's counters and phase spans are recorded into;
   /// nullptr means MetricsRegistry::Global(). The per-level numbers also

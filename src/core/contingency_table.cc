@@ -65,15 +65,32 @@ StatusOr<ContingencyTable> ContingencyTable::Build(
     }
     counts[m] = provider.CountAllPresent(Itemset(std::move(items)));
   }
+  return FromAllPresentCounts(s, counts);
+}
+
+StatusOr<ContingencyTable> ContingencyTable::FromAllPresentCounts(
+    const Itemset& s, std::span<const uint64_t> all_present) {
+  CORRMINE_RETURN_NOT_OK(ValidateItemset(
+      s, static_cast<ItemId>(UINT32_MAX), kMaxItems));
+  const int k = static_cast<int>(s.size());
+  const uint32_t num_cells = uint32_t{1} << k;
+  if (all_present.size() != num_cells) {
+    return Status::InvalidArgument(
+        "superset-count vector size does not match 2^|s|");
+  }
+  const uint64_t n = all_present[0];
+  if (n == 0) {
+    return Status::FailedPrecondition("contingency table over empty database");
+  }
 
   std::vector<uint64_t> item_counts(k);
-  for (int j = 0; j < k; ++j) item_counts[j] = counts[uint32_t{1} << j];
+  for (int j = 0; j < k; ++j) item_counts[j] = all_present[uint32_t{1} << j];
 
   // Mobius inversion over the superset lattice turns "at least the items in
   // m" counts into exact cell counts: for each bit j, subtract the count of
   // the mask with j forced present from every mask lacking j.
   // We compute into signed space, then check non-negativity.
-  std::vector<int64_t> exact(counts.begin(), counts.end());
+  std::vector<int64_t> exact(all_present.begin(), all_present.end());
   for (int j = 0; j < k; ++j) {
     const uint32_t bit = uint32_t{1} << j;
     for (uint32_t m = 0; m < num_cells; ++m) {

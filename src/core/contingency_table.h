@@ -2,6 +2,7 @@
 #define CORRMINE_CORE_CONTINGENCY_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status_or.h"
@@ -50,6 +51,17 @@ class ContingencyTable {
   /// database.
   static StatusOr<ContingencyTable> Build(const CountProvider& provider,
                                           const Itemset& s);
+
+  /// Assembles the table from precomputed superset counts:
+  /// `all_present[m]` = baskets containing every item of submask m of `s`
+  /// (bit j = j-th sorted item), for all 2^|s| masks with
+  /// `all_present[0] == n`. This is the path the batched level-wise miner
+  /// uses — it answers a whole level's submask queries in one
+  /// CountAllPresentBatch, then Mobius-inverts per candidate. Same
+  /// validation and negativity checks as Build; identical tables for
+  /// identical counts.
+  static StatusOr<ContingencyTable> FromAllPresentCounts(
+      const Itemset& s, std::span<const uint64_t> all_present);
 
   const Itemset& itemset() const { return itemset_; }
   int num_items() const { return model_.num_items(); }

@@ -1,0 +1,123 @@
+#include "core/session.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "io/sharded_loader.h"
+#include "io/transaction_io.h"
+
+namespace corrmine {
+
+namespace {
+
+Status ValidateSessionOptions(const SessionOptions& options,
+                              size_t resolved_shards) {
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (options.num_shards < 0) {
+    return Status::InvalidArgument("num_shards must be >= 0");
+  }
+  if (options.prefix_cache && resolved_shards != 1) {
+    return Status::InvalidArgument(
+        "prefix_cache requires num_shards == 1 (the cache decorates a "
+        "single whole-database index)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MiningSession::MiningSession(MiningSession&&) noexcept = default;
+MiningSession& MiningSession::operator=(MiningSession&&) noexcept = default;
+MiningSession::~MiningSession() = default;
+
+MiningSession::MiningSession(ShardedTransactionDatabase db,
+                             const SessionOptions& options)
+    : db_(std::move(db)),
+      threads_(ThreadPool::ResolveThreadCount(options.num_threads)),
+      metrics_(options.metrics) {
+  sharded_provider_ = std::make_unique<ShardedCountProvider>(db_);
+  if (options.prefix_cache) {
+    // Validated by the factories: exactly one shard, whose vertical index
+    // therefore covers the whole database.
+    cached_ =
+        std::make_unique<CachedCountProvider>(sharded_provider_->shard_index(0));
+  }
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+}
+
+StatusOr<MiningSession> MiningSession::Open(const std::string& path,
+                                            const SessionOptions& options) {
+  const size_t shards =
+      ShardedTransactionDatabase::ResolveShardCount(options.num_shards);
+  CORRMINE_RETURN_NOT_OK(ValidateSessionOptions(options, shards));
+  if (options.named_items) {
+    std::ifstream file(path);
+    if (!file) return Status::IOError("cannot open " + path);
+    std::ostringstream content;
+    content << file.rdbuf();
+    if (file.bad()) return Status::IOError("error reading " + path);
+    CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
+                              io::ParseNamedTransactions(content.str()));
+    return MiningSession(ShardedTransactionDatabase::Partition(db, shards),
+                         options);
+  }
+  CORRMINE_ASSIGN_OR_RETURN(
+      ShardedTransactionDatabase db,
+      io::LoadTransactionFileSharded(path, shards, options.num_items_hint));
+  return MiningSession(std::move(db), options);
+}
+
+StatusOr<MiningSession> MiningSession::FromDatabase(
+    const TransactionDatabase& db, const SessionOptions& options) {
+  const size_t shards =
+      ShardedTransactionDatabase::ResolveShardCount(options.num_shards);
+  CORRMINE_RETURN_NOT_OK(ValidateSessionOptions(options, shards));
+  return MiningSession(ShardedTransactionDatabase::Partition(db, shards),
+                       options);
+}
+
+StatusOr<MiningSession> MiningSession::FromShardedDatabase(
+    ShardedTransactionDatabase db, const SessionOptions& options) {
+  CORRMINE_RETURN_NOT_OK(ValidateSessionOptions(options, db.num_shards()));
+  return MiningSession(std::move(db), options);
+}
+
+MetricsRegistry& MiningSession::metrics() const {
+  return metrics_ != nullptr ? *metrics_ : MetricsRegistry::Global();
+}
+
+StatusOr<MiningResult> MiningSession::Mine(MinerOptions options) const {
+  options.num_threads = threads_;
+  options.pool = pool_.get();
+  if (options.metrics == nullptr) options.metrics = metrics_;
+  return MineCorrelations(provider(), db_.num_items(), options);
+}
+
+StatusOr<MiningResult> MiningSession::MineRandomWalk(
+    RandomWalkOptions options) const {
+  options.miner.num_threads = threads_;
+  options.miner.pool = pool_.get();
+  if (options.miner.metrics == nullptr) options.miner.metrics = metrics_;
+  return MineCorrelationsRandomWalk(provider(), db_.num_items(), options);
+}
+
+StatusOr<std::vector<FrequentItemset>> MiningSession::MineFrequent(
+    AprioriOptions options) const {
+  options.num_threads = threads_;
+  options.pool = pool_.get();
+  return MineFrequentItemsets(provider(), db_.num_items(), options);
+}
+
+StatusOr<std::vector<FrequentItemset>> MiningSession::MineFrequentEclat(
+    EclatOptions options) const {
+  options.num_threads = threads_;
+  options.pool = pool_.get();
+  return MineFrequentItemsetsEclat(db_, options);
+}
+
+}  // namespace corrmine

@@ -49,7 +49,7 @@ StatusOr<uint64_t> DataCube::Count(const Itemset& s) const {
   return it == counts_.end() ? 0 : it->second;
 }
 
-uint64_t CubeCountProvider::CountAllPresent(const Itemset& s) const {
+uint64_t CubeCountProvider::CountAllPresentImpl(const Itemset& s) const {
   if (static_cast<int>(s.size()) <= cube_.max_dimension()) {
     auto count = cube_.Count(s);
     CORRMINE_CHECK(count.ok()) << count.status().ToString();

@@ -56,7 +56,9 @@ class CubeCountProvider : public CountProvider {
       : cube_(cube), fallback_(fallback_db) {}
 
   uint64_t num_baskets() const override { return cube_.num_baskets(); }
-  uint64_t CountAllPresent(const Itemset& s) const override;
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override;
 
  private:
   const DataCube& cube_;

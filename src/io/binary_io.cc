@@ -1,13 +1,20 @@
 #include "io/binary_io.h"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <utility>
+
+#include "io/format_detect.h"
 
 namespace corrmine::io {
 
 namespace {
 
-constexpr char kMagic[4] = {'C', 'M', 'B', '1'};
+// The shared sniffing helper owns the magic; keep a local alias so the
+// encoder reads naturally.
+constexpr const char* kMagic = kBinaryTransactionMagic;
+constexpr size_t kMagicSize = sizeof(kBinaryTransactionMagic);
 
 void AppendVarint(std::string* out, uint64_t value) {
   while (value >= 0x80) {
@@ -39,7 +46,7 @@ StatusOr<uint64_t> ReadVarint(const std::string& bytes, size_t* pos) {
 }  // namespace
 
 std::string EncodeBinaryTransactions(const TransactionDatabase& db) {
-  std::string out(kMagic, sizeof(kMagic));
+  std::string out(kMagic, kMagicSize);
   AppendVarint(&out, db.num_items());
   AppendVarint(&out, db.num_baskets());
   for (size_t row = 0; row < db.num_baskets(); ++row) {
@@ -55,23 +62,24 @@ std::string EncodeBinaryTransactions(const TransactionDatabase& db) {
   return out;
 }
 
-StatusOr<TransactionDatabase> DecodeBinaryTransactions(
-    const std::string& bytes) {
-  if (bytes.size() < sizeof(kMagic) ||
-      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+Status DecodeBinaryTransactionsInto(
+    const std::string& bytes, ItemId* num_items,
+    const std::function<Status(std::vector<ItemId>)>& sink) {
+  if (bytes.size() < kMagicSize ||
+      bytes.compare(0, kMagicSize, kMagic, kMagicSize) != 0) {
     return Status::Corruption("missing CMB1 magic");
   }
-  size_t pos = sizeof(kMagic);
-  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_items, ReadVarint(bytes, &pos));
+  size_t pos = kMagicSize;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t item_space, ReadVarint(bytes, &pos));
   CORRMINE_ASSIGN_OR_RETURN(uint64_t num_baskets, ReadVarint(bytes, &pos));
-  if (num_items == 0 || num_items > UINT32_MAX) {
+  if (item_space == 0 || item_space > UINT32_MAX) {
     return Status::Corruption("invalid item-space size");
   }
+  *num_items = static_cast<ItemId>(item_space);
 
-  TransactionDatabase db(static_cast<ItemId>(num_items));
   for (uint64_t b = 0; b < num_baskets; ++b) {
     CORRMINE_ASSIGN_OR_RETURN(uint64_t size, ReadVarint(bytes, &pos));
-    if (size > num_items) {
+    if (size > item_space) {
       return Status::Corruption("basket size exceeds item space");
     }
     std::vector<ItemId> basket;
@@ -83,17 +91,32 @@ StatusOr<TransactionDatabase> DecodeBinaryTransactions(
         return Status::Corruption("non-increasing item delta");
       }
       current = i == 0 ? delta : current + delta;
-      if (current >= num_items) {
+      if (current >= item_space) {
         return Status::Corruption("item id out of range");
       }
       basket.push_back(static_cast<ItemId>(current));
     }
-    CORRMINE_RETURN_NOT_OK(db.AddBasket(std::move(basket)));
+    CORRMINE_RETURN_NOT_OK(sink(std::move(basket)));
   }
   if (pos != bytes.size()) {
     return Status::Corruption("trailing bytes after final basket");
   }
-  return db;
+  return Status::OK();
+}
+
+StatusOr<TransactionDatabase> DecodeBinaryTransactions(
+    const std::string& bytes) {
+  // The database is created lazily inside the sink because the item-space
+  // size only becomes known once the header has been validated.
+  std::unique_ptr<TransactionDatabase> db;
+  ItemId num_items = 0;
+  CORRMINE_RETURN_NOT_OK(DecodeBinaryTransactionsInto(
+      bytes, &num_items, [&](std::vector<ItemId> basket) -> Status {
+        if (!db) db = std::make_unique<TransactionDatabase>(num_items);
+        return db->AddBasket(std::move(basket));
+      }));
+  if (!db) db = std::make_unique<TransactionDatabase>(num_items);
+  return std::move(*db);
 }
 
 Status WriteBinaryTransactionFile(const TransactionDatabase& db,
@@ -126,12 +149,8 @@ StatusOr<TransactionDatabase> ReadBinaryTransactionFile(
 }
 
 bool LooksLikeBinaryTransactionFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return false;
-  char magic[4] = {0, 0, 0, 0};
-  file.read(magic, 4);
-  return file.gcount() == 4 &&
-         std::string(magic, 4) == std::string(kMagic, 4);
+  auto format = DetectTransactionFileFormat(path);
+  return format.ok() && *format == TransactionFileFormat::kBinary;
 }
 
 }  // namespace corrmine::io

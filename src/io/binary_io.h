@@ -1,6 +1,7 @@
 #ifndef CORRMINE_IO_BINARY_IO_H_
 #define CORRMINE_IO_BINARY_IO_H_
 
+#include <functional>
 #include <string>
 
 #include "common/status_or.h"
@@ -33,8 +34,19 @@ std::string EncodeBinaryTransactions(const TransactionDatabase& db);
 StatusOr<TransactionDatabase> DecodeBinaryTransactions(
     const std::string& bytes);
 
-/// True when `path` starts with the binary magic (used by readers that
-/// auto-detect the format).
+/// Streaming decode: validates the header, stores the item-space size into
+/// `*num_items`, then invokes `sink` once per basket in file order — the
+/// primitive behind both DecodeBinaryTransactions and the sharded loader,
+/// which routes records into shards without a monolithic intermediate.
+/// `*num_items` is set before the first sink call. The first non-OK status
+/// from `sink` aborts the decode.
+Status DecodeBinaryTransactionsInto(
+    const std::string& bytes, ItemId* num_items,
+    const std::function<Status(std::vector<ItemId>)>& sink);
+
+/// True when `path` starts with the binary magic. Thin wrapper over
+/// DetectTransactionFileFormat (io/format_detect.h), kept for callers that
+/// only care about this one format.
 bool LooksLikeBinaryTransactionFile(const std::string& path);
 
 }  // namespace corrmine::io

@@ -1,0 +1,111 @@
+#include "io/sharded_loader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "io/binary_io.h"
+#include "io/format_detect.h"
+#include "io/transaction_io.h"
+
+namespace corrmine::io {
+
+namespace {
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("error reading " + path);
+  }
+  return content.str();
+}
+
+StatusOr<ShardedTransactionDatabase> LoadBinarySharded(
+    const std::string& path, size_t num_shards) {
+  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  // The CMB1 header carries the item space, so records stream straight into
+  // their shards — no intermediate database.
+  ShardedTransactionDatabase db(1, num_shards);
+  ItemId num_items = 0;
+  bool created = false;
+  CORRMINE_RETURN_NOT_OK(DecodeBinaryTransactionsInto(
+      bytes, &num_items, [&](std::vector<ItemId> basket) -> Status {
+        if (!created) {
+          db = ShardedTransactionDatabase(num_items, num_shards);
+          created = true;
+        }
+        return db.AddBasket(std::move(basket));
+      }));
+  if (!created) db = ShardedTransactionDatabase(num_items, num_shards);
+  return db;
+}
+
+StatusOr<ShardedTransactionDatabase> LoadTextSharded(
+    const std::string& path, size_t num_shards, ItemId num_items_hint) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open " + path);
+  }
+  // The text format reveals its item space only at EOF, so the raw id
+  // vectors are buffered once (the same storage the shards will own) and
+  // handed over after the maximum id is known.
+  std::vector<std::vector<ItemId>> baskets;
+  ItemId max_item = 0;
+  bool any_item = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    CORRMINE_ASSIGN_OR_RETURN(std::optional<std::vector<ItemId>> basket,
+                              ParseTransactionLine(line, line_no));
+    if (!basket.has_value()) continue;
+    for (ItemId id : *basket) {
+      max_item = std::max(max_item, id);
+      any_item = true;
+    }
+    baskets.push_back(std::move(*basket));
+  }
+  if (file.bad()) {
+    return Status::IOError("error reading " + path);
+  }
+  ItemId num_items = num_items_hint;
+  if (any_item && max_item + 1 > num_items) num_items = max_item + 1;
+  if (num_items == 0) num_items = 1;
+  ShardedTransactionDatabase db(num_items, num_shards);
+  for (std::vector<ItemId>& basket : baskets) {
+    CORRMINE_RETURN_NOT_OK(db.AddBasket(std::move(basket)));
+  }
+  return db;
+}
+
+}  // namespace
+
+StatusOr<TransactionDatabase> LoadTransactionFile(const std::string& path,
+                                                  ItemId num_items_hint) {
+  CORRMINE_ASSIGN_OR_RETURN(TransactionFileFormat format,
+                            DetectTransactionFileFormat(path));
+  if (format == TransactionFileFormat::kBinary) {
+    return ReadBinaryTransactionFile(path);
+  }
+  return ReadTransactionFile(path, num_items_hint);
+}
+
+StatusOr<ShardedTransactionDatabase> LoadTransactionFileSharded(
+    const std::string& path, size_t num_shards, ItemId num_items_hint) {
+  num_shards = std::max<size_t>(num_shards, 1);
+  CORRMINE_ASSIGN_OR_RETURN(TransactionFileFormat format,
+                            DetectTransactionFileFormat(path));
+  if (format == TransactionFileFormat::kBinary) {
+    return LoadBinarySharded(path, num_shards);
+  }
+  return LoadTextSharded(path, num_shards, num_items_hint);
+}
+
+}  // namespace corrmine::io

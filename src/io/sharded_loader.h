@@ -1,0 +1,31 @@
+#ifndef CORRMINE_IO_SHARDED_LOADER_H_
+#define CORRMINE_IO_SHARDED_LOADER_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "itemset/sharded_database.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine::io {
+
+/// Unified load path: auto-detects the on-disk format (CMB1 binary vs.
+/// text, io/format_detect.h) and reads `path` into a monolithic database.
+/// `num_items_hint` floors the item space for the text format; the binary
+/// header is authoritative for its own item space.
+StatusOr<TransactionDatabase> LoadTransactionFile(const std::string& path,
+                                                  ItemId num_items_hint = 0);
+
+/// Chunked reader: auto-detects the format and streams `path` directly into
+/// a K-shard database, round-robin by record order, without materializing
+/// the monolithic row store in between. Binary files stream record-by-record
+/// (the header fixes the item space upfront); text files buffer raw id
+/// vectors until the maximum id is known, then distribute — either way
+/// exactly one copy of the basket data is ever alive. `num_shards` follows
+/// the ResolveShardCount convention (0 = one per hardware thread).
+StatusOr<ShardedTransactionDatabase> LoadTransactionFileSharded(
+    const std::string& path, size_t num_shards, ItemId num_items_hint = 0);
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_SHARDED_LOADER_H_

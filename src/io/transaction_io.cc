@@ -23,25 +23,14 @@ StatusOr<ParsedLines> ParseIdLines(const std::string& text) {
   size_t line_no = 0;
   while (std::getline(stream, line)) {
     ++line_no;
-    std::string_view trimmed = TrimString(line);
-    if (!trimmed.empty() && trimmed.front() == '#') continue;
-    std::vector<ItemId> basket;
-    for (std::string_view token : SplitString(trimmed)) {
-      auto value = ParseUint64(token);
-      if (!value.ok()) {
-        return Status::Corruption("line " + std::to_string(line_no) + ": " +
-                                  value.status().message());
-      }
-      if (*value > UINT32_MAX) {
-        return Status::OutOfRange("line " + std::to_string(line_no) +
-                                  ": item id too large");
-      }
-      ItemId id = static_cast<ItemId>(*value);
+    CORRMINE_ASSIGN_OR_RETURN(std::optional<std::vector<ItemId>> basket,
+                              ParseTransactionLine(line, line_no));
+    if (!basket.has_value()) continue;
+    for (ItemId id : *basket) {
       parsed.max_item = std::max(parsed.max_item, id);
       parsed.any_item = true;
-      basket.push_back(id);
     }
-    parsed.baskets.push_back(std::move(basket));
+    parsed.baskets.push_back(std::move(*basket));
   }
   return parsed;
 }
@@ -61,6 +50,28 @@ StatusOr<TransactionDatabase> BuildDatabase(ParsedLines parsed,
 }
 
 }  // namespace
+
+StatusOr<std::optional<std::vector<ItemId>>> ParseTransactionLine(
+    std::string_view line, size_t line_no) {
+  std::string_view trimmed = TrimString(line);
+  if (!trimmed.empty() && trimmed.front() == '#') {
+    return std::optional<std::vector<ItemId>>();
+  }
+  std::vector<ItemId> basket;
+  for (std::string_view token : SplitString(trimmed)) {
+    auto value = ParseUint64(token);
+    if (!value.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                value.status().message());
+    }
+    if (*value > UINT32_MAX) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": item id too large");
+    }
+    basket.push_back(static_cast<ItemId>(*value));
+  }
+  return std::optional<std::vector<ItemId>>(std::move(basket));
+}
 
 StatusOr<TransactionDatabase> ParseTransactions(const std::string& text,
                                                 ItemId num_items_hint) {

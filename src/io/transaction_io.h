@@ -1,12 +1,23 @@
 #ifndef CORRMINE_IO_TRANSACTION_IO_H_
 #define CORRMINE_IO_TRANSACTION_IO_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/status_or.h"
 #include "itemset/transaction_database.h"
 
 namespace corrmine::io {
+
+/// Parses one line of the text transaction format: whitespace-separated
+/// non-negative integer item ids. Returns nullopt for comment lines
+/// (leading '#'); otherwise the basket, which is empty for blank lines.
+/// `line_no` is used in error messages only. Shared by the whole-file
+/// readers below and the streaming sharded loader (io/sharded_loader.h).
+StatusOr<std::optional<std::vector<ItemId>>> ParseTransactionLine(
+    std::string_view line, size_t line_no);
 
 /// Reads basket data in the conventional transaction-file format: one basket
 /// per line, whitespace-separated non-negative integer item ids. Blank lines

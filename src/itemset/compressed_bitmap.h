@@ -98,11 +98,13 @@ class CompressedCountProvider : public CountProvider {
       : index_(db) {}
 
   uint64_t num_baskets() const override { return index_.num_baskets(); }
-  uint64_t CountAllPresent(const Itemset& s) const override {
-    return index_.CountAllPresent(s);
-  }
 
   const CompressedVerticalIndex& index() const { return index_; }
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override {
+    return index_.CountAllPresent(s);
+  }
 
  private:
   CompressedVerticalIndex index_;

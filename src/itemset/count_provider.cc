@@ -3,13 +3,61 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 
 namespace corrmine {
 
-uint64_t ScanCountProvider::CountAllPresent(const Itemset& s) const {
+namespace {
+
+/// Query-axis chunk size for parallel batches: each query is a multi-word
+/// AND/popcount chain, so modest chunks already amortize scheduling.
+constexpr size_t kBatchQueryGrain = 16;
+
+/// Basket-axis chunk size for the scan provider's shared pass.
+constexpr size_t kScanBasketGrain = 1024;
+
+}  // namespace
+
+CountProvider::CountProvider()
+    : scalar_calls_(
+          MetricsRegistry::Global().GetCounter("count_provider.scalar_calls")),
+      batch_calls_(
+          MetricsRegistry::Global().GetCounter("count_provider.batch_calls")),
+      batch_queries_(MetricsRegistry::Global().GetCounter(
+          "count_provider.batch_queries")) {}
+
+void CountProvider::BumpScalar() const { scalar_calls_->Add(); }
+
+void CountProvider::BumpBatch(size_t num_queries) const {
+  batch_calls_->Add();
+  batch_queries_->Add(num_queries);
+}
+
+void CountProvider::CountAllPresentBatch(std::span<const Itemset> queries,
+                                         std::span<uint64_t> counts,
+                                         ThreadPool* pool) const {
+  CORRMINE_CHECK(queries.size() == counts.size())
+      << "batch spans disagree: " << queries.size() << " queries, "
+      << counts.size() << " count slots";
+  BumpBatch(queries.size());
+  if (queries.empty()) return;
+  CountAllPresentBatchImpl(queries, counts, pool);
+}
+
+void CountProvider::CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                             std::span<uint64_t> counts,
+                                             ThreadPool* pool) const {
+  (void)pool;  // The generic fallback has no parallel structure to exploit.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    counts[i] = CountAllPresentImpl(queries[i]);
+  }
+}
+
+uint64_t ScanCountProvider::CountAllPresentImpl(const Itemset& s) const {
   CORRMINE_CHECK(!s.empty()) << "CountAllPresent requires a non-empty set";
   uint64_t count = 0;
   for (size_t row = 0; row < db_.num_baskets(); ++row) {
@@ -18,7 +66,58 @@ uint64_t ScanCountProvider::CountAllPresent(const Itemset& s) const {
   return count;
 }
 
-uint64_t CachedCountProvider::CountAllPresent(const Itemset& s) const {
+void ScanCountProvider::CountAllPresentBatchImpl(
+    std::span<const Itemset> queries, std::span<uint64_t> counts,
+    ThreadPool* pool) const {
+  // Basket-major: one pass over the row store answers every query, keeping
+  // each basket hot in cache across the whole query list instead of
+  // re-reading the database per query. Chunks of the basket axis accumulate
+  // into private partial sums, merged in chunk order (exact integer sums,
+  // so the merge order only matters for determinism of the code path, not
+  // the values).
+  const size_t num_baskets = db_.num_baskets();
+  const size_t num_chunks =
+      num_baskets == 0 ? 0 : (num_baskets + kScanBasketGrain - 1) /
+                                 kScanBasketGrain;
+  std::vector<std::vector<uint64_t>> partial(
+      num_chunks, std::vector<uint64_t>(queries.size(), 0));
+  Status status = ParallelFor(
+      pool, num_chunks, 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t chunk = begin; chunk < end; ++chunk) {
+          const size_t row_begin = chunk * kScanBasketGrain;
+          const size_t row_end =
+              std::min(row_begin + kScanBasketGrain, num_baskets);
+          std::vector<uint64_t>& mine = partial[chunk];
+          for (size_t row = row_begin; row < row_end; ++row) {
+            for (size_t q = 0; q < queries.size(); ++q) {
+              if (db_.BasketContainsAll(row, queries[q])) ++mine[q];
+            }
+          }
+        }
+        return Status::OK();
+      });
+  CORRMINE_CHECK(status.ok()) << status.ToString();
+  for (size_t q = 0; q < queries.size(); ++q) counts[q] = 0;
+  for (const std::vector<uint64_t>& mine : partial) {
+    for (size_t q = 0; q < queries.size(); ++q) counts[q] += mine[q];
+  }
+}
+
+void BitmapCountProvider::CountAllPresentBatchImpl(
+    std::span<const Itemset> queries, std::span<uint64_t> counts,
+    ThreadPool* pool) const {
+  Status status = ParallelFor(
+      pool, queries.size(), kBatchQueryGrain,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          counts[i] = index_.CountAllPresent(queries[i]);
+        }
+        return Status::OK();
+      });
+  CORRMINE_CHECK(status.ok()) << status.ToString();
+}
+
+uint64_t CachedCountProvider::CountAllPresentImpl(const Itemset& s) const {
   CORRMINE_CHECK(!s.empty()) << "CountAllPresent requires a non-empty set";
   queries_.fetch_add(1, std::memory_order_relaxed);
   const size_t k = s.size();
@@ -38,6 +137,23 @@ uint64_t CachedCountProvider::CountAllPresent(const Itemset& s) const {
   const Bitmap* prefix = PrefixBitmapInto(s.WithoutItem(last), &scratch);
   and_word_ops_.fetch_add(words, std::memory_order_relaxed);
   return prefix->AndCount(index_.item_bitmap(last));
+}
+
+void CachedCountProvider::CountAllPresentBatchImpl(
+    std::span<const Itemset> queries, std::span<uint64_t> counts,
+    ThreadPool* pool) const {
+  // Parallel over the query axis; the build-once cache entry protocol keeps
+  // the cost counters identical for any schedule (each distinct prefix is
+  // still materialized exactly once).
+  Status status = ParallelFor(
+      pool, queries.size(), kBatchQueryGrain,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          counts[i] = CountAllPresentImpl(queries[i]);
+        }
+        return Status::OK();
+      });
+  CORRMINE_CHECK(status.ok()) << status.ToString();
 }
 
 const Bitmap* CachedCountProvider::PrefixBitmapInto(const Itemset& prefix,

@@ -6,14 +6,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 #include "itemset/itemset.h"
 #include "itemset/transaction_database.h"
 
 namespace corrmine {
+class Counter;
 class MetricsRegistry;
-}
+class ThreadPool;
+}  // namespace corrmine
 
 namespace corrmine {
 
@@ -22,8 +25,21 @@ namespace corrmine {
 /// inclusion–exclusion). Implementations trade preprocessing for lookup
 /// speed; the miner is parameterized on this interface so the strategies can
 /// be benchmarked against each other.
+///
+/// The interface comes in two grains. CountAllPresent answers one query;
+/// CountAllPresentBatch answers a whole level's worth in one call, which is
+/// what the level-wise miner issues (one batch per frontier — see DESIGN.md
+/// §7). Providers override the batch hook when they can amortize work across
+/// queries (shared scans, per-shard fan-out); the default loops over the
+/// scalar hook, so every provider supports both grains.
+///
+/// Both entry points are non-virtual wrappers that tick the global
+/// "count_provider.*" counters (scalar_calls, batch_calls, batch_queries) —
+/// the instrumentation the batch-per-level acceptance tests assert on —
+/// before dispatching to the protected *Impl virtuals.
 class CountProvider {
  public:
+  CountProvider();
   virtual ~CountProvider() = default;
 
   /// Total number of baskets n.
@@ -31,37 +47,85 @@ class CountProvider {
 
   /// O(S): baskets containing all items of S. S must be non-empty and its
   /// items in range. O({i}) must equal the database's item count.
-  virtual uint64_t CountAllPresent(const Itemset& s) const = 0;
+  uint64_t CountAllPresent(const Itemset& s) const {
+    BumpScalar();
+    return CountAllPresentImpl(s);
+  }
+
+  /// Answers `queries[i]` into `counts[i]` for every i. The spans must have
+  /// equal length; every query obeys the CountAllPresent preconditions.
+  /// `pool` (optional, borrowed for the call) lets the provider parallelize;
+  /// results are identical — and deterministic — for any pool, including
+  /// nullptr, which runs inline.
+  void CountAllPresentBatch(std::span<const Itemset> queries,
+                            std::span<uint64_t> counts,
+                            ThreadPool* pool = nullptr) const;
+
+ protected:
+  /// Single-query strategy; called by the CountAllPresent wrapper and by
+  /// the default batch loop.
+  virtual uint64_t CountAllPresentImpl(const Itemset& s) const = 0;
+
+  /// Batch strategy; the default answers each query via CountAllPresentImpl
+  /// in order (ignoring `pool`). Overrides must write exactly the counts
+  /// the scalar path would produce.
+  virtual void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                        std::span<uint64_t> counts,
+                                        ThreadPool* pool) const;
+
+ private:
+  void BumpScalar() const;
+  void BumpBatch(size_t num_queries) const;
+
+  // Resolved once at construction from MetricsRegistry::Global(); stable
+  // pointers, so the wrappers pay one relaxed add, not a registry lookup.
+  Counter* scalar_calls_;
+  Counter* batch_calls_;
+  Counter* batch_queries_;
 };
 
 /// Strategy A: re-scan the row store per query. No preprocessing, O(n)
 /// per count; matches the paper's "make a pass over the entire database"
-/// baseline cost model.
+/// baseline cost model. Batches are answered basket-major (one scan
+/// answers every query), chunked across the pool with per-chunk partial
+/// sums merged in chunk order.
 class ScanCountProvider : public CountProvider {
  public:
   /// `db` must outlive this provider.
   explicit ScanCountProvider(const TransactionDatabase& db) : db_(db) {}
 
   uint64_t num_baskets() const override { return db_.num_baskets(); }
-  uint64_t CountAllPresent(const Itemset& s) const override;
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override;
+  void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                std::span<uint64_t> counts,
+                                ThreadPool* pool) const override;
 
  private:
   const TransactionDatabase& db_;
 };
 
 /// Strategy B: per-item bitmaps; each count is a multi-way AND/popcount.
-/// One O(total occurrences) preprocessing pass.
+/// One O(total occurrences) preprocessing pass. Batches parallelize over
+/// the query axis (each query's count lands in its own slot, so any
+/// schedule yields identical results).
 class BitmapCountProvider : public CountProvider {
  public:
   /// Builds the vertical index eagerly; `db` may be discarded afterwards.
   explicit BitmapCountProvider(const TransactionDatabase& db) : index_(db) {}
 
   uint64_t num_baskets() const override { return index_.num_baskets(); }
-  uint64_t CountAllPresent(const Itemset& s) const override {
-    return index_.CountAllPresent(s);
-  }
 
   const VerticalIndex& index() const { return index_; }
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override {
+    return index_.CountAllPresent(s);
+  }
+  void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                std::span<uint64_t> counts,
+                                ThreadPool* pool) const override;
 
  private:
   VerticalIndex index_;
@@ -87,8 +151,9 @@ class BitmapCountProvider : public CountProvider {
 /// cost counters below *deterministic* across thread counts — no thread
 /// ever duplicates another's AND chain, so hits/misses/and_word_ops depend
 /// only on the query multiset, not the schedule (the stats-json determinism
-/// contract in DESIGN.md §6 leans on this). ClearCache must not race with
-/// queries.
+/// contract in DESIGN.md §6 leans on this). Batches parallelize over the
+/// query axis and go through the same build-once path, so the counters
+/// stay schedule-independent. ClearCache must not race with queries.
 class CachedCountProvider : public CountProvider {
  public:
   /// `index` must outlive this provider. `max_entries` bounds the cache;
@@ -99,7 +164,6 @@ class CachedCountProvider : public CountProvider {
       : index_(index), max_entries_(max_entries) {}
 
   uint64_t num_baskets() const override { return index_.num_baskets(); }
-  uint64_t CountAllPresent(const Itemset& s) const override;
 
   /// Cost counters, for benchmarking the cache against the plain bitmap
   /// strategy. `and_word_ops` is the number of 64-bit AND operations this
@@ -135,6 +199,12 @@ class CachedCountProvider : public CountProvider {
   void ClearCache();
 
   size_t cache_size() const;
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override;
+  void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                std::span<uint64_t> counts,
+                                ThreadPool* pool) const override;
 
  private:
   /// One memoized prefix: claimed under the map lock by its builder, filled

@@ -1,0 +1,131 @@
+#include "itemset/sharded_database.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace corrmine {
+
+namespace {
+
+/// Queries per (shard, block) task in a parallel batch. Blocks of the query
+/// axis give the pool work to steal even at small K, while different shards
+/// write to different partial arrays — no two tasks ever share a slot.
+constexpr size_t kShardBatchBlock = 256;
+
+}  // namespace
+
+ShardedTransactionDatabase::ShardedTransactionDatabase(ItemId num_items,
+                                                       size_t num_shards)
+    : num_items_(num_items) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) shards_.emplace_back(num_items);
+}
+
+ShardedTransactionDatabase ShardedTransactionDatabase::Partition(
+    const TransactionDatabase& db, size_t num_shards) {
+  ShardedTransactionDatabase out(db.num_items(), num_shards);
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    Status status = out.AddBasket(db.basket(row));
+    CORRMINE_CHECK(status.ok()) << status.ToString();
+  }
+  out.dictionary_ = db.dictionary();
+  return out;
+}
+
+size_t ShardedTransactionDatabase::ResolveShardCount(int requested) {
+  if (requested > 0) return static_cast<size_t>(requested);
+  if (requested < 0) return 1;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+Status ShardedTransactionDatabase::AddBasket(std::vector<ItemId> items) {
+  TransactionDatabase& target = shards_[next_row_ % shards_.size()];
+  CORRMINE_RETURN_NOT_OK(target.AddBasket(std::move(items)));
+  ++next_row_;
+  return Status::OK();
+}
+
+uint64_t ShardedTransactionDatabase::ItemCount(ItemId item) const {
+  uint64_t total = 0;
+  for (const TransactionDatabase& shard : shards_) {
+    total += shard.ItemCount(item);
+  }
+  return total;
+}
+
+uint64_t ShardedTransactionDatabase::TotalItemOccurrences() const {
+  uint64_t total = 0;
+  for (const TransactionDatabase& shard : shards_) {
+    total += shard.TotalItemOccurrences();
+  }
+  return total;
+}
+
+TransactionDatabase ShardedTransactionDatabase::Flatten() const {
+  TransactionDatabase out(num_items_);
+  for (uint64_t row = 0; row < next_row_; ++row) {
+    Status status = out.AddBasket(basket(row));
+    CORRMINE_CHECK(status.ok()) << status.ToString();
+  }
+  out.dictionary() = dictionary_;
+  return out;
+}
+
+ShardedCountProvider::ShardedCountProvider(
+    const ShardedTransactionDatabase& db)
+    : num_baskets_(db.num_baskets()) {
+  indexes_.reserve(db.num_shards());
+  for (size_t k = 0; k < db.num_shards(); ++k) {
+    indexes_.emplace_back(db.shard(k));
+  }
+}
+
+uint64_t ShardedCountProvider::CountAllPresentImpl(const Itemset& s) const {
+  uint64_t total = 0;
+  for (const VerticalIndex& index : indexes_) {
+    total += index.CountAllPresent(s);
+  }
+  return total;
+}
+
+void ShardedCountProvider::CountAllPresentBatchImpl(
+    std::span<const Itemset> queries, std::span<uint64_t> counts,
+    ThreadPool* pool) const {
+  const size_t num_queries = queries.size();
+  const size_t num_shards = indexes_.size();
+  const size_t blocks =
+      (num_queries + kShardBatchBlock - 1) / kShardBatchBlock;
+  std::vector<std::vector<uint64_t>> partial(
+      num_shards, std::vector<uint64_t>(num_queries, 0));
+  Status status = ParallelFor(
+      pool, num_shards * blocks, 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t task = begin; task < end; ++task) {
+          const size_t shard = task / blocks;
+          const size_t block = task % blocks;
+          const size_t q_begin = block * kShardBatchBlock;
+          const size_t q_end =
+              std::min(q_begin + kShardBatchBlock, num_queries);
+          const VerticalIndex& index = indexes_[shard];
+          std::vector<uint64_t>& mine = partial[shard];
+          for (size_t q = q_begin; q < q_end; ++q) {
+            mine[q] = index.CountAllPresent(queries[q]);
+          }
+        }
+        return Status::OK();
+      });
+  CORRMINE_CHECK(status.ok()) << status.ToString();
+  // Exact integer fan-in in shard order: counts are sums of per-shard
+  // counts, identical for any K and any schedule.
+  for (size_t q = 0; q < num_queries; ++q) counts[q] = 0;
+  for (const std::vector<uint64_t>& mine : partial) {
+    for (size_t q = 0; q < num_queries; ++q) counts[q] += mine[q];
+  }
+}
+
+}  // namespace corrmine

@@ -1,0 +1,108 @@
+#ifndef CORRMINE_ITEMSET_SHARDED_DATABASE_H_
+#define CORRMINE_ITEMSET_SHARDED_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+#include "itemset/count_provider.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine {
+
+/// Horizontal partition of the paper's basket data into K shards: basket j
+/// (in arrival order) lives in shard j % K at row j / K. Round-robin
+/// placement keeps shards within one basket of each other in size and makes
+/// the layout invertible — Flatten() reproduces the original basket order
+/// exactly.
+///
+/// The K-invariance contract (DESIGN.md §7): all-items-present counts,
+/// per-item marginals O(i), and n are *sums of exact per-shard integers*,
+/// so every derived statistic — expected cells, chi-squared verdicts, rule
+/// lists — is byte-identical for any K. Sharding changes cost and memory
+/// locality, never answers.
+class ShardedTransactionDatabase {
+ public:
+  /// `num_items` fixes the item space; `num_shards` is clamped to >= 1.
+  ShardedTransactionDatabase(ItemId num_items, size_t num_shards);
+
+  /// Re-partitions an existing monolithic database (copies the baskets and
+  /// the dictionary).
+  static ShardedTransactionDatabase Partition(const TransactionDatabase& db,
+                                              size_t num_shards);
+
+  /// Shard count for a requested `--shards` value: 0 means "ask the
+  /// hardware" (same convention as ThreadPool::ResolveThreadCount); negative
+  /// is treated as 1.
+  static size_t ResolveShardCount(int requested);
+
+  /// Appends a basket to the next shard in round-robin order; items are
+  /// sorted/deduplicated. Errors if any item id is out of range.
+  Status AddBasket(std::vector<ItemId> items);
+
+  size_t num_shards() const { return shards_.size(); }
+  const TransactionDatabase& shard(size_t i) const { return shards_[i]; }
+
+  /// Total baskets across all shards (the original n).
+  uint64_t num_baskets() const { return next_row_; }
+  ItemId num_items() const { return num_items_; }
+
+  /// Exact global marginal O(i): sum of the per-shard occurrence counts.
+  uint64_t ItemCount(ItemId item) const;
+
+  /// Sum of basket sizes across all shards.
+  uint64_t TotalItemOccurrences() const;
+
+  /// Basket `i` in original arrival order (resolves through the round-robin
+  /// layout).
+  const std::vector<ItemId>& basket(size_t i) const {
+    return shards_[i % shards_.size()].basket(i / shards_.size());
+  }
+
+  /// Reassembles the monolithic database in original basket order (with the
+  /// dictionary) — for consumers that need a contiguous row store, e.g. the
+  /// permutation independence test.
+  TransactionDatabase Flatten() const;
+
+  /// Optional item dictionary shared by all shards.
+  ItemDictionary& dictionary() { return dictionary_; }
+  const ItemDictionary& dictionary() const { return dictionary_; }
+
+ private:
+  ItemId num_items_;
+  std::vector<TransactionDatabase> shards_;
+  uint64_t next_row_ = 0;
+  ItemDictionary dictionary_;
+};
+
+/// CountProvider over a sharded database: one vertical index per shard,
+/// built eagerly; every count is the sum of per-shard AND/popcounts. Batches
+/// fan out over (shard × query-block) tasks on the pool and merge the
+/// per-shard partials in shard order, so results are deterministic and
+/// identical for any K and any pool (the K-invariance contract above).
+class ShardedCountProvider : public CountProvider {
+ public:
+  /// Builds the per-shard indexes eagerly; `db` must outlive this provider
+  /// only if shard_index()/num_shards() introspection is not enough for the
+  /// caller (the provider itself keeps no reference after construction).
+  explicit ShardedCountProvider(const ShardedTransactionDatabase& db);
+
+  uint64_t num_baskets() const override { return num_baskets_; }
+
+  size_t num_shards() const { return indexes_.size(); }
+  const VerticalIndex& shard_index(size_t i) const { return indexes_[i]; }
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override;
+  void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                std::span<uint64_t> counts,
+                                ThreadPool* pool) const override;
+
+ private:
+  std::vector<VerticalIndex> indexes_;
+  uint64_t num_baskets_;
+};
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_ITEMSET_SHARDED_DATABASE_H_

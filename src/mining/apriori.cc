@@ -72,24 +72,24 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
   Counter* frequent_found = registry.GetCounter("apriori.frequent");
 
   const int threads = ThreadPool::ResolveThreadCount(options.num_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(threads - 1);
+    pool = owned_pool.get();
+  }
 
-  // Counts every candidate into an index-addressed slot; the sequential
-  // filter below then sees the same counts in the same order regardless of
-  // thread count.
+  // One CountAllPresentBatch per level: the provider answers the whole
+  // candidate frontier at once (bitmap providers parallelize over the
+  // query axis, sharded providers over their shards). Counts land in
+  // index-addressed slots, so the sequential filter below sees the same
+  // counts in the same order regardless of thread or shard count.
   auto count_all = [&](const std::vector<Itemset>& candidates,
                        std::vector<uint64_t>* counts) -> Status {
     candidates_counted->Add(candidates.size());
     counts->assign(candidates.size(), 0);
-    return ParallelFor(pool.get(), candidates.size(), /*grain=*/32,
-                       [&](size_t begin, size_t end) -> Status {
-                         for (size_t i = begin; i < end; ++i) {
-                           (*counts)[i] =
-                               provider.CountAllPresent(candidates[i]);
-                         }
-                         return Status::OK();
-                       });
+    provider.CountAllPresentBatch(candidates, *counts, pool);
+    return Status::OK();
   };
 
   std::vector<FrequentItemset> result;

@@ -10,6 +10,8 @@
 
 namespace corrmine {
 
+class ThreadPool;
+
 /// A frequent itemset with its occurrence count.
 struct FrequentItemset {
   Itemset itemset;
@@ -29,6 +31,9 @@ struct AprioriOptions {
   /// concurrency). Counts land in index-addressed slots, so output is
   /// identical for any setting.
   int num_threads = 1;
+  /// Optional borrowed pool (e.g. a MiningSession's); when null the miner
+  /// creates its own for the duration of the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// The Agrawal–Srikant Apriori algorithm: level-wise frequent-itemset

@@ -2,10 +2,13 @@
 #define CORRMINE_MINING_ECLAT_H_
 
 #include "common/status_or.h"
+#include "itemset/sharded_database.h"
 #include "itemset/transaction_database.h"
 #include "mining/apriori.h"
 
 namespace corrmine {
+
+class ThreadPool;
 
 struct EclatOptions {
   double min_support_fraction = 0.01;
@@ -16,6 +19,9 @@ struct EclatOptions {
   /// buffer and the buffers concatenated in item order, so the output is
   /// identical for any setting (the final (size, lex) sort seals it).
   int num_threads = 1;
+  /// Optional borrowed pool (e.g. a MiningSession's); when null the miner
+  /// creates its own for the duration of the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Eclat (Zaki et al., 1997 — contemporaneous with the paper): depth-first
@@ -28,6 +34,17 @@ struct EclatOptions {
 /// Results ordered by (size, lexicographic), matching the other miners.
 StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
     const TransactionDatabase& db, const EclatOptions& options = {});
+
+/// Shard-native Eclat over a horizontally partitioned database: every
+/// itemset carries one basket bitmap *per shard*, an extension is K
+/// short ANDs instead of one long one, and support is the exact sum of
+/// per-shard popcounts — the K-invariance contract of DESIGN.md §7, so the
+/// output is identical to the monolithic overload for any K. The
+/// "eclat.intersections" counter records one logical intersection per
+/// (prefix, tail item) pair regardless of K, keeping the cost accounting
+/// shard-invariant too.
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
+    const ShardedTransactionDatabase& db, const EclatOptions& options = {});
 
 }  // namespace corrmine
 

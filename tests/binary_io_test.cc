@@ -1,4 +1,7 @@
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -89,6 +92,71 @@ TEST(BinaryIoTest, CorruptionDetected) {
   // Trailing garbage.
   EXPECT_TRUE(
       DecodeBinaryTransactions(bytes + "x").status().IsCorruption());
+}
+
+TEST(BinaryIoTest, MaxItemIdsRoundTrip) {
+  // Item ids at the top of a large id space stress the varint coder's
+  // multi-byte path (deltas spanning several LEB128 groups).
+  const ItemId num_items = ItemId{1} << 20;
+  TransactionDatabase db(num_items);
+  ASSERT_TRUE(db.AddBasket({0, num_items - 1}).ok());
+  ASSERT_TRUE(db.AddBasket({num_items - 1}).ok());
+  ASSERT_TRUE(db.AddBasket({}).ok());
+  ASSERT_TRUE(db.AddBasket({num_items / 2, num_items - 2, num_items - 1})
+                  .ok());
+  auto decoded = DecodeBinaryTransactions(EncodeBinaryTransactions(db));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_items(), num_items);
+  ASSERT_EQ(decoded->num_baskets(), db.num_baskets());
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    EXPECT_EQ(decoded->basket(row), db.basket(row)) << "row " << row;
+  }
+}
+
+TEST(BinaryIoTest, TruncatedFileReturnsStatusNotCrash) {
+  auto db = corrmine::testing::RandomIndependentDatabase(15, 200, 23);
+  std::string bytes = EncodeBinaryTransactions(db);
+  std::string path = ::testing::TempDir() + "/corrmine_truncated.bin";
+  for (size_t cut : {size_t{1}, size_t{3}, bytes.size() / 3,
+                     bytes.size() - 1}) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      out << bytes.substr(0, cut);
+    }
+    auto loaded = ReadBinaryTransactionFile(path);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_TRUE(loaded.status().IsCorruption()) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, StreamingDecodeMatchesMaterialized) {
+  auto db = corrmine::testing::RandomIndependentDatabase(20, 300, 31);
+  std::string bytes = EncodeBinaryTransactions(db);
+
+  ItemId num_items = 0;
+  std::vector<std::vector<ItemId>> streamed;
+  auto status = DecodeBinaryTransactionsInto(
+      bytes, &num_items, [&](std::vector<ItemId> basket) -> Status {
+        streamed.push_back(std::move(basket));
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(num_items, db.num_items());
+  ASSERT_EQ(streamed.size(), db.num_baskets());
+  for (size_t row = 0; row < db.num_baskets(); ++row) {
+    EXPECT_EQ(streamed[row], db.basket(row)) << "row " << row;
+  }
+
+  // A sink error aborts the decode and propagates unchanged.
+  size_t seen = 0;
+  auto aborted = DecodeBinaryTransactionsInto(
+      bytes, &num_items, [&](std::vector<ItemId>) -> Status {
+        if (++seen == 3) return Status::Internal("sink full");
+        return Status::OK();
+      });
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_EQ(seen, 3u);
 }
 
 TEST(BinaryIoTest, RejectsOutOfRangeItems) {

@@ -18,6 +18,7 @@
 #include "core/chi_squared_miner.h"
 #include "datagen/quest_generator.h"
 #include "itemset/count_provider.h"
+#include "itemset/sharded_database.h"
 #include "mining/apriori.h"
 #include "mining/eclat.h"
 #include "mining/fp_growth.h"
@@ -183,6 +184,66 @@ TEST(DifferentialMinersTest, ChiSquaredVerdictsIdenticalAcrossProviders) {
   EXPECT_FALSE(from_scan->significant.empty()) << "degenerate fixture";
   EXPECT_EQ(MiningFingerprint(*from_bitmap), fingerprint);
   EXPECT_EQ(MiningFingerprint(*from_cached), fingerprint);
+}
+
+// The K-invariance contract (DESIGN.md §7), end to end: rules, statistics
+// and per-level accounting must be byte-identical whether the dataset lives
+// in one piece or in K shards, and whatever the thread count.
+TEST(DifferentialMinersTest, VerdictsIdenticalAcrossShardsAndThreads) {
+  TransactionDatabase db = SeededQuest(1997);
+  BitmapCountProvider reference(db);
+
+  MinerOptions options;
+  options.support.min_count = 10;
+  options.support.cell_fraction = 0.25;
+  options.chi2.min_expected_cell = 1.0;
+
+  auto baseline = MineCorrelations(reference, db.num_items(), options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  std::string fingerprint = MiningFingerprint(*baseline);
+  ASSERT_FALSE(baseline->significant.empty()) << "degenerate fixture";
+
+  for (size_t shards : {1, 2, 4, 7}) {
+    ShardedTransactionDatabase sharded =
+        ShardedTransactionDatabase::Partition(db, shards);
+    ShardedCountProvider provider(sharded);
+    for (int threads : {1, 8}) {
+      MinerOptions run = options;
+      run.num_threads = threads;
+      auto result = MineCorrelations(provider, db.num_items(), run);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(MiningFingerprint(*result), fingerprint)
+          << "shards " << shards << " threads " << threads;
+    }
+  }
+}
+
+// Shard-native Eclat must reproduce the monolithic miner's itemsets and
+// counts exactly, for any K and thread count.
+TEST(DifferentialMinersTest, ShardedEclatMatchesMonolithic) {
+  TransactionDatabase db = SeededQuest(42);
+  EclatOptions options;
+  options.min_support_fraction = 0.02;
+  options.max_level = 4;
+  auto baseline = MineFrequentItemsetsEclat(db, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (size_t shards : {1, 3, 7}) {
+    ShardedTransactionDatabase sharded =
+        ShardedTransactionDatabase::Partition(db, shards);
+    for (int threads : {1, 8}) {
+      EclatOptions run = options;
+      run.num_threads = threads;
+      auto result = MineFrequentItemsetsEclat(sharded, run);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result->size(), baseline->size())
+          << "shards " << shards << " threads " << threads;
+      for (size_t i = 0; i < baseline->size(); ++i) {
+        ASSERT_EQ((*result)[i].itemset, (*baseline)[i].itemset);
+        ASSERT_EQ((*result)[i].count, (*baseline)[i].count);
+      }
+    }
+  }
 }
 
 TEST(DifferentialMinersTest, LevelWiseMatchesBruteForceMiner) {

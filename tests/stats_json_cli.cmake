@@ -51,3 +51,52 @@ foreach(key "\"schema\": \"corrmine-stats-v1\"" "\"runtime\":" "\"cache\":")
     message(FATAL_ERROR "stats json missing ${key}:\n${doc}")
   endif()
 endforeach()
+
+# The K-invariance contract (DESIGN.md §7), end to end: the deterministic
+# line must also be byte-identical across every --shards K x --threads T
+# combination. Run without --prefix-cache — the cache is a single-shard
+# feature and its cost counters are not part of the sharded contract.
+set(reference "")
+foreach(shards 1 4)
+  foreach(threads 1 8)
+    set(tag s${shards}_t${threads})
+    execute_process(
+      COMMAND ${CLI} mine ${WORKDIR}/stats_fixture.txt
+              --support-count 100 --cell-fraction 0.26 --max-level 3
+              --shards ${shards} --threads ${threads}
+              --stats-json ${WORKDIR}/stats_${tag}.json
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "mine --shards ${shards} --threads ${threads} "
+                          "failed: ${rc}")
+    endif()
+    file(STRINGS ${WORKDIR}/stats_${tag}.json line
+         REGEX "\"deterministic\"")
+    list(LENGTH line n)
+    if(NOT n EQUAL 1)
+      message(FATAL_ERROR "expected one deterministic line for ${tag}, "
+                          "got ${n}")
+    endif()
+    if(reference STREQUAL "")
+      set(reference "${line}")
+    elseif(NOT line STREQUAL reference)
+      message(FATAL_ERROR
+              "deterministic stats diverged at shards=${shards} "
+              "threads=${threads}:\n  reference: ${reference}\n"
+              "  got:       ${line}")
+    endif()
+  endforeach()
+endforeach()
+
+# The earlier runs used the prefix cache; verdicts (rules + per-level
+# accounting) must not move when sharding replaces it. The cache field
+# itself legitimately differs ({"queries":...} vs null), so compare the
+# lines with it stripped.
+string(REGEX REPLACE "\"cache\":.*" "" cached_core "${lines_t1}")
+string(REGEX REPLACE "\"cache\":.*" "" sharded_core "${reference}")
+if(NOT cached_core STREQUAL sharded_core)
+  message(FATAL_ERROR
+          "deterministic stats diverged between the cached single-shard "
+          "run and the sharded matrix:\n  cached:  ${cached_core}\n"
+          "  sharded: ${sharded_core}")
+endif()

@@ -11,21 +11,20 @@
 //   corrmine_cli --help
 //
 // Transaction files: one basket per line, whitespace-separated integer
-// item ids; '#' starts a comment line.
+// item ids ('#' starts a comment line), or the CMB1 binary encoding —
+// readers auto-detect. mine/rules/check all route through MiningSession,
+// which owns the (optionally sharded) dataset, the counting provider, and
+// the thread pool.
 
-#include <fstream>
 #include <iostream>
-#include <memory>
-#include <sstream>
 #include <string>
 
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
-#include "core/chi_squared_miner.h"
 #include "core/interest.h"
-#include "core/random_walk_miner.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "datagen/census_generator.h"
 #include "datagen/quest_generator.h"
 #include "datagen/text_generator.h"
@@ -35,8 +34,6 @@
 #include "io/stats_json.h"
 #include "io/table_printer.h"
 #include "io/transaction_io.h"
-#include "itemset/count_provider.h"
-#include "mining/apriori.h"
 #include "mining/association_rules.h"
 #include "mining/categorical_miner.h"
 #include "stats/permutation_test.h"
@@ -56,10 +53,15 @@ constexpr char kUsage[] =
     "      --max-level L          stop after itemsets of size L (0 = off)\n"
     "      --min-expected E       ignore cells with expectation < E\n"
     "      --threads T            worker threads for candidate evaluation\n"
-    "                             (default 1; 0 = all hardware threads;\n"
+    "                             (default 1; 0 = one per hardware thread;\n"
     "                             output is identical for any T)\n"
+    "      --shards K             partition the dataset into K shards and\n"
+    "                             count per shard (default 1; 0 = one per\n"
+    "                             hardware thread; output is identical for\n"
+    "                             any K — see DESIGN.md §7)\n"
     "      --prefix-cache         memoize prefix bitmap intersections\n"
-    "                             (same counts, fewer AND operations)\n"
+    "                             (same counts, fewer AND operations;\n"
+    "                             requires --shards 1)\n"
     "      --algo levelwise|walk  search strategy (default levelwise)\n"
     "      --walks N              random walks when --algo walk\n"
     "      --out FILE             also write the result in the line format\n"
@@ -74,9 +76,13 @@ constexpr char kUsage[] =
     "  check <file>     test one itemset exactly (Monte Carlo permutation)\n"
     "      --items A,B[,C...]     item ids to test (required)\n"
     "      --rounds N             permutation rounds (default 1000)\n"
+    "      --shards K             load-time sharding (default 1; 0 = auto)\n"
     "  rules <file>     support-confidence association rules (baseline)\n"
     "      --min-support F        support fraction (default 0.01)\n"
     "      --min-confidence C     confidence cutoff (default 0.5)\n"
+    "      --algo apriori|eclat   frequent-itemset miner (default apriori)\n"
+    "      --threads T            worker threads (default 1; 0 = auto)\n"
+    "      --shards K             dataset shards (default 1; 0 = auto)\n"
     "  dependencies <csv>  chi-squared dependencies between multi-valued\n"
     "                      attributes (CSV: header + label rows)\n"
     "      --confidence-level A   significance level (default 0.95)\n"
@@ -87,40 +93,31 @@ constexpr char kUsage[] =
     "      --seed S               generator seed\n"
     "      --format text|binary   output encoding (readers auto-detect)\n";
 
-StatusOr<TransactionDatabase> LoadBaskets(const FlagParser& flags,
-                                          const std::string& path) {
-  if (io::LooksLikeBinaryTransactionFile(path)) {
-    return io::ReadBinaryTransactionFile(path);
-  }
-  if (!flags.GetBool("names", false)) {
-    return io::ReadTransactionFile(path);
-  }
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open " + path);
-  std::ostringstream content;
-  content << file.rdbuf();
-  if (file.bad()) return Status::IOError("error reading " + path);
-  return io::ParseNamedTransactions(content.str());
+/// Session knobs shared by mine/rules/check: --threads and --shards follow
+/// the same convention (default 1, 0 = one per hardware thread).
+StatusOr<SessionOptions> SessionOptionsFromFlags(const FlagParser& flags) {
+  SessionOptions options;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t threads, flags.GetUint64("threads", 1));
+  options.num_threads = static_cast<int>(threads);
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t shards, flags.GetUint64("shards", 1));
+  options.num_shards = static_cast<int>(shards);
+  options.prefix_cache = flags.GetBool("prefix-cache", false);
+  options.named_items = flags.GetBool("names", false);
+  return options;
 }
 
 Status RunMine(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     return Status::InvalidArgument("mine: missing transaction file");
   }
-  CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
-                            LoadBaskets(flags, flags.positional()[1]));
-  if (db.num_baskets() == 0) {
+  CORRMINE_ASSIGN_OR_RETURN(SessionOptions session_options,
+                            SessionOptionsFromFlags(flags));
+  CORRMINE_ASSIGN_OR_RETURN(
+      MiningSession session,
+      MiningSession::Open(flags.positional()[1], session_options));
+  if (session.num_baskets() == 0) {
     return Status::InvalidArgument("no baskets in input");
   }
-  BitmapCountProvider provider(db);
-  // Opt-in prefix-intersection caching: identical counts, fewer bitmap AND
-  // chains when sibling candidates share (k-1)-prefixes.
-  std::unique_ptr<CachedCountProvider> cached;
-  if (flags.GetBool("prefix-cache", false)) {
-    cached = std::make_unique<CachedCountProvider>(provider.index());
-  }
-  const CountProvider& counts =
-      cached ? static_cast<const CountProvider&>(*cached) : provider;
 
   MinerOptions options;
   CORRMINE_ASSIGN_OR_RETURN(options.support.min_count,
@@ -134,23 +131,18 @@ Status RunMine(const FlagParser& flags) {
   options.max_level = static_cast<int>(max_level);
   CORRMINE_ASSIGN_OR_RETURN(options.chi2.min_expected_cell,
                             flags.GetDouble("min-expected", 0.0));
-  CORRMINE_ASSIGN_OR_RETURN(uint64_t threads, flags.GetUint64("threads", 1));
-  options.num_threads = static_cast<int>(threads);
 
   MiningResult result;
   std::string algo = flags.GetString("algo", "levelwise");
   if (algo == "levelwise") {
-    CORRMINE_ASSIGN_OR_RETURN(
-        result, MineCorrelations(counts, db.num_items(), options));
+    CORRMINE_ASSIGN_OR_RETURN(result, session.Mine(options));
   } else if (algo == "walk") {
     RandomWalkOptions walk;
     walk.miner = options;
     CORRMINE_ASSIGN_OR_RETURN(uint64_t walks,
                               flags.GetUint64("walks", 1000));
     walk.num_walks = static_cast<int>(walks);
-    CORRMINE_ASSIGN_OR_RETURN(
-        result,
-        MineCorrelationsRandomWalk(counts, db.num_items(), walk));
+    CORRMINE_ASSIGN_OR_RETURN(result, session.MineRandomWalk(walk));
   } else {
     return Status::InvalidArgument("unknown --algo: " + algo);
   }
@@ -159,7 +151,7 @@ Status RunMine(const FlagParser& flags) {
     ReportOptions report_options;
     CORRMINE_ASSIGN_OR_RETURN(report_options.fdr_level,
                               flags.GetDouble("fdr", 0.0));
-    std::cout << RenderReport(result, &db.dictionary(), report_options);
+    std::cout << RenderReport(result, &session.dictionary(), report_options);
   } else {
     io::TablePrinter table({"itemset", "chi2", "p-value",
                             "major dependence", "interest"});
@@ -169,7 +161,7 @@ Status RunMine(const FlagParser& flags) {
                     io::FormatDouble(rule.chi2.p_value, 6),
                     FormatCellPattern(rule.itemset,
                                       rule.major_dependence.mask,
-                                      &db.dictionary()),
+                                      &session.dictionary()),
                     io::FormatDouble(rule.major_dependence.interest, 3)});
     }
     table.Print(std::cout);
@@ -189,8 +181,9 @@ Status RunMine(const FlagParser& flags) {
   std::string stats_path = flags.GetString("stats-json", "");
   bool print_stats = flags.GetBool("stats", false);
   if (!stats_path.empty() || print_stats) {
-    MetricsRegistry& registry = MetricsRegistry::Global();
+    MetricsRegistry& registry = session.metrics();
     CachedCountProvider::CacheStats cache_stats;
+    const CachedCountProvider* cached = session.cache();
     if (cached) {
       cache_stats = cached->stats();
       cached->PublishMetrics(&registry);
@@ -244,8 +237,14 @@ Status RunCheck(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     return Status::InvalidArgument("check: missing transaction file");
   }
-  CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
-                            io::ReadTransactionFile(flags.positional()[1]));
+  CORRMINE_ASSIGN_OR_RETURN(SessionOptions session_options,
+                            SessionOptionsFromFlags(flags));
+  CORRMINE_ASSIGN_OR_RETURN(
+      MiningSession session,
+      MiningSession::Open(flags.positional()[1], session_options));
+  // The permutation test shuffles a contiguous row store; reassemble it in
+  // original basket order from the session's shards.
+  TransactionDatabase db = session.Flatten();
   std::string items_arg = flags.GetString("items", "");
   if (items_arg.empty()) {
     return Status::InvalidArgument("check: --items A,B[,C...] is required");
@@ -282,26 +281,37 @@ Status RunRules(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     return Status::InvalidArgument("rules: missing transaction file");
   }
-  CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
-                            io::ReadTransactionFile(flags.positional()[1]));
-  if (db.num_baskets() == 0) {
+  CORRMINE_ASSIGN_OR_RETURN(SessionOptions session_options,
+                            SessionOptionsFromFlags(flags));
+  CORRMINE_ASSIGN_OR_RETURN(
+      MiningSession session,
+      MiningSession::Open(flags.positional()[1], session_options));
+  if (session.num_baskets() == 0) {
     return Status::InvalidArgument("no baskets in input");
   }
-  BitmapCountProvider provider(db);
 
-  AprioriOptions apriori;
-  CORRMINE_ASSIGN_OR_RETURN(apriori.min_support_fraction,
-                            flags.GetDouble("min-support", 0.01));
-  CORRMINE_ASSIGN_OR_RETURN(
-      auto frequent,
-      MineFrequentItemsets(provider, db.num_items(), apriori));
+  std::vector<FrequentItemset> frequent;
+  std::string algo = flags.GetString("algo", "apriori");
+  if (algo == "apriori") {
+    AprioriOptions apriori;
+    CORRMINE_ASSIGN_OR_RETURN(apriori.min_support_fraction,
+                              flags.GetDouble("min-support", 0.01));
+    CORRMINE_ASSIGN_OR_RETURN(frequent, session.MineFrequent(apriori));
+  } else if (algo == "eclat") {
+    EclatOptions eclat;
+    CORRMINE_ASSIGN_OR_RETURN(eclat.min_support_fraction,
+                              flags.GetDouble("min-support", 0.01));
+    CORRMINE_ASSIGN_OR_RETURN(frequent, session.MineFrequentEclat(eclat));
+  } else {
+    return Status::InvalidArgument("unknown --algo: " + algo);
+  }
 
   RuleOptions rule_options;
   CORRMINE_ASSIGN_OR_RETURN(rule_options.min_confidence,
                             flags.GetDouble("min-confidence", 0.5));
   CORRMINE_ASSIGN_OR_RETURN(
-      auto rules,
-      GenerateAssociationRules(frequent, db.num_baskets(), rule_options));
+      auto rules, GenerateAssociationRules(frequent, session.num_baskets(),
+                                           rule_options));
 
   io::TablePrinter table({"antecedent", "consequent", "support",
                           "confidence"});
