@@ -2,6 +2,7 @@
 #define CORRMINE_BENCH_BENCH_METRICS_H_
 
 #include <cstdio>
+#include <string>
 
 #include "common/metrics.h"
 
@@ -20,6 +21,21 @@ inline void EmitMetricsLine(const char* bench_name) {
   std::string snapshot = MetricsRegistry::Global().ToJson();
   std::printf("BENCH_METRICS {\"bench\":\"%s\",%s\n", bench_name,
               snapshot.c_str() + 1);
+  std::fflush(stdout);
+}
+
+/// Prints one bench-result JSON line in the shared envelope:
+///   BENCH_JSON {"bench":"<name>",<fields>}
+/// `fields` is the comma-joined interior of the object ("\"runs\":[...]"),
+/// WITHOUT braces or a leading comma. Benches that seed BENCH_*.json
+/// trajectory files route through here so the prefix, the envelope key and
+/// the trailing blank line (which separates the line from the
+/// human-readable table) stay consistent across binaries — statsdiff and
+/// the sweep scripts grep for exactly this shape.
+inline void EmitBenchJsonLine(const char* bench_name,
+                              const std::string& fields) {
+  std::printf("BENCH_JSON {\"bench\":\"%s\",%s}\n\n", bench_name,
+              fields.c_str());
   std::fflush(stdout);
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/chi_squared_miner.h"
 #include "datagen/quest_generator.h"
 #include "io/table_printer.h"
@@ -114,9 +115,46 @@ int main() {
       << "cached provider changed the mining result";
   CachedCountProvider::CacheStats cache = cached.stats();
 
+  // Tracing overhead on the headline configuration: interleaved
+  // traced/untraced repeats of the 8-thread run, best-of-3 each side so
+  // scheduler and turbo jitter (easily 10%+ between single seconds-scale
+  // runs) doesn't swamp the signal. The acceptance budget is a ratio
+  // <= 1.05; both numbers go into the JSON line so sweeps can watch it.
+  const ThreadRun& headline = runs.back();
+  options.num_threads = headline.threads;
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+  double traced_seconds = 0.0;
+  double untraced_seconds = 0.0;
+  constexpr int kOverheadReps = 3;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    auto untraced_start = std::chrono::steady_clock::now();
+    auto untraced_result = MineCorrelations(provider, db->num_items(), options);
+    double seconds = SecondsSince(untraced_start);
+    CORRMINE_CHECK(untraced_result.ok());
+    if (rep == 0 || seconds < untraced_seconds) untraced_seconds = seconds;
+
+    Tracer::Global().Start();
+    auto traced_start = std::chrono::steady_clock::now();
+    auto traced_result = MineCorrelations(provider, db->num_items(), options);
+    seconds = SecondsSince(traced_start);
+    Tracer::Global().Stop();
+    CORRMINE_CHECK(traced_result.ok()) << traced_result.status().ToString();
+    CORRMINE_CHECK(ResultFingerprint(*traced_result) == baseline_fingerprint)
+        << "tracing changed the mining result";
+    if (rep == 0 || seconds < traced_seconds) traced_seconds = seconds;
+    trace_events = 0;
+    trace_dropped = 0;
+    for (const Tracer::ThreadTrace& thread : Tracer::Global().Collect()) {
+      trace_events += thread.events.size();
+      trace_dropped += thread.dropped;
+    }
+  }
+  double trace_overhead = SafeRatio(traced_seconds, untraced_seconds);
+
   // Machine-readable line first (the BENCH_*.json seed), table second.
   std::ostringstream json;
-  json << "{\"bench\":\"bench_parallel\",\"workload\":\"quest\""
+  json << "\"workload\":\"quest\""
        << ",\"baskets\":" << db->num_baskets()
        << ",\"items\":" << static_cast<uint64_t>(db->num_items())
        << ",\"candidates\":" << total_candidates << ",\"runs\":[";
@@ -132,8 +170,14 @@ int main() {
        << ",\"and_word_ops\":" << cache.and_word_ops
        << ",\"uncached_and_word_ops\":" << cache.uncached_and_word_ops
        << ",\"and_word_ops_saved\":"
-       << cache.uncached_and_word_ops - cache.and_word_ops << "}}";
-  std::cout << "BENCH_JSON " << json.str() << "\n\n";
+       << cache.uncached_and_word_ops - cache.and_word_ops << "}"
+       << ",\"trace\":{\"threads\":" << headline.threads
+       << ",\"seconds\":" << traced_seconds
+       << ",\"untraced_seconds\":" << untraced_seconds
+       << ",\"overhead_ratio\":" << trace_overhead
+       << ",\"events\":" << trace_events
+       << ",\"dropped\":" << trace_dropped << "}";
+  bench::EmitBenchJsonLine("bench_parallel", json.str());
 
   io::TablePrinter table({"threads", "mine s", "speedup"});
   for (const ThreadRun& run : runs) {
@@ -156,6 +200,12 @@ int main() {
                    1)
             << "% saved), " << cache.hits << " hits / " << cache.misses
             << " misses.\n";
+  std::cout << "\n== Tracing overhead (" << headline.threads
+            << " threads) ==\n\ntraced " << io::FormatDouble(traced_seconds, 3)
+            << "s vs " << io::FormatDouble(untraced_seconds, 3)
+            << "s untraced (best of " << kOverheadReps << ", ratio "
+            << io::FormatDouble(trace_overhead, 3) << "), " << trace_events
+            << " events recorded, " << trace_dropped << " dropped.\n";
   cached.PublishMetrics(&MetricsRegistry::Global());
   corrmine::bench::EmitMetricsLine("bench_parallel");
   return 0;

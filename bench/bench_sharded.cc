@@ -186,7 +186,7 @@ int main() {
   }
 
   std::ostringstream json;
-  json << "{\"bench\":\"bench_sharded\",\"workload\":\"quest\""
+  json << "\"workload\":\"quest\""
        << ",\"baskets\":" << db->num_baskets()
        << ",\"items\":" << static_cast<uint64_t>(db->num_items())
        << ",\"candidates\":" << candidates.size()
@@ -204,8 +204,8 @@ int main() {
          << ",\"speedup\":"
          << SafeRatio(runs[i].counts_per_sec, baseline_throughput) << '}';
   }
-  json << "]}";
-  std::cout << "BENCH_JSON " << json.str() << "\n\n";
+  json << "]";
+  bench::EmitBenchJsonLine("bench_sharded", json.str());
 
   io::TablePrinter table({"shards", "threads", "count s", "Mcounts/s",
                           "speedup"});

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus two hardening passes: the full test suite with
-# the metrics layer compiled out (CORRMINE_METRICS=OFF must stay a working
-# configuration), and a ThreadSanitizer run over the concurrency-sensitive
-# suites (the parallel mining engine, its pool, and the cached count
-# provider). Run from the repository root:
+# Tier-1 verification plus hardening passes: the stats regression sentinel
+# across a threads x shards matrix, a trace-validation stage, the full test
+# suite with the metrics layer compiled out (CORRMINE_METRICS=OFF must stay
+# a working configuration), and a ThreadSanitizer run over the
+# concurrency-sensitive suites (the parallel mining engine, its pool, and
+# the cached count provider). Run from the repository root:
 #
-#   scripts/verify.sh                  # tier-1 + metrics-off + TSan
+#   scripts/verify.sh                  # everything
 #   SKIP_TSAN=1 scripts/verify.sh      # skip the TSan stage
 #   SKIP_METRICS_OFF=1 scripts/verify.sh  # skip the metrics-off stage
+#   SKIP_STATSDIFF=1 scripts/verify.sh    # skip the statsdiff/trace stages
 #
 # Test slices by ctest label (tier-1 build):
 #   (cd build && ctest -L unit)          # fast unit suites
 #   (cd build && ctest -L differential)  # cross-implementation agreement
 #   (cd build && ctest -L golden)        # paper-table golden snapshots
 #   (cd build && ctest -L sharded)       # K-invariance / sharded core
+#   (cd build && ctest -L metrics)       # observability layer
+#   (cd build && ctest -L trace)         # tracing + trace validation
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +28,39 @@ cmake --build build -j >/dev/null
 
 echo "== sharded slice: K-invariance suites =="
 (cd build && ctest --output-on-failure -L sharded)
+
+if [[ "${SKIP_STATSDIFF:-0}" != "1" ]]; then
+  echo "== statsdiff sentinel: threads x shards stats matrix =="
+  # Every configuration's stats must diff clean against the first one:
+  # the deterministic section exactly, plus the schedule-independent
+  # counter families. statsdiff exits nonzero on any drift.
+  SDIR=build/statsdiff-matrix
+  rm -rf "$SDIR" && mkdir -p "$SDIR"
+  build/tools/corrmine_cli generate quest --baskets 2000 \
+    --out "$SDIR/fixture.txt" >/dev/null
+  baseline=""
+  for threads in 1 8; do
+    for shards in 1 2 4 7; do
+      stats="$SDIR/stats_t${threads}_s${shards}.json"
+      build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
+        --support-count 100 --cell-fraction 0.26 --max-level 3 \
+        --threads "$threads" --shards "$shards" \
+        --stats-json "$stats" >/dev/null
+      if [[ -z "$baseline" ]]; then
+        baseline="$stats"
+      else
+        build/tools/statsdiff "$baseline" "$stats" \
+          --counters miner.,count_provider.
+      fi
+    done
+  done
+
+  echo "== trace stage: record + validate a Chrome trace =="
+  build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
+    --support-count 100 --cell-fraction 0.26 --max-level 3 \
+    --threads 8 --shards 4 --trace-out "$SDIR/run.trace.json" >/dev/null
+  build/tools/statsdiff --validate-trace "$SDIR/run.trace.json"
+fi
 
 if [[ "${SKIP_METRICS_OFF:-0}" != "1" ]]; then
   echo "== metrics compiled out: build + ctest =="
@@ -37,10 +74,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DCORRMINE_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j \
     --target thread_pool_test miner_test batch_tables_test \
-    count_provider_cache_test sharded_database_test >/dev/null
+    count_provider_cache_test sharded_database_test trace_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test)$')
 fi
 
 echo "verify: OK"

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace corrmine {
 
@@ -17,7 +18,9 @@ ThreadPool::ThreadPool(int num_threads)
           MetricsRegistry::Global().GetCounter("pool.tasks_submitted")),
       tasks_executed_(
           MetricsRegistry::Global().GetCounter("pool.tasks_executed")),
-      idle_ns_(MetricsRegistry::Global().GetCounter("pool.idle_ns")) {
+      idle_ns_(MetricsRegistry::Global().GetCounter("pool.idle_ns")),
+      wait_ns_(MetricsRegistry::Global().GetHistogram("pool.wait_ns")),
+      queue_depth_(MetricsRegistry::Global().GetGauge("pool.queue_depth")) {
   CORRMINE_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -39,6 +42,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -62,10 +66,14 @@ void ThreadPool::WorkerLoop() {
           auto idle_start = std::chrono::steady_clock::now();
           work_available_.wait(
               lock, [this] { return shutting_down_ || !queue_.empty(); });
-          idle_ns_->Add(static_cast<uint64_t>(
+          const uint64_t waited = static_cast<uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - idle_start)
-                  .count()));
+                  .count());
+          idle_ns_->Add(waited);
+          wait_ns_->Observe(waited);
+          TraceInstant("pool.wait", -1, -1,
+                       static_cast<int64_t>(waited));
         }
       } else {
         work_available_.wait(
@@ -74,8 +82,12 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // Shutting down and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    {
+      TraceScope task_span("pool.task");
+      task();
+    }
     tasks_executed_->Add();
   }
 }

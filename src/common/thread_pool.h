@@ -14,6 +14,8 @@
 namespace corrmine {
 
 class Counter;
+class Gauge;
+class Histogram;
 
 /// Fixed-size worker pool for the mining engines. Tasks are opaque
 /// `void()` closures; completion tracking, result routing and error
@@ -57,11 +59,14 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Pool observability (MetricsRegistry::Global(), "pool.*"): submissions,
-  // completions, and the ns workers spent blocked waiting for work. Resolved
-  // once at construction; no registry lookups on the task path.
+  // completions, the ns workers spent blocked waiting for work (total and
+  // per-wait histogram), and the queue depth after the latest submit/pop.
+  // Resolved once at construction; no registry lookups on the task path.
   Counter* tasks_submitted_;
   Counter* tasks_executed_;
   Counter* idle_ns_;
+  Histogram* wait_ns_;
+  Gauge* queue_depth_;
 };
 
 /// Runs `body(begin, end)` over [0, n) split into work-stealing chunks of

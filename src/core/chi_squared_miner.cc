@@ -1,6 +1,7 @@
 #include "core/chi_squared_miner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "hash/itemset_set.h"
 
 namespace corrmine {
@@ -187,6 +189,14 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
   registry.GetCounter("miner.runs")->Add();
   MinerCounters counters(&registry);
   PhaseTimer run_timer(&registry, "miner.mine");
+  TraceScope run_span("miner.mine", -1, -1,
+                      static_cast<int64_t>(num_items));
+  // The progress heartbeat needs wall clock even when the metrics layer is
+  // compiled out, so it reads std::chrono directly — but only when a
+  // callback is installed.
+  const auto run_start = options.progress
+                             ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
 
   // Pool ownership: one pool per mining run, reused across levels — unless
   // the caller (typically a MiningSession) lends one, in which case it is
@@ -221,6 +231,8 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
 
   for (int level = 2; level <= max_level; ++level) {
     PhaseTimer level_timer(&registry, "miner.level");
+    TraceScope level_span("miner.level", level, -1,
+                          static_cast<int64_t>(not_sig.size()));
     LevelStats stats;
     stats.level = level;
     stats.possible_itemsets = BinomialCount(num_items, level);
@@ -266,14 +278,20 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
 
     std::vector<EvalSlot> slots;
     if (!cand.empty()) {
+      TraceInstant("miner.candidates", level, -1,
+                   static_cast<int64_t>(cand.size()));
       LevelQueryPlan plan = LevelQueryPlan::Build(cand, level);
       std::vector<uint64_t> query_counts(plan.queries.size());
       {
         PhaseTimer count_timer(&registry, "miner.count_batch");
+        TraceScope count_span("miner.count_batch", level, -1,
+                              static_cast<int64_t>(plan.queries.size()));
         provider.CountAllPresentBatch(plan.queries, query_counts, pool);
       }
 
       slots.assign(cand.size(), EvalSlot{});
+      TraceScope eval_span("miner.evaluate", level, -1,
+                           static_cast<int64_t>(cand.size()));
       CORRMINE_RETURN_NOT_OK(ParallelFor(
           pool, cand.size(), kEvalGrain,
           [&](size_t begin, size_t end) -> Status {
@@ -340,6 +358,18 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
 
     // Step 8: the surviving NOTSIG list seeds the next level.
     std::sort(next_not_sig.begin(), next_not_sig.end());
+    if (options.progress && !exhausted) {
+      MinerProgress heartbeat;
+      heartbeat.level = level;
+      heartbeat.candidates = stats.candidates;
+      heartbeat.frontier = next_not_sig.size();
+      heartbeat.significant_total = result.significant.size();
+      heartbeat.elapsed_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        run_start)
+              .count();
+      options.progress(heartbeat);
+    }
     if (exhausted) break;
     not_sig = std::move(next_not_sig);
     not_sig_set = std::move(next_not_sig_set);

@@ -2,6 +2,7 @@
 #define CORRMINE_CORE_CHI_SQUARED_MINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status_or.h"
@@ -14,6 +15,20 @@ namespace corrmine {
 
 class MetricsRegistry;
 class ThreadPool;
+
+/// One heartbeat of a long-running mine, delivered to
+/// MinerOptions::progress after each lattice level completes.
+struct MinerProgress {
+  int level = 0;
+  /// Candidates examined at this level.
+  uint64_t candidates = 0;
+  /// NOTSIG survivors feeding the next level (0 when the search stops).
+  uint64_t frontier = 0;
+  /// Minimal correlated sets found so far, all levels.
+  uint64_t significant_total = 0;
+  /// Wall-clock seconds since MineCorrelations started.
+  double elapsed_seconds = 0.0;
+};
 
 /// Options for the chi-squared/support mining algorithm (Figure 1 of the
 /// paper).
@@ -62,6 +77,12 @@ struct MinerOptions {
   /// land in MiningResult::levels, which is what the deterministic
   /// stats-json section reports (DESIGN.md §6).
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional heartbeat, invoked from the coordinating thread after every
+  /// completed level (the CLI's --progress wires a stderr printer here).
+  /// Purely observational: it sees per-level totals and wall-clock elapsed,
+  /// and must not mutate mining state. Unset costs nothing.
+  std::function<void(const MinerProgress&)> progress;
 };
 
 /// A mined rule: a supported, minimally correlated itemset together with

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "io/sharded_loader.h"
 #include "io/transaction_io.h"
 
@@ -40,6 +41,9 @@ MiningSession::MiningSession(ShardedTransactionDatabase db,
     : db_(std::move(db)),
       threads_(ThreadPool::ResolveThreadCount(options.num_threads)),
       metrics_(options.metrics) {
+  TraceScope span("session.open", -1,
+                  static_cast<int64_t>(db_.num_shards()),
+                  static_cast<int64_t>(db_.num_baskets()));
   sharded_provider_ = std::make_unique<ShardedCountProvider>(db_);
   if (options.prefix_cache) {
     // Validated by the factories: exactly one shard, whose vertical index
@@ -48,6 +52,8 @@ MiningSession::MiningSession(ShardedTransactionDatabase db,
         std::make_unique<CachedCountProvider>(sharded_provider_->shard_index(0));
   }
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  metrics().GetGauge("mem.peak_rss_bytes")
+      ->Set(static_cast<int64_t>(PeakRssBytes()));
 }
 
 StatusOr<MiningSession> MiningSession::Open(const std::string& path,
@@ -91,33 +97,66 @@ MetricsRegistry& MiningSession::metrics() const {
   return metrics_ != nullptr ? *metrics_ : MetricsRegistry::Global();
 }
 
+// Memory bookkeeping shared by every Mine* entry point: refreshed after each
+// run so a stats dump taken at any point reflects the high-water marks.
+void MiningSession::PublishMemoryGauges() const {
+  MetricsRegistry& registry = metrics();
+  registry.GetGauge("mem.peak_rss_bytes")
+      ->Set(static_cast<int64_t>(PeakRssBytes()));
+  registry.GetGauge("mem.shard_index_bytes")
+      ->Set(static_cast<int64_t>(sharded_provider_->IndexMemoryBytes()));
+  if (cached_ != nullptr) {
+    registry.GetGauge("mem.cache_bytes")
+        ->Set(static_cast<int64_t>(cached_->MemoryBytes()));
+  }
+}
+
 StatusOr<MiningResult> MiningSession::Mine(MinerOptions options) const {
+  TraceScope span("session.mine", -1, static_cast<int64_t>(db_.num_shards()),
+                  static_cast<int64_t>(threads_));
   options.num_threads = threads_;
   options.pool = pool_.get();
   if (options.metrics == nullptr) options.metrics = metrics_;
-  return MineCorrelations(provider(), db_.num_items(), options);
+  auto result = MineCorrelations(provider(), db_.num_items(), options);
+  PublishMemoryGauges();
+  return result;
 }
 
 StatusOr<MiningResult> MiningSession::MineRandomWalk(
     RandomWalkOptions options) const {
+  TraceScope span("session.mine_random_walk", -1,
+                  static_cast<int64_t>(db_.num_shards()),
+                  static_cast<int64_t>(threads_));
   options.miner.num_threads = threads_;
   options.miner.pool = pool_.get();
   if (options.miner.metrics == nullptr) options.miner.metrics = metrics_;
-  return MineCorrelationsRandomWalk(provider(), db_.num_items(), options);
+  auto result = MineCorrelationsRandomWalk(provider(), db_.num_items(), options);
+  PublishMemoryGauges();
+  return result;
 }
 
 StatusOr<std::vector<FrequentItemset>> MiningSession::MineFrequent(
     AprioriOptions options) const {
+  TraceScope span("session.mine_frequent", -1,
+                  static_cast<int64_t>(db_.num_shards()),
+                  static_cast<int64_t>(threads_));
   options.num_threads = threads_;
   options.pool = pool_.get();
-  return MineFrequentItemsets(provider(), db_.num_items(), options);
+  auto result = MineFrequentItemsets(provider(), db_.num_items(), options);
+  PublishMemoryGauges();
+  return result;
 }
 
 StatusOr<std::vector<FrequentItemset>> MiningSession::MineFrequentEclat(
     EclatOptions options) const {
+  TraceScope span("session.mine_frequent_eclat", -1,
+                  static_cast<int64_t>(db_.num_shards()),
+                  static_cast<int64_t>(threads_));
   options.num_threads = threads_;
   options.pool = pool_.get();
-  return MineFrequentItemsetsEclat(db_, options);
+  auto result = MineFrequentItemsetsEclat(db_, options);
+  PublishMemoryGauges();
+  return result;
 }
 
 }  // namespace corrmine

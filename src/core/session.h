@@ -123,6 +123,10 @@ class MiningSession {
  private:
   MiningSession(ShardedTransactionDatabase db, const SessionOptions& options);
 
+  /// Refreshes the "mem.*" gauges (peak RSS, shard-index bytes, cache bytes)
+  /// in the session's registry; called after every Mine* run.
+  void PublishMemoryGauges() const;
+
   ShardedTransactionDatabase db_;
   std::unique_ptr<ShardedCountProvider> sharded_provider_;
   std::unique_ptr<CachedCountProvider> cached_;

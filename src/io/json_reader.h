@@ -1,0 +1,53 @@
+#ifndef CORRMINE_IO_JSON_READER_H_
+#define CORRMINE_IO_JSON_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace corrmine {
+namespace io {
+
+/// Minimal JSON document model for the tooling that reads our own emitted
+/// JSON back (statsdiff comparing corrmine-stats-v1 files, trace
+/// validation, BENCH_METRICS/BENCH_JSON lines). Standards-conformant for
+/// the subset we emit: objects, arrays, strings with escapes, numbers,
+/// true/false/null. Not a general-purpose parser — no streaming, the whole
+/// document lives in memory.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  /// Numbers keep both the parsed double and the raw literal: comparisons
+  /// that must be exact (statsdiff's deterministic section) compare the
+  /// literal text, so 64-bit counters never lose precision through double.
+  double number_value = 0.0;
+  std::string literal;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Insertion order preserved (our writers emit stable key order).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed,
+/// anything else after the value is an error).
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace io
+}  // namespace corrmine
+
+#endif  // CORRMINE_IO_JSON_READER_H_

@@ -1,5 +1,6 @@
 #include "itemset/count_provider.h"
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -117,6 +118,13 @@ void BitmapCountProvider::CountAllPresentBatchImpl(
   CORRMINE_CHECK(status.ok()) << status.ToString();
 }
 
+CachedCountProvider::CachedCountProvider(const VerticalIndex& index,
+                                         size_t max_entries)
+    : index_(index),
+      max_entries_(max_entries),
+      hit_ns_(MetricsRegistry::Global().GetHistogram("cache.hit_ns")),
+      miss_ns_(MetricsRegistry::Global().GetHistogram("cache.miss_ns")) {}
+
 uint64_t CachedCountProvider::CountAllPresentImpl(const Itemset& s) const {
   CORRMINE_CHECK(!s.empty()) << "CountAllPresent requires a non-empty set";
   queries_.fetch_add(1, std::memory_order_relaxed);
@@ -134,9 +142,28 @@ uint64_t CachedCountProvider::CountAllPresentImpl(const Itemset& s) const {
   }
   const ItemId last = s.item(k - 1);
   Bitmap scratch;
-  const Bitmap* prefix = PrefixBitmapInto(s.WithoutItem(last), &scratch);
-  and_word_ops_.fetch_add(words, std::memory_order_relaxed);
-  return prefix->AndCount(index_.item_bitmap(last));
+  if constexpr (kMetricsEnabled) {
+    // Latency split by cache outcome: a hit is one AND/popcount against a
+    // ready bitmap (or a short wait on an in-flight build); a miss pays
+    // the recursive materialization. The histograms never feed the
+    // deterministic stats, so the clock reads cannot perturb results.
+    const auto t0 = std::chrono::steady_clock::now();
+    bool hit = false;
+    const Bitmap* prefix =
+        PrefixBitmapInto(s.WithoutItem(last), &scratch, &hit);
+    and_word_ops_.fetch_add(words, std::memory_order_relaxed);
+    const uint64_t count = prefix->AndCount(index_.item_bitmap(last));
+    const uint64_t elapsed = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    (hit ? hit_ns_ : miss_ns_)->Observe(elapsed);
+    return count;
+  } else {
+    const Bitmap* prefix = PrefixBitmapInto(s.WithoutItem(last), &scratch);
+    and_word_ops_.fetch_add(words, std::memory_order_relaxed);
+    return prefix->AndCount(index_.item_bitmap(last));
+  }
 }
 
 void CachedCountProvider::CountAllPresentBatchImpl(
@@ -157,8 +184,12 @@ void CachedCountProvider::CountAllPresentBatchImpl(
 }
 
 const Bitmap* CachedCountProvider::PrefixBitmapInto(const Itemset& prefix,
-                                                    Bitmap* scratch) const {
-  if (prefix.size() == 1) return &index_.item_bitmap(prefix.item(0));
+                                                    Bitmap* scratch,
+                                                    bool* top_level_hit) const {
+  if (prefix.size() == 1) {
+    if (top_level_hit != nullptr) *top_level_hit = true;
+    return &index_.item_bitmap(prefix.item(0));
+  }
 
   // Claim-or-find under the map lock. Exactly one arrival per prefix
   // becomes the builder; everyone else gets the (possibly in-flight) entry.
@@ -175,6 +206,7 @@ const Bitmap* CachedCountProvider::PrefixBitmapInto(const Itemset& prefix,
       builder = true;
     }
   }
+  if (top_level_hit != nullptr) *top_level_hit = entry && !builder;
 
   if (entry && !builder) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -241,6 +273,14 @@ void CachedCountProvider::PublishMetrics(MetricsRegistry* registry) const {
       ->Set(static_cast<int64_t>(snapshot.uncached_and_word_ops));
   registry->GetGauge("cache.entries")
       ->Set(static_cast<int64_t>(cache_size()));
+  registry->GetGauge("mem.cache_bytes")
+      ->Set(static_cast<int64_t>(MemoryBytes()));
+}
+
+uint64_t CachedCountProvider::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint64_t>(cache_.size()) * index_.words_per_bitmap() *
+         sizeof(uint64_t);
 }
 
 void CachedCountProvider::ClearCache() {

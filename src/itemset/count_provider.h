@@ -14,6 +14,7 @@
 
 namespace corrmine {
 class Counter;
+class Histogram;
 class MetricsRegistry;
 class ThreadPool;
 }  // namespace corrmine
@@ -160,8 +161,7 @@ class CachedCountProvider : public CountProvider {
   /// once full, further prefixes are computed transiently (counts stay
   /// exact, the speedup degrades gracefully).
   explicit CachedCountProvider(const VerticalIndex& index,
-                               size_t max_entries = size_t{1} << 16)
-      : index_(index), max_entries_(max_entries) {}
+                               size_t max_entries = size_t{1} << 16);
 
   uint64_t num_baskets() const override { return index_.num_baskets(); }
 
@@ -187,9 +187,13 @@ class CachedCountProvider : public CountProvider {
   CacheStats stats() const;
 
   /// Copies the current stats into `registry` as gauges under
-  /// "cache.<field>" — call before snapshotting/dumping the registry. The
-  /// cache does not touch the registry on the query path.
+  /// "cache.<field>" (plus "mem.cache_bytes" from MemoryBytes) — call before
+  /// snapshotting/dumping the registry. The query path only touches its
+  /// pre-resolved latency histograms, never the registry maps.
   void PublishMetrics(MetricsRegistry* registry) const;
+
+  /// Approximate bytes held by memoized prefix bitmaps.
+  uint64_t MemoryBytes() const;
 
   /// Drops every memoized prefix. Within one mining run retained entries
   /// keep paying off (contingency tables re-query every subset, so short
@@ -219,10 +223,19 @@ class CachedCountProvider : public CountProvider {
   /// Intersection bitmap of `prefix`, memoized when the cache has room;
   /// otherwise computed into `*scratch`. The returned pointer is either a
   /// cache entry (stable until ClearCache), an item bitmap, or `scratch`.
-  const Bitmap* PrefixBitmapInto(const Itemset& prefix, Bitmap* scratch) const;
+  /// `top_level_hit` (optional) reports whether this arrival found the
+  /// prefix already claimed — the hit/miss classification the latency
+  /// histograms ("cache.hit_ns" / "cache.miss_ns") are keyed on.
+  const Bitmap* PrefixBitmapInto(const Itemset& prefix, Bitmap* scratch,
+                                 bool* top_level_hit = nullptr) const;
 
   const VerticalIndex& index_;
   const size_t max_entries_;
+  /// Latency histograms for size>=3 queries, split by whether the queried
+  /// prefix was already cached. Resolved from MetricsRegistry::Global() at
+  /// construction; no-ops when metrics are compiled out.
+  Histogram* hit_ns_;
+  Histogram* miss_ns_;
   mutable std::mutex mu_;
   mutable std::unordered_map<Itemset, std::shared_ptr<Entry>, ItemsetHasher>
       cache_;

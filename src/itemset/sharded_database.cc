@@ -1,11 +1,15 @@
 #include "itemset/sharded_database.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace corrmine {
 
@@ -79,11 +83,28 @@ TransactionDatabase ShardedTransactionDatabase::Flatten() const {
 
 ShardedCountProvider::ShardedCountProvider(
     const ShardedTransactionDatabase& db)
-    : num_baskets_(db.num_baskets()) {
+    : num_baskets_(db.num_baskets()),
+      shard_batch_ns_(
+          MetricsRegistry::Global().GetHistogram("sharded.shard_batch_ns")),
+      batch_imbalance_(MetricsRegistry::Global().GetGauge(
+          "sharded.batch_imbalance_x1000")) {
   indexes_.reserve(db.num_shards());
   for (size_t k = 0; k < db.num_shards(); ++k) {
     indexes_.emplace_back(db.shard(k));
   }
+  MetricsRegistry::Global().GetGauge("sharded.shards")
+      ->Set(static_cast<int64_t>(indexes_.size()));
+  MetricsRegistry::Global().GetGauge("mem.shard_index_bytes")
+      ->Set(static_cast<int64_t>(IndexMemoryBytes()));
+}
+
+uint64_t ShardedCountProvider::IndexMemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const VerticalIndex& index : indexes_) {
+    bytes += static_cast<uint64_t>(index.num_items()) *
+             index.words_per_bitmap() * sizeof(uint64_t);
+  }
+  return bytes;
 }
 
 uint64_t ShardedCountProvider::CountAllPresentImpl(const Itemset& s) const {
@@ -103,6 +124,11 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
       (num_queries + kShardBatchBlock - 1) / kShardBatchBlock;
   std::vector<std::vector<uint64_t>> partial(
       num_shards, std::vector<uint64_t>(num_queries, 0));
+  // Per-shard wall time across this batch's (shard, block) tasks. Workers
+  // on different shards add to different slots; same-shard blocks may race
+  // benignly on the relaxed add. Compiled out with the metrics layer.
+  std::vector<std::atomic<uint64_t>> shard_ns(kMetricsEnabled ? num_shards
+                                                              : 0);
   Status status = ParallelFor(
       pool, num_shards * blocks, 1, [&](size_t begin, size_t end) -> Status {
         for (size_t task = begin; task < end; ++task) {
@@ -113,13 +139,47 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
               std::min(q_begin + kShardBatchBlock, num_queries);
           const VerticalIndex& index = indexes_[shard];
           std::vector<uint64_t>& mine = partial[shard];
-          for (size_t q = q_begin; q < q_end; ++q) {
-            mine[q] = index.CountAllPresent(queries[q]);
+          TraceScope block_span("sharded.count_block", -1,
+                                static_cast<int64_t>(shard),
+                                static_cast<int64_t>(q_end - q_begin));
+          if constexpr (kMetricsEnabled) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (size_t q = q_begin; q < q_end; ++q) {
+              mine[q] = index.CountAllPresent(queries[q]);
+            }
+            shard_ns[shard].fetch_add(
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()),
+                std::memory_order_relaxed);
+          } else {
+            for (size_t q = q_begin; q < q_end; ++q) {
+              mine[q] = index.CountAllPresent(queries[q]);
+            }
           }
         }
         return Status::OK();
       });
   CORRMINE_CHECK(status.ok()) << status.ToString();
+  if constexpr (kMetricsEnabled) {
+    // Shard-imbalance gauge: max/mean of the per-shard batch times, x1000.
+    // 1000 means perfectly even; a hot shard pushes it up proportionally.
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      const uint64_t ns = shard_ns[shard].load(std::memory_order_relaxed);
+      shard_batch_ns_->Observe(ns);
+      total_ns += ns;
+      max_ns = std::max(max_ns, ns);
+    }
+    if (total_ns > 0) {
+      const double mean =
+          static_cast<double>(total_ns) / static_cast<double>(num_shards);
+      batch_imbalance_->Set(
+          static_cast<int64_t>(1000.0 * static_cast<double>(max_ns) / mean));
+    }
+  }
   // Exact integer fan-in in shard order: counts are sums of per-shard
   // counts, identical for any K and any schedule.
   for (size_t q = 0; q < num_queries; ++q) counts[q] = 0;

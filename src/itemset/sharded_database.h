@@ -10,6 +10,9 @@
 
 namespace corrmine {
 
+class Gauge;
+class Histogram;
+
 /// Horizontal partition of the paper's basket data into K shards: basket j
 /// (in arrival order) lives in shard j % K at row j / K. Round-robin
 /// placement keeps shards within one basket of each other in size and makes
@@ -80,6 +83,12 @@ class ShardedTransactionDatabase {
 /// fan out over (shard × query-block) tasks on the pool and merge the
 /// per-shard partials in shard order, so results are deterministic and
 /// identical for any K and any pool (the K-invariance contract above).
+///
+/// Run-health telemetry (DESIGN.md §8): each batch accumulates per-shard
+/// wall time into histogram "sharded.shard_batch_ns" and publishes gauge
+/// "sharded.batch_imbalance_x1000" = 1000 * max/mean of the per-shard batch
+/// times — the skew signal the flat counters can't see. Per-(shard, block)
+/// trace spans land in the worker threads' rings when tracing is active.
 class ShardedCountProvider : public CountProvider {
  public:
   /// Builds the per-shard indexes eagerly; `db` must outlive this provider
@@ -92,6 +101,10 @@ class ShardedCountProvider : public CountProvider {
   size_t num_shards() const { return indexes_.size(); }
   const VerticalIndex& shard_index(size_t i) const { return indexes_[i]; }
 
+  /// Bytes held by the per-shard vertical indexes (bitmap words only — the
+  /// dominant term). Feeds the "mem.shard_index_bytes" gauge.
+  uint64_t IndexMemoryBytes() const;
+
  protected:
   uint64_t CountAllPresentImpl(const Itemset& s) const override;
   void CountAllPresentBatchImpl(std::span<const Itemset> queries,
@@ -101,6 +114,10 @@ class ShardedCountProvider : public CountProvider {
  private:
   std::vector<VerticalIndex> indexes_;
   uint64_t num_baskets_;
+  // Telemetry handles, resolved once from MetricsRegistry::Global() so the
+  // batch fan-out pays relaxed atomics, not registry lookups.
+  Histogram* shard_batch_ns_;
+  Gauge* batch_imbalance_;
 };
 
 }  // namespace corrmine

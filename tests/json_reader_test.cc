@@ -1,0 +1,97 @@
+// The minimal JSON reader (io/json_reader.h) that statsdiff and the trace
+// validator are built on. The load-bearing property beyond RFC basics: a
+// number keeps its raw literal text, so 64-bit counters can be compared
+// exactly instead of through a 53-bit double mantissa.
+
+#include "io/json_reader.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace corrmine {
+namespace io {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_EQ(ParseJson("null")->type, JsonValue::Type::kNull);
+  EXPECT_TRUE(ParseJson("true")->bool_value);
+  EXPECT_FALSE(ParseJson("false")->bool_value);
+  auto number = ParseJson("-12.5e2");
+  ASSERT_TRUE(number.ok());
+  EXPECT_TRUE(number->is_number());
+  EXPECT_DOUBLE_EQ(number->number_value, -1250.0);
+  auto text = ParseJson("\"hi\\n\\\"there\\\"\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->string_value, "hi\n\"there\"");
+}
+
+TEST(JsonReaderTest, NumbersKeepExactLiterals) {
+  // 2^63 - 1 and a neighbor that collides with it in double precision.
+  auto a = ParseJson("9223372036854775807");
+  auto b = ParseJson("9223372036854775806");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->literal, "9223372036854775807");
+  EXPECT_EQ(b->literal, "9223372036854775806");
+  EXPECT_NE(a->literal, b->literal);
+  // The doubles alias — which is exactly why the literal matters.
+  EXPECT_EQ(a->number_value, b->number_value);
+}
+
+TEST(JsonReaderTest, ParsesNestedStructures) {
+  auto doc = ParseJson(
+      R"({"schema":"corrmine-stats-v1","levels":[{"level":2,"cand":7}],)"
+      R"("cache":null,"nested":{"deep":[1,2,3]}})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* schema = doc->Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string_value, "corrmine-stats-v1");
+  const JsonValue* levels = doc->Find("levels");
+  ASSERT_NE(levels, nullptr);
+  ASSERT_TRUE(levels->is_array());
+  ASSERT_EQ(levels->array.size(), 1u);
+  const JsonValue* cand = levels->array[0].Find("cand");
+  ASSERT_NE(cand, nullptr);
+  EXPECT_EQ(cand->literal, "7");
+  EXPECT_EQ(doc->Find("cache")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, DecodesUnicodeEscapes) {
+  auto text = ParseJson("\"\\u0041\\u00e9\\u20ac\"");  // A, é, €
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->string_value, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(ParseJson("-").ok());
+}
+
+TEST(JsonReaderTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string shallow(32, '[');
+  shallow += std::string(32, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonReaderTest, WhitespaceIsInsignificant) {
+  auto doc = ParseJson(" {\n \"a\" : [ 1 , 2 ] \t} \n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("a")->array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace corrmine

@@ -100,3 +100,36 @@ if(NOT cached_core STREQUAL sharded_core)
           "run and the sharded matrix:\n  cached:  ${cached_core}\n"
           "  sharded: ${sharded_core}")
 endif()
+
+# Tracing must be a pure observer: re-run the matrix with --trace-out and
+# require the deterministic line to stay byte-identical to the untraced
+# reference, with the trace file actually written. (The trace itself is
+# schema-validated by the statsdiff_cli test; here the contract is
+# "recording changed nothing".)
+foreach(shards 1 4)
+  foreach(threads 1 8)
+    set(tag traced_s${shards}_t${threads})
+    execute_process(
+      COMMAND ${CLI} mine ${WORKDIR}/stats_fixture.txt
+              --support-count 100 --cell-fraction 0.26 --max-level 3
+              --shards ${shards} --threads ${threads}
+              --stats-json ${WORKDIR}/stats_${tag}.json
+              --trace-out ${WORKDIR}/trace_${tag}.json
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "traced mine --shards ${shards} "
+                          "--threads ${threads} failed: ${rc}")
+    endif()
+    if(NOT EXISTS ${WORKDIR}/trace_${tag}.json)
+      message(FATAL_ERROR "--trace-out wrote no file for ${tag}")
+    endif()
+    file(STRINGS ${WORKDIR}/stats_${tag}.json line
+         REGEX "\"deterministic\"")
+    if(NOT line STREQUAL reference)
+      message(FATAL_ERROR
+              "tracing perturbed deterministic stats at shards=${shards} "
+              "threads=${threads}:\n  untraced: ${reference}\n"
+              "  traced:   ${line}")
+    endif()
+  endforeach()
+endforeach()

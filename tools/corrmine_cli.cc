@@ -22,6 +22,7 @@
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/interest.h"
 #include "core/report.h"
 #include "core/session.h"
@@ -70,6 +71,17 @@ constexpr char kUsage[] =
     "                             section identical for any --threads, and\n"
     "                             a \"runtime\" metrics snapshot)\n"
     "      --stats                print the metrics report to stderr\n"
+    "      --trace-out FILE       record execution trace events (span\n"
+    "                             begin/end per run, level, shard batch,\n"
+    "                             pool task) and write them as Chrome\n"
+    "                             Trace Event Format JSON — open in\n"
+    "                             Perfetto (ui.perfetto.dev) or\n"
+    "                             chrome://tracing. Mined output and the\n"
+    "                             deterministic stats section are\n"
+    "                             byte-identical with or without tracing\n"
+    "      --progress             heartbeat to stderr after each completed\n"
+    "                             lattice level (candidates, frontier,\n"
+    "                             significant total, elapsed seconds)\n"
     "      --report               render the analyst report instead of the\n"
     "                             raw rule table (honors --fdr)\n"
     "      --fdr Q                Benjamini-Hochberg FDR filter level\n"
@@ -106,10 +118,38 @@ StatusOr<SessionOptions> SessionOptionsFromFlags(const FlagParser& flags) {
   return options;
 }
 
+/// Starts the tracer when --trace-out was given; the returned guard stops
+/// tracing and writes the Chrome-format file when it leaves scope (so the
+/// trace is flushed even on early error returns). Under CORRMINE_METRICS=OFF
+/// the tracer never activates and the file holds a valid empty trace.
+class TraceOutGuard {
+ public:
+  explicit TraceOutGuard(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) Tracer::Global().Start();
+  }
+  ~TraceOutGuard() {
+    if (path_.empty()) return;
+    Tracer& tracer = Tracer::Global();
+    tracer.Stop();
+    Status status = tracer.WriteChromeJson(path_);
+    if (status.ok()) {
+      std::cout << "trace written to " << path_ << "\n";
+    } else {
+      std::cerr << "trace write failed: " << status.ToString() << "\n";
+    }
+  }
+  TraceOutGuard(const TraceOutGuard&) = delete;
+  TraceOutGuard& operator=(const TraceOutGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
 Status RunMine(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     return Status::InvalidArgument("mine: missing transaction file");
   }
+  TraceOutGuard trace_guard(flags.GetString("trace-out", ""));
   CORRMINE_ASSIGN_OR_RETURN(SessionOptions session_options,
                             SessionOptionsFromFlags(flags));
   CORRMINE_ASSIGN_OR_RETURN(
@@ -131,6 +171,16 @@ Status RunMine(const FlagParser& flags) {
   options.max_level = static_cast<int>(max_level);
   CORRMINE_ASSIGN_OR_RETURN(options.chi2.min_expected_cell,
                             flags.GetDouble("min-expected", 0.0));
+  if (flags.GetBool("progress", false)) {
+    // Heartbeat on the coordinating thread after each completed level; goes
+    // to stderr so piped stdout (tables, reports) stays clean.
+    options.progress = [](const MinerProgress& p) {
+      std::cerr << "[progress] level " << p.level << ": candidates "
+                << p.candidates << ", frontier " << p.frontier
+                << ", significant " << p.significant_total << ", elapsed "
+                << io::FormatDouble(p.elapsed_seconds, 2) << "s\n";
+    };
+  }
 
   MiningResult result;
   std::string algo = flags.GetString("algo", "levelwise");
