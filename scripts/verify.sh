@@ -10,6 +10,7 @@
 #   SKIP_TSAN=1 scripts/verify.sh      # skip the TSan stage
 #   SKIP_METRICS_OFF=1 scripts/verify.sh  # skip the metrics-off stage
 #   SKIP_STATSDIFF=1 scripts/verify.sh    # skip the statsdiff/trace stages
+#   SKIP_BENCH=1 scripts/verify.sh        # skip the kernel bench stage
 #
 # Test slices by ctest label (tier-1 build):
 #   (cd build && ctest -L unit)          # fast unit suites
@@ -55,11 +56,37 @@ if [[ "${SKIP_STATSDIFF:-0}" != "1" ]]; then
     done
   done
 
+  echo "== kernel sentinel: forced-scalar vs dispatched counting =="
+  # A SIMD kernel may only change throughput, never an answer: the
+  # deterministic section and the kernel.* logical-word counters must be
+  # byte-identical between a forced-scalar run and whatever the CPU
+  # dispatcher picked. (kernel.* counters are shard-dependent, so this
+  # stage pins --shards and stays out of the matrix above.)
+  build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
+    --support-count 100 --cell-fraction 0.26 --max-level 3 \
+    --threads 8 --shards 4 --kernel scalar \
+    --stats-json "$SDIR/stats_kernel_scalar.json" >/dev/null
+  build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
+    --support-count 100 --cell-fraction 0.26 --max-level 3 \
+    --threads 8 --shards 4 \
+    --stats-json "$SDIR/stats_kernel_auto.json" >/dev/null
+  build/tools/statsdiff "$SDIR/stats_kernel_scalar.json" \
+    "$SDIR/stats_kernel_auto.json" \
+    --counters miner.,count_provider.,kernel.
+
   echo "== trace stage: record + validate a Chrome trace =="
   build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
     --support-count 100 --cell-fraction 0.26 --max-level 3 \
     --threads 8 --shards 4 --trace-out "$SDIR/run.trace.json" >/dev/null
   build/tools/statsdiff --validate-trace "$SDIR/run.trace.json"
+fi
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  echo "== bench stage: kernel throughput =="
+  # The SIMD layer's reason to exist: bench_kernels CHECK-fails if any
+  # kernel's counts diverge, and its table shows the measured speedups.
+  cmake --build build -j --target bench_kernels >/dev/null
+  build/bench/bench_kernels
 fi
 
 if [[ "${SKIP_METRICS_OFF:-0}" != "1" ]]; then
@@ -74,10 +101,11 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DCORRMINE_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j \
     --target thread_pool_test miner_test batch_tables_test \
-    count_provider_cache_test sharded_database_test trace_test >/dev/null
+    count_provider_cache_test sharded_database_test trace_test \
+    kernel_differential_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test)$')
 fi
 
 echo "verify: OK"

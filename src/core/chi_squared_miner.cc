@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "hash/itemset_set.h"
+#include "itemset/kernels.h"
 
 namespace corrmine {
 
@@ -191,6 +192,11 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
   PhaseTimer run_timer(&registry, "miner.mine");
   TraceScope run_span("miner.mine", -1, -1,
                       static_cast<int64_t>(num_items));
+  // Which counting kernel served this run, as a trace marker (value =
+  // KernelIsa). Deliberately kept out of the deterministic stats — the
+  // kernel is machine-dependent while the counts it produces are not.
+  TraceInstant("kernel.selected", -1, -1,
+               static_cast<int64_t>(ActiveKernels().isa));
   // The progress heartbeat needs wall clock even when the metrics layer is
   // compiled out, so it reads std::chrono directly — but only when a
   // callback is installed.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/metrics.h"
+#include "itemset/kernels.h"
 
 namespace corrmine {
 
@@ -51,6 +52,12 @@ std::string RenderStatsJson(const MiningResult& result,
   out << "  \"schema\": \"corrmine-stats-v1\",\n";
   out << "  \"deterministic\": "
       << RenderDeterministicStats(result, cache_stats) << ",\n";
+  // Which counting kernel served the run, and what was requested ("auto"
+  // unless forced via --kernel / CORRMINE_KERNEL). Machine-dependent by
+  // nature, so it lives OUTSIDE the deterministic section — statsdiff
+  // rejects any document where kernel info leaks into it.
+  out << "  \"kernel\": {\"name\": \"" << ActiveKernelName()
+      << "\", \"requested\": \"" << RequestedKernelName() << "\"},\n";
   out << "  \"runtime\": " << registry.ToJson() << "\n";
   out << "}";
   return out.str();

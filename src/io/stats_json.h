@@ -23,6 +23,12 @@ class MetricsRegistry;
 ///  - "runtime": a MetricsRegistry snapshot (timings, pool activity,
 ///    per-process counter totals). Informative, never stable across runs.
 ///
+/// A small top-level "kernel" object ({"name","requested"}) records which
+/// counting kernel (DESIGN.md §9) served the run. It is machine-dependent
+/// and therefore deliberately outside "deterministic"; statsdiff treats it
+/// as report-only and rejects documents where kernel info appears inside
+/// the deterministic section.
+///
 /// The deterministic object is rendered onto a single line so a script (or
 /// a CMake test) can `grep '"deterministic"'` two reports and compare with
 /// string equality.

@@ -1,51 +1,69 @@
 #include "itemset/bitmap.h"
 
-#include <bit>
+#include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "itemset/kernels.h"
 
 namespace corrmine {
 
 uint64_t Bitmap::Count() const {
-  uint64_t total = 0;
-  for (uint64_t w : words_) total += std::popcount(w);
-  return total;
+  return ActiveKernels().popcount(words_.data(), words_.size());
 }
 
 uint64_t Bitmap::AndCount(const Bitmap& other) const {
   CORRMINE_CHECK(num_bits_ == other.num_bits_)
       << "AndCount on differently-sized bitmaps";
-  uint64_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += std::popcount(words_[i] & other.words_[i]);
-  }
-  return total;
+  return ActiveKernels().and_count(words_.data(), other.words_.data(),
+                                   words_.size());
 }
 
 void Bitmap::AndWith(const Bitmap& other) {
   CORRMINE_CHECK(num_bits_ == other.num_bits_)
       << "AndWith on differently-sized bitmaps";
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-  }
+  ActiveKernels().and_inplace(words_.data(), other.words_.data(),
+                              words_.size());
+}
+
+uint64_t Bitmap::AndCountInto(const Bitmap& a, const Bitmap& b, Bitmap* dst) {
+  CORRMINE_CHECK(a.num_bits_ == b.num_bits_)
+      << "AndCountInto on differently-sized bitmaps";
+  if (dst->num_bits_ != a.num_bits_) *dst = Bitmap(a.num_bits_);
+  return ActiveKernels().and_count_into(dst->words_.data(), a.words_.data(),
+                                        b.words_.data(), a.words_.size());
 }
 
 uint64_t MultiAndCount(const std::vector<const Bitmap*>& bitmaps) {
   if (bitmaps.empty()) return 0;
-  size_t num_words = bitmaps[0]->words().size();
+  const size_t num_words = bitmaps[0]->words().size();
   for (const Bitmap* b : bitmaps) {
     CORRMINE_CHECK(b->words().size() == num_words)
         << "MultiAndCount on differently-sized bitmaps";
   }
-  uint64_t total = 0;
-  for (size_t w = 0; w < num_words; ++w) {
-    uint64_t acc = bitmaps[0]->words()[w];
-    for (size_t i = 1; i < bitmaps.size() && acc != 0; ++i) {
-      acc &= bitmaps[i]->words()[w];
-    }
-    total += std::popcount(acc);
+  const CountingKernels& kernels = ActiveKernels();
+  if (bitmaps.size() == 1) {
+    return kernels.popcount(bitmaps[0]->words().data(), num_words);
   }
-  return total;
+  // Lead with the sparsest operand: the kernels stop ANDing a word/chunk
+  // once its accumulator is all-zero, and a sparse leader zeroes chunks
+  // soonest. The ordering pass is one popcount per operand — cheap next to
+  // the (k-1)-way AND stream it prunes — and a stable sort keeps the
+  // operand order (hence the execution trace) deterministic on ties.
+  std::vector<std::pair<uint64_t, const uint64_t*>> by_density;
+  by_density.reserve(bitmaps.size());
+  for (const Bitmap* b : bitmaps) {
+    by_density.emplace_back(kernels.popcount(b->words().data(), num_words),
+                            b->words().data());
+  }
+  std::stable_sort(by_density.begin(), by_density.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<const uint64_t*> ops;
+  ops.reserve(by_density.size());
+  for (const auto& [count, words] : by_density) ops.push_back(words);
+  return kernels.multi_and_count(ops.data(), ops.size(), num_words);
 }
 
 }  // namespace corrmine

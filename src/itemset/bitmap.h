@@ -34,6 +34,11 @@ class Bitmap {
   /// In-place intersection; the bitmaps must be the same size.
   void AndWith(const Bitmap& other);
 
+  /// Fused intersection: *dst = a AND b, returning popcount(*dst) from the
+  /// same pass over the words (one load stream instead of AND-then-Count).
+  /// `dst` is resized to match; a and b must be the same size.
+  static uint64_t AndCountInto(const Bitmap& a, const Bitmap& b, Bitmap* dst);
+
   /// Raw word access for fused multi-way kernels.
   const std::vector<uint64_t>& words() const { return words_; }
 
@@ -47,7 +52,9 @@ class Bitmap {
 };
 
 /// Popcount of the AND of several bitmaps in one pass (no temporaries).
-/// All bitmaps must be the same size; an empty list yields 0.
+/// All bitmaps must be the same size; an empty list yields 0. Operands are
+/// processed sparsest-first so the kernels' all-zero early exit fires as
+/// soon as possible (AND is commutative, so the count is unchanged).
 uint64_t MultiAndCount(const std::vector<const Bitmap*>& bitmaps);
 
 }  // namespace corrmine

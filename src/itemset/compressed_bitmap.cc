@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "itemset/kernels.h"
 #include "itemset/transaction_database.h"
 
 namespace corrmine {
@@ -73,11 +74,11 @@ bool CompressedBitmap::Test(uint32_t row) const {
 uint64_t CompressedBitmap::AndCountContainers(const Container& a,
                                               const Container& b) {
   if (a.dense && b.dense) {
-    uint64_t total = 0;
-    for (size_t w = 0; w < kWordsPerDense; ++w) {
-      total += std::popcount(a.words[w] & b.words[w]);
-    }
-    return total;
+    // 1024-word bitset blocks: exactly the shape the dispatched
+    // AND+popcount kernels are built for. The sparse paths below stay
+    // scalar — they are index merges, not word streams.
+    return ActiveKernels().and_count(a.words.data(), b.words.data(),
+                                     kWordsPerDense);
   }
   if (a.dense != b.dense) {
     const Container& dense = a.dense ? a : b;

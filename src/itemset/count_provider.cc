@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "itemset/kernels.h"
 
 namespace corrmine {
 
@@ -20,6 +21,12 @@ constexpr size_t kBatchQueryGrain = 16;
 
 /// Basket-axis chunk size for the scan provider's shared pass.
 constexpr size_t kScanBasketGrain = 1024;
+
+/// Prefix-group chunk size for the blocked bitmap batch: each group is a
+/// full streaming pass over its operand bitmaps, so small chunks keep the
+/// pool fed without drowning it in tiny tasks (the singleton batch at the
+/// start of a run produces one near-trivial group per item).
+constexpr size_t kBlockedGroupGrain = 8;
 
 }  // namespace
 
@@ -80,39 +87,49 @@ void ScanCountProvider::CountAllPresentBatchImpl(
   const size_t num_chunks =
       num_baskets == 0 ? 0 : (num_baskets + kScanBasketGrain - 1) /
                                  kScanBasketGrain;
-  std::vector<std::vector<uint64_t>> partial(
-      num_chunks, std::vector<uint64_t>(queries.size(), 0));
+  for (size_t q = 0; q < queries.size(); ++q) counts[q] = 0;
+  // One scratch partial-count buffer per worker thread, reused across the
+  // chunk ranges that thread executes *and* across batch calls (it used to
+  // be a fresh num_chunks x queries matrix on every call). Each range
+  // accumulates privately, then folds into `counts` under the merge lock;
+  // integer sums commute, so the result is identical for any schedule.
+  std::mutex merge_mu;
   Status status = ParallelFor(
       pool, num_chunks, 1, [&](size_t begin, size_t end) -> Status {
+        static thread_local std::vector<uint64_t> scratch;
+        scratch.assign(queries.size(), 0);
         for (size_t chunk = begin; chunk < end; ++chunk) {
           const size_t row_begin = chunk * kScanBasketGrain;
           const size_t row_end =
               std::min(row_begin + kScanBasketGrain, num_baskets);
-          std::vector<uint64_t>& mine = partial[chunk];
           for (size_t row = row_begin; row < row_end; ++row) {
             for (size_t q = 0; q < queries.size(); ++q) {
-              if (db_.BasketContainsAll(row, queries[q])) ++mine[q];
+              if (db_.BasketContainsAll(row, queries[q])) ++scratch[q];
             }
           }
         }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (size_t q = 0; q < queries.size(); ++q) counts[q] += scratch[q];
         return Status::OK();
       });
   CORRMINE_CHECK(status.ok()) << status.ToString();
-  for (size_t q = 0; q < queries.size(); ++q) counts[q] = 0;
-  for (const std::vector<uint64_t>& mine : partial) {
-    for (size_t q = 0; q < queries.size(); ++q) counts[q] += mine[q];
-  }
 }
 
 void BitmapCountProvider::CountAllPresentBatchImpl(
     std::span<const Itemset> queries, std::span<uint64_t> counts,
     ThreadPool* pool) const {
+  // Prefix-blocked execution (DESIGN.md §9): group the level's queries by
+  // shared (k-1)-prefix, materialize each prefix intersection tile by tile,
+  // and stream every extension column against the hot tile — instead of
+  // re-walking full bitmaps once per query. Parallel over groups; every
+  // query writes its own slot, so any schedule is byte-identical.
+  BlockedCountPlan plan = BlockedCountPlan::Build(queries);
   Status status = ParallelFor(
-      pool, queries.size(), kBatchQueryGrain,
+      pool, plan.groups.size(), kBlockedGroupGrain,
       [&](size_t begin, size_t end) -> Status {
-        for (size_t i = begin; i < end; ++i) {
-          counts[i] = index_.CountAllPresent(queries[i]);
-        }
+        BlockedExecStats stats;
+        ExecuteBlockedGroups(plan, begin, end, index_, counts, &stats);
+        BumpKernelCounters(stats);
         return Status::OK();
       });
   CORRMINE_CHECK(status.ok()) << status.ToString();

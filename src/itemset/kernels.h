@@ -1,0 +1,168 @@
+#ifndef CORRMINE_ITEMSET_KERNELS_H_
+#define CORRMINE_ITEMSET_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "itemset/itemset.h"
+
+namespace corrmine {
+
+class VerticalIndex;
+
+/// SIMD-dispatched counting kernels (DESIGN.md §9).
+///
+/// Every chi-squared verdict bottoms out in AND+popcount chains over
+/// vertical bitmaps, so the word loops behind Bitmap / CompressedBitmap /
+/// the count providers are routed through one table of function pointers,
+/// selected once per process: the best ISA the CPU supports (AVX-512 with
+/// VPOPCNTDQ > AVX2 > NEON > portable std::popcount), overridable with the
+/// CORRMINE_KERNEL environment variable or the CLI --kernel flag.
+///
+/// Contract: every kernel computes the exact same integers — a kernel
+/// changes cost, never answers — so the deterministic stats section and all
+/// mined output are byte-identical across kernels (enforced by
+/// kernel_differential_test and the verify.sh scalar-vs-dispatch stage).
+/// All word buffers are plain std::vector<uint64_t> storage; kernels use
+/// unaligned loads and impose no alignment or padding requirements. Operand
+/// arrays may alias only where a scalar in-place loop would be well defined
+/// (and_inplace allows dst == src; and_count_into allows dst == a or b).
+
+enum class KernelIsa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+/// One ISA's implementations. `name` has static storage duration.
+struct CountingKernels {
+  KernelIsa isa;
+  const char* name;
+
+  /// Popcount of words[0..n).
+  uint64_t (*popcount)(const uint64_t* words, size_t n);
+  /// Popcount of (a AND b) over n words, nothing materialized.
+  uint64_t (*and_count)(const uint64_t* a, const uint64_t* b, size_t n);
+  /// Popcount of (ops[0] AND ... AND ops[k-1]) over n words; requires
+  /// k >= 1. Implementations may skip work once a chunk's accumulator is
+  /// all-zero (callers order operands sparsest-first to exploit this).
+  uint64_t (*multi_and_count)(const uint64_t* const* ops, size_t k,
+                              size_t n);
+  /// dst &= src over n words.
+  void (*and_inplace)(uint64_t* dst, const uint64_t* src, size_t n);
+  /// dst = a AND b over n words; returns popcount(dst) fused in one pass.
+  uint64_t (*and_count_into)(uint64_t* dst, const uint64_t* a,
+                             const uint64_t* b, size_t n);
+  /// dst = ops[0] AND ... AND ops[k-1] over n words; requires k >= 2 and
+  /// dst distinct from every operand.
+  void (*and_block)(uint64_t* dst, const uint64_t* const* ops, size_t k,
+                    size_t n);
+};
+
+/// Per-ISA factories. Each lives in its own translation unit compiled with
+/// exactly that ISA's flags (CMake set_source_files_properties — there is
+/// no global -march); when the toolchain or target can't build the ISA the
+/// factory returns nullptr. A non-null result only proves the code was
+/// compiled; whether this CPU can run it is the dispatcher's check.
+const CountingKernels* ScalarKernels();
+const CountingKernels* Avx2Kernels();
+const CountingKernels* Avx512Kernels();
+const CountingKernels* NeonKernels();
+
+/// The process-wide active kernel table. First use resolves
+/// CORRMINE_KERNEL (unknown or unsupported values warn on stderr and fall
+/// back to auto dispatch); afterwards this is one atomic load, cheap
+/// enough for every Bitmap call site.
+const CountingKernels& ActiveKernels();
+
+/// Name of the active kernel ("scalar", "avx2", "avx512", "neon").
+const char* ActiveKernelName();
+
+/// What was asked for: "auto" unless a specific kernel was forced via
+/// SetActiveKernel / CORRMINE_KERNEL. Reported in the stats JSON's
+/// non-deterministic "kernel" section.
+std::string RequestedKernelName();
+
+/// Forces a kernel by name; "" or "auto" restores CPU dispatch. Errors on
+/// names that are unknown, not compiled in, or unsupported by this CPU
+/// (listing what is available). Not safe to call concurrently with
+/// counting — set it up front (the CLI does so before opening a session).
+Status SetActiveKernel(std::string_view name);
+
+/// Kernels this process can actually run (compiled in and CPU-supported),
+/// scalar first then ascending ISA capability. Never empty.
+std::vector<const CountingKernels*> AvailableKernels();
+
+/// Comma-joined names of AvailableKernels(), for errors and --help.
+std::string AvailableKernelNames();
+
+/// Words per tile of the prefix-blocked executor: 1024 words = 8 KiB, so a
+/// materialized prefix block plus the extension column stripe it is ANDed
+/// against stay L1-resident while the group streams each word range once.
+inline constexpr size_t kKernelTileWords = 1024;
+
+/// The prefix-blocked execution plan for one level batch. The level-wise
+/// miner's deduplicated queries arrive as runs sharing a (k-1)-prefix
+/// (sibling candidates differ in their last item only), so instead of
+/// re-walking full bitmaps per query the executor groups queries by that
+/// prefix, materializes the prefix intersection one tile at a time, and
+/// streams every extension item's column against the hot tile.
+struct BlockedCountPlan {
+  struct Group {
+    /// Shared prefix — the AND operands (size >= 1). A size-1 prefix
+    /// aliases the item column directly; nothing is copied.
+    Itemset prefix;
+    /// Query slots answered by popcount(prefix) itself (duplicate queries
+    /// each keep their own slot; one popcount serves them all).
+    std::vector<uint32_t> self_queries;
+    /// Last items of the size-(|prefix|+1) queries in this group, and the
+    /// answer slot of each.
+    std::vector<ItemId> ext_items;
+    std::vector<uint32_t> ext_queries;
+  };
+
+  std::vector<Group> groups;
+  size_t num_queries = 0;
+
+  /// Groups `queries` by their (size-1)-prefix in first-touch order (so the
+  /// plan — and everything downstream — is deterministic for a given query
+  /// stream). Queries must be non-empty itemsets; duplicates are allowed
+  /// and each slot still gets its answer.
+  static BlockedCountPlan Build(std::span<const Itemset> queries);
+};
+
+/// Work accounting for one ExecuteBlockedGroups call, in *logical* 64-bit
+/// words — identical for every kernel ISA, so the "kernel." counters these
+/// feed diff clean across scalar vs dispatched runs.
+struct BlockedExecStats {
+  uint64_t groups = 0;
+  uint64_t queries = 0;
+  /// Words AND+popcounted against extension columns.
+  uint64_t and_words = 0;
+  /// Words ANDed while materializing prefix tiles ((p-1) per word).
+  uint64_t block_and_words = 0;
+  /// Words popcounted for self (prefix == query) answers.
+  uint64_t popcount_words = 0;
+};
+
+/// Executes plan.groups[group_begin..group_end) against `index`, writing
+/// each answered query's count into `counts` (indexed by query position;
+/// counts.size() == plan.num_queries). Tiles through kKernelTileWords-word
+/// blocks with a thread-local scratch tile. Results are exact integers —
+/// identical for any kernel, tiling, or group partition — so callers may
+/// parallelize over disjoint group ranges freely. `stats` (optional)
+/// accumulates work done.
+void ExecuteBlockedGroups(const BlockedCountPlan& plan, size_t group_begin,
+                          size_t group_end, const VerticalIndex& index,
+                          std::span<uint64_t> counts,
+                          BlockedExecStats* stats);
+
+/// Adds one execution's accounting to the global "kernel.blocked_groups /
+/// blocked_queries / and_words / block_and_words / popcount_words"
+/// counters. Thread-safe; a no-op under CORRMINE_METRICS=OFF.
+void BumpKernelCounters(const BlockedExecStats& stats);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_ITEMSET_KERNELS_H_

@@ -1,0 +1,141 @@
+// NEON counting kernels for AArch64: 128-bit AND streams counted with
+// VCNT (per-byte popcount) folded up through pairwise widening adds. NEON
+// is architecturally baseline on AArch64, so this TU needs no special
+// compile flags there — the guard below simply excludes non-ARM targets,
+// where the factory reports "not compiled in".
+
+#include <cstddef>
+#include <cstdint>
+
+#include "itemset/kernels.h"
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <bit>
+
+namespace corrmine {
+
+namespace {
+
+constexpr size_t kLaneWords = 2;  // 128 bits.
+
+/// Per-64-bit-lane popcount: byte counts (VCNT) widened pairwise
+/// u8 -> u16 -> u32 -> u64.
+inline uint64x2_t Popcount128(uint64x2_t v) {
+  const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(v));
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes)));
+}
+
+inline uint64_t HorizontalSum(uint64x2_t acc) {
+  return vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+}
+
+uint64_t NeonPopcount(const uint64_t* words, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + kLaneWords <= n; i += kLaneWords) {
+    acc = vaddq_u64(acc, Popcount128(vld1q_u64(words + i)));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+uint64_t NeonAndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + kLaneWords <= n; i += kLaneWords) {
+    const uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    acc = vaddq_u64(acc, Popcount128(v));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
+
+uint64_t NeonMultiAndCount(const uint64_t* const* ops, size_t k, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + kLaneWords <= n; i += kLaneWords) {
+    uint64x2_t v = vld1q_u64(ops[0] + i);
+    for (size_t j = 1; j < k; ++j) {
+      if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) == 0) break;
+      v = vandq_u64(v, vld1q_u64(ops[j] + i));
+    }
+    acc = vaddq_u64(acc, Popcount128(v));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    uint64_t w = ops[0][i];
+    for (size_t j = 1; j < k && w != 0; ++j) w &= ops[j][i];
+    total += std::popcount(w);
+  }
+  return total;
+}
+
+void NeonAndInplace(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + kLaneWords <= n; i += kLaneWords) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+uint64_t NeonAndCountInto(uint64_t* dst, const uint64_t* a,
+                          const uint64_t* b, size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  size_t i = 0;
+  for (; i + kLaneWords <= n; i += kLaneWords) {
+    const uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    vst1q_u64(dst + i, v);
+    acc = vaddq_u64(acc, Popcount128(v));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    const uint64_t w = a[i] & b[i];
+    dst[i] = w;
+    total += std::popcount(w);
+  }
+  return total;
+}
+
+void NeonAndBlock(uint64_t* dst, const uint64_t* const* ops, size_t k,
+                  size_t n) {
+  size_t i = 0;
+  for (; i + kLaneWords <= n; i += kLaneWords) {
+    uint64x2_t v = vandq_u64(vld1q_u64(ops[0] + i), vld1q_u64(ops[1] + i));
+    for (size_t j = 2; j < k; ++j) {
+      v = vandq_u64(v, vld1q_u64(ops[j] + i));
+    }
+    vst1q_u64(dst + i, v);
+  }
+  for (; i < n; ++i) {
+    uint64_t w = ops[0][i] & ops[1][i];
+    for (size_t j = 2; j < k; ++j) w &= ops[j][i];
+    dst[i] = w;
+  }
+}
+
+constexpr CountingKernels kNeonKernels = {
+    KernelIsa::kNeon, "neon",           NeonPopcount,
+    NeonAndCount,     NeonMultiAndCount, NeonAndInplace,
+    NeonAndCountInto, NeonAndBlock,
+};
+
+}  // namespace
+
+const CountingKernels* NeonKernels() { return &kNeonKernels; }
+
+}  // namespace corrmine
+
+#else  // not an ARM target
+
+namespace corrmine {
+
+const CountingKernels* NeonKernels() { return nullptr; }
+
+}  // namespace corrmine
+
+#endif  // ARM

@@ -10,15 +10,18 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "itemset/kernels.h"
 
 namespace corrmine {
 
 namespace {
 
-/// Queries per (shard, block) task in a parallel batch. Blocks of the query
-/// axis give the pool work to steal even at small K, while different shards
-/// write to different partial arrays — no two tasks ever share a slot.
-constexpr size_t kShardBatchBlock = 256;
+/// Prefix groups per (shard, block) task in a parallel batch. Blocks of
+/// the group axis give the pool work to steal even at small K, while
+/// different shards write to different partial arrays — no two tasks ever
+/// share a slot. The blocked plan is built once and shared read-only
+/// across every shard (grouping depends only on the query stream).
+constexpr size_t kShardGroupBlock = 64;
 
 }  // namespace
 
@@ -120,8 +123,13 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
     ThreadPool* pool) const {
   const size_t num_queries = queries.size();
   const size_t num_shards = indexes_.size();
+  // Prefix-blocked execution per shard (DESIGN.md §9): the plan is built
+  // once from the query stream and every shard runs the same groups over
+  // its own vertical index, so the per-shard work is K short streaming
+  // passes instead of K full AND chains per query.
+  BlockedCountPlan plan = BlockedCountPlan::Build(queries);
   const size_t blocks =
-      (num_queries + kShardBatchBlock - 1) / kShardBatchBlock;
+      (plan.groups.size() + kShardGroupBlock - 1) / kShardGroupBlock;
   std::vector<std::vector<uint64_t>> partial(
       num_shards, std::vector<uint64_t>(num_queries, 0));
   // Per-shard wall time across this batch's (shard, block) tasks. Workers
@@ -134,19 +142,17 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
         for (size_t task = begin; task < end; ++task) {
           const size_t shard = task / blocks;
           const size_t block = task % blocks;
-          const size_t q_begin = block * kShardBatchBlock;
-          const size_t q_end =
-              std::min(q_begin + kShardBatchBlock, num_queries);
-          const VerticalIndex& index = indexes_[shard];
-          std::vector<uint64_t>& mine = partial[shard];
+          const size_t g_begin = block * kShardGroupBlock;
+          const size_t g_end =
+              std::min(g_begin + kShardGroupBlock, plan.groups.size());
           TraceScope block_span("sharded.count_block", -1,
                                 static_cast<int64_t>(shard),
-                                static_cast<int64_t>(q_end - q_begin));
+                                static_cast<int64_t>(g_end - g_begin));
+          BlockedExecStats exec_stats;
           if constexpr (kMetricsEnabled) {
             const auto t0 = std::chrono::steady_clock::now();
-            for (size_t q = q_begin; q < q_end; ++q) {
-              mine[q] = index.CountAllPresent(queries[q]);
-            }
+            ExecuteBlockedGroups(plan, g_begin, g_end, indexes_[shard],
+                                 partial[shard], &exec_stats);
             shard_ns[shard].fetch_add(
                 static_cast<uint64_t>(
                     std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -154,10 +160,10 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
                         .count()),
                 std::memory_order_relaxed);
           } else {
-            for (size_t q = q_begin; q < q_end; ++q) {
-              mine[q] = index.CountAllPresent(queries[q]);
-            }
+            ExecuteBlockedGroups(plan, g_begin, g_end, indexes_[shard],
+                                 partial[shard], &exec_stats);
           }
+          BumpKernelCounters(exec_stats);
         }
         return Status::OK();
       });

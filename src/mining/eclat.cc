@@ -33,19 +33,23 @@ void Extend(const Itemset& prefix, const Bitmap& prefix_rows,
     return;
   }
   // Intersect the prefix's rows with each tail item; survivors recurse.
+  // The fused AndCountInto kernel materializes the joined tidset and
+  // counts it in one pass, and the count is kept so the emit below never
+  // re-popcounts the bitmap.
   std::vector<std::pair<ItemId, Bitmap>> extensions;
+  std::vector<uint64_t> extension_counts;
   for (const auto& [item, rows] : tail) {
     ++*state.intersections;
-    Bitmap joined = prefix_rows;
-    joined.AndWith(*rows);
-    if (joined.Count() >= state.min_count) {
+    Bitmap joined;
+    const uint64_t count = Bitmap::AndCountInto(prefix_rows, *rows, &joined);
+    if (count >= state.min_count) {
       extensions.emplace_back(item, std::move(joined));
+      extension_counts.push_back(count);
     }
   }
   for (size_t i = 0; i < extensions.size(); ++i) {
     Itemset extended = prefix.WithItem(extensions[i].first);
-    state.out->push_back(
-        FrequentItemset{extended, extensions[i].second.Count()});
+    state.out->push_back(FrequentItemset{extended, extension_counts[i]});
     std::vector<std::pair<ItemId, const Bitmap*>> next_tail;
     for (size_t j = i + 1; j < extensions.size(); ++j) {
       next_tail.emplace_back(extensions[j].first, &extensions[j].second);
@@ -79,25 +83,25 @@ void ExtendSharded(const Itemset& prefix, const ShardedRows& prefix_rows,
     return;
   }
   std::vector<std::pair<ItemId, ShardedRows>> extensions;
+  std::vector<uint64_t> extension_counts;
   for (const auto& [item, rows] : tail) {
     ++*state.intersections;
     ShardedRows joined;
     joined.rows.reserve(prefix_rows.rows.size());
     uint64_t count = 0;
     for (size_t s = 0; s < prefix_rows.rows.size(); ++s) {
-      Bitmap b = prefix_rows.rows[s];
-      b.AndWith(rows->rows[s]);
-      count += b.Count();
+      Bitmap b;
+      count += Bitmap::AndCountInto(prefix_rows.rows[s], rows->rows[s], &b);
       joined.rows.push_back(std::move(b));
     }
     if (count >= state.min_count) {
       extensions.emplace_back(item, std::move(joined));
+      extension_counts.push_back(count);
     }
   }
   for (size_t i = 0; i < extensions.size(); ++i) {
     Itemset extended = prefix.WithItem(extensions[i].first);
-    state.out->push_back(
-        FrequentItemset{extended, extensions[i].second.Count()});
+    state.out->push_back(FrequentItemset{extended, extension_counts[i]});
     std::vector<std::pair<ItemId, const ShardedRows*>> next_tail;
     for (size_t j = i + 1; j < extensions.size(); ++j) {
       next_tail.emplace_back(extensions[j].first, &extensions[j].second);

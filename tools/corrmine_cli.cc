@@ -30,6 +30,7 @@
 #include "datagen/quest_generator.h"
 #include "datagen/text_generator.h"
 #include "io/binary_io.h"
+#include "itemset/kernels.h"
 #include "io/csv.h"
 #include "io/result_io.h"
 #include "io/stats_json.h"
@@ -63,6 +64,14 @@ constexpr char kUsage[] =
     "      --prefix-cache         memoize prefix bitmap intersections\n"
     "                             (same counts, fewer AND operations;\n"
     "                             requires --shards 1)\n"
+    "      --kernel NAME          counting kernel: auto (default), scalar,\n"
+    "                             avx2, avx512, or neon. auto picks the\n"
+    "                             fastest kernel this CPU supports; a forced\n"
+    "                             kernel must be compiled in and supported.\n"
+    "                             The CORRMINE_KERNEL env var sets the same\n"
+    "                             choice; the flag wins when both are given.\n"
+    "                             Counts and mined output are identical for\n"
+    "                             every kernel — only throughput changes\n"
     "      --algo levelwise|walk  search strategy (default levelwise)\n"
     "      --walks N              random walks when --algo walk\n"
     "      --out FILE             also write the result in the line format\n"
@@ -434,6 +443,17 @@ int Main(int argc, const char* const* argv) {
     std::cout << kUsage;
     return flags.positional().empty() && !flags.GetBool("help", false) ? 2
                                                                        : 0;
+  }
+  // Resolve the counting kernel before any command touches a bitmap. An
+  // explicit --kernel beats CORRMINE_KERNEL: installing it here means the
+  // env-var path in ActiveKernels() never runs.
+  const std::string kernel = flags.GetString("kernel", "");
+  if (!kernel.empty()) {
+    Status kernel_status = SetActiveKernel(kernel);
+    if (!kernel_status.ok()) {
+      std::cerr << kernel_status.ToString() << "\n";
+      return 2;
+    }
   }
   const std::string& command = flags.positional()[0];
   Status status = Status::OK();

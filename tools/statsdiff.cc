@@ -7,7 +7,9 @@
 //       [--counters P1,P2,...]    also require exact equality for runtime
 //                                 counters/gauges whose name starts with one
 //                                 of the given prefixes (e.g.
-//                                 "miner.,count_provider.,cache.")
+//                                 "miner.,count_provider.,cache.", or
+//                                 "kernel." for the counting-kernel word
+//                                 counters, which are kernel-invariant)
 //   statsdiff --validate-trace <trace.json>
 //
 // The deterministic section is compared exactly, using the raw number
@@ -232,7 +234,32 @@ int DiffStats(const std::string& baseline_path,
     std::cerr << "missing \"deterministic\" section\n";
     return 2;
   }
+  // Kernel identity is machine-dependent by construction (runtime SIMD
+  // dispatch, DESIGN.md §9), so it must never leak into the deterministic
+  // section; a writer that puts it there has broken the byte-identity
+  // contract even if both files happen to agree today.
+  for (const io::JsonValue* det : {det_a, det_b}) {
+    if (det->is_object() && det->Find("kernel") != nullptr) {
+      report.Fail("deterministic.kernel",
+                  "kernel info inside the deterministic section");
+    }
+  }
   DiffExact("deterministic", *det_a, *det_b, &report);
+
+  // The top-level "kernel" object is report-only: differing kernels across
+  // the two runs is exactly the situation statsdiff exists to vet.
+  const io::JsonValue* kernel_a = baseline.Find("kernel");
+  const io::JsonValue* kernel_b = candidate.Find("kernel");
+  if (kernel_a != nullptr && kernel_b != nullptr && kernel_a->is_object() &&
+      kernel_b->is_object()) {
+    const io::JsonValue* name_a = kernel_a->Find("name");
+    const io::JsonValue* name_b = kernel_b->Find("name");
+    if (name_a != nullptr && name_b != nullptr && name_a->is_string() &&
+        name_b->is_string() && name_a->string_value != name_b->string_value) {
+      report.Note("kernel.name: \"" + name_a->string_value + "\" vs \"" +
+                  name_b->string_value + "\" (report only)");
+    }
+  }
 
   const io::JsonValue* rt_a = baseline.Find("runtime");
   const io::JsonValue* rt_b = candidate.Find("runtime");
