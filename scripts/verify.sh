@@ -10,7 +10,8 @@
 #   SKIP_TSAN=1 scripts/verify.sh      # skip the TSan stage
 #   SKIP_METRICS_OFF=1 scripts/verify.sh  # skip the metrics-off stage
 #   SKIP_STATSDIFF=1 scripts/verify.sh    # skip the statsdiff/trace stages
-#   SKIP_BENCH=1 scripts/verify.sh        # skip the kernel bench stage
+#   SKIP_BENCH=1 scripts/verify.sh        # skip the bench stages (kernel
+#                                         # throughput + scheduler gate)
 #
 # Test slices by ctest label (tier-1 build):
 #   (cd build && ctest -L unit)          # fast unit suites
@@ -87,6 +88,22 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   # kernel's counts diverge, and its table shows the measured speedups.
   cmake --build build -j --target bench_kernels >/dev/null
   build/bench/bench_kernels
+
+  echo "== bench stage: scheduler scaling gate =="
+  # Parallel-scaling regression gate (DESIGN.md §10): bench_parallel and
+  # bench_sharded CHECK determinism internally; benchgate then enforces the
+  # scaling contract — 3.0x at 8 threads on >= 8 usable cores, scaled to
+  # the cores this machine actually grants (cgroup/affinity-aware), and
+  # <= 10% sharding overhead while K fits the core count — and refreshes
+  # BENCH_scheduler.json.
+  cmake --build build -j --target bench_parallel bench_sharded benchgate \
+    >/dev/null
+  BDIR=build/bench-out
+  mkdir -p "$BDIR"
+  build/bench/bench_parallel | tee "$BDIR/parallel.txt" | grep -v BENCH_
+  build/bench/bench_sharded | tee "$BDIR/sharded.txt" | grep -v BENCH_
+  build/tools/benchgate --out BENCH_scheduler.json \
+    "$BDIR/parallel.txt" "$BDIR/sharded.txt"
 fi
 
 if [[ "${SKIP_METRICS_OFF:-0}" != "1" ]]; then
@@ -102,10 +119,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build build-tsan -j \
     --target thread_pool_test miner_test batch_tables_test \
     count_provider_cache_test sharded_database_test trace_test \
-    kernel_differential_test >/dev/null
+    kernel_differential_test scheduler_determinism_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test|scheduler_determinism_test)$')
 fi
 
 echo "verify: OK"

@@ -118,33 +118,30 @@ StatusOr<std::vector<SparseContingencyTable>> BuildSparseTablesBatch(
   registry.GetCounter("batch_tables.baskets")->Add(db.num_baskets());
 
   const int threads = ThreadPool::ResolveThreadCount(num_threads);
-  // Shard the basket axis: each shard fills private pattern maps, the
-  // reduction below sums them in shard order (addition is commutative, so
-  // any fixed order gives the sequential counts).
-  const size_t num_shards =
-      std::min<size_t>(static_cast<size_t>(threads), db.num_baskets());
-  const size_t shard_size =
-      (db.num_baskets() + num_shards - 1) / num_shards;
-  std::vector<PatternCounts> shard_counts(num_shards);
-  for (PatternCounts& counts : shard_counts) {
+  // Morsel the basket axis: fixed-size row chunks give the pool's stealing
+  // something to balance (one coarse range per thread used to leave the
+  // whole tail on the slowest worker). Each scheduler slot owns a private
+  // pattern-map arena; the reduction below sums the arenas in slot order
+  // (addition is commutative, so any fixed order gives the sequential
+  // counts).
+  constexpr size_t kBasketMorsel = 2048;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  const size_t num_slots =
+      ParallelForSlotBound(pool.get(), db.num_baskets(), kBasketMorsel);
+  std::vector<PatternCounts> slot_counts(num_slots);
+  for (PatternCounts& counts : slot_counts) {
     counts.resize(candidates.size());
   }
 
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
-  CORRMINE_RETURN_NOT_OK(ParallelFor(
-      pool.get(), num_shards, /*grain=*/1,
-      [&](size_t begin, size_t end) -> Status {
-        for (size_t shard = begin; shard < end; ++shard) {
-          size_t row_begin = shard * shard_size;
-          size_t row_end = std::min(row_begin + shard_size, db.num_baskets());
-          CountBasketRange(db, candidates, row_begin, row_end,
-                           &shard_counts[shard]);
-        }
+  CORRMINE_RETURN_NOT_OK(ParallelForSlots(
+      pool.get(), db.num_baskets(), kBasketMorsel,
+      [&](size_t slot, size_t begin, size_t end) -> Status {
+        CountBasketRange(db, candidates, begin, end, &slot_counts[slot]);
         return Status::OK();
       }));
 
-  return AssembleTables(candidates, shard_counts, db.num_baskets(),
+  return AssembleTables(candidates, slot_counts, db.num_baskets(),
                         [&db](ItemId item) { return db.ItemCount(item); });
 }
 

@@ -88,16 +88,17 @@ void ScanCountProvider::CountAllPresentBatchImpl(
       num_baskets == 0 ? 0 : (num_baskets + kScanBasketGrain - 1) /
                                  kScanBasketGrain;
   for (size_t q = 0; q < queries.size(); ++q) counts[q] = 0;
-  // One scratch partial-count buffer per worker thread, reused across the
-  // chunk ranges that thread executes *and* across batch calls (it used to
-  // be a fresh num_chunks x queries matrix on every call). Each range
-  // accumulates privately, then folds into `counts` under the merge lock;
-  // integer sums commute, so the result is identical for any schedule.
-  std::mutex merge_mu;
-  Status status = ParallelFor(
-      pool, num_chunks, 1, [&](size_t begin, size_t end) -> Status {
-        static thread_local std::vector<uint64_t> scratch;
-        scratch.assign(queries.size(), 0);
+  // One partial-count arena per scheduler slot (ParallelForSlots): each
+  // basket-chunk morsel accumulates into its slot's arena with no locking,
+  // and the arenas are folded into `counts` in slot order after the region.
+  // Integer sums commute, so the result is identical for any schedule.
+  const size_t num_slots = ParallelForSlotBound(pool, num_chunks, 1);
+  std::vector<std::vector<uint64_t>> partials(num_slots);
+  for (auto& p : partials) p.assign(queries.size(), 0);
+  Status status = ParallelForSlots(
+      pool, num_chunks, 1,
+      [&](size_t slot, size_t begin, size_t end) -> Status {
+        std::vector<uint64_t>& scratch = partials[slot];
         for (size_t chunk = begin; chunk < end; ++chunk) {
           const size_t row_begin = chunk * kScanBasketGrain;
           const size_t row_end =
@@ -108,11 +109,12 @@ void ScanCountProvider::CountAllPresentBatchImpl(
             }
           }
         }
-        std::lock_guard<std::mutex> lock(merge_mu);
-        for (size_t q = 0; q < queries.size(); ++q) counts[q] += scratch[q];
         return Status::OK();
       });
   CORRMINE_CHECK(status.ok()) << status.ToString();
+  for (const std::vector<uint64_t>& scratch : partials) {
+    for (size_t q = 0; q < queries.size(); ++q) counts[q] += scratch[q];
+  }
 }
 
 void BitmapCountProvider::CountAllPresentBatchImpl(
@@ -124,11 +126,18 @@ void BitmapCountProvider::CountAllPresentBatchImpl(
   // re-walking full bitmaps once per query. Parallel over groups; every
   // query writes its own slot, so any schedule is byte-identical.
   BlockedCountPlan plan = BlockedCountPlan::Build(queries);
-  Status status = ParallelFor(
+  // Prefix groups are the morsel unit; each scheduler slot owns one
+  // executor arena (tile + column/accumulator buffers), sized once and
+  // reused across every morsel that slot runs.
+  const size_t num_slots =
+      ParallelForSlotBound(pool, plan.groups.size(), kBlockedGroupGrain);
+  std::vector<BlockedExecScratch> scratch(num_slots);
+  Status status = ParallelForSlots(
       pool, plan.groups.size(), kBlockedGroupGrain,
-      [&](size_t begin, size_t end) -> Status {
+      [&](size_t slot, size_t begin, size_t end) -> Status {
         BlockedExecStats stats;
-        ExecuteBlockedGroups(plan, begin, end, index_, counts, &stats);
+        ExecuteBlockedGroups(plan, begin, end, index_, counts, &stats,
+                             &scratch[slot]);
         BumpKernelCounters(stats);
         return Status::OK();
       });

@@ -189,23 +189,25 @@ BlockedCountPlan BlockedCountPlan::Build(std::span<const Itemset> queries) {
 
 void ExecuteBlockedGroups(const BlockedCountPlan& plan, size_t group_begin,
                           size_t group_end, const VerticalIndex& index,
-                          std::span<uint64_t> counts,
-                          BlockedExecStats* stats) {
+                          std::span<uint64_t> counts, BlockedExecStats* stats,
+                          BlockedExecScratch* scratch) {
   CORRMINE_CHECK(counts.size() == plan.num_queries)
       << "blocked plan answers " << plan.num_queries << " queries into "
       << counts.size() << " slots";
   const CountingKernels& kernels = ActiveKernels();
   const size_t words = index.words_per_bitmap();
 
-  // Scratch reused across groups (and, for the tile, across calls on the
-  // same worker thread — it is the L1-resident block every extension column
-  // streams against).
-  thread_local std::vector<uint64_t> tile;
+  // Scratch reused across groups. Morsel callers pass a per-slot arena so
+  // the buffers survive across every morsel that slot runs; bare callers
+  // get a thread-local fallback.
+  thread_local BlockedExecScratch tls_scratch;
+  BlockedExecScratch& s = scratch != nullptr ? *scratch : tls_scratch;
+  std::vector<uint64_t>& tile = s.tile;
   if (tile.size() < kKernelTileWords) tile.resize(kKernelTileWords);
   std::array<const uint64_t*, 32> prefix_cols;
   std::array<const uint64_t*, 32> tile_ops;
-  std::vector<const uint64_t*> ext_cols;
-  std::vector<uint64_t> ext_acc;
+  std::vector<const uint64_t*>& ext_cols = s.ext_cols;
+  std::vector<uint64_t>& ext_acc = s.ext_acc;
 
   for (size_t gi = group_begin; gi < group_end; ++gi) {
     const BlockedCountPlan::Group& group = plan.groups[gi];

@@ -146,17 +146,29 @@ struct BlockedExecStats {
   uint64_t popcount_words = 0;
 };
 
+/// Reusable working memory for ExecuteBlockedGroups: the L1-resident tile a
+/// group's extension columns stream against, plus the per-group column and
+/// accumulator arrays. Callers running blocked execution as pool morsels
+/// keep one of these per scheduler slot (ParallelForSlots) so buffers are
+/// sized once and reused across every morsel that slot executes — no
+/// thread_local growth on transient pool threads.
+struct BlockedExecScratch {
+  std::vector<uint64_t> tile;
+  std::vector<const uint64_t*> ext_cols;
+  std::vector<uint64_t> ext_acc;
+};
+
 /// Executes plan.groups[group_begin..group_end) against `index`, writing
 /// each answered query's count into `counts` (indexed by query position;
 /// counts.size() == plan.num_queries). Tiles through kKernelTileWords-word
-/// blocks with a thread-local scratch tile. Results are exact integers —
-/// identical for any kernel, tiling, or group partition — so callers may
-/// parallelize over disjoint group ranges freely. `stats` (optional)
-/// accumulates work done.
+/// blocks using `scratch` (pass null to fall back to a thread-local
+/// arena). Results are exact integers — identical for any kernel, tiling,
+/// or group partition — so callers may parallelize over disjoint group
+/// ranges freely. `stats` (optional) accumulates work done.
 void ExecuteBlockedGroups(const BlockedCountPlan& plan, size_t group_begin,
                           size_t group_end, const VerticalIndex& index,
-                          std::span<uint64_t> counts,
-                          BlockedExecStats* stats);
+                          std::span<uint64_t> counts, BlockedExecStats* stats,
+                          BlockedExecScratch* scratch = nullptr);
 
 /// Adds one execution's accounting to the global "kernel.blocked_groups /
 /// blocked_queries / and_words / block_and_words / popcount_words"

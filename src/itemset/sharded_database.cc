@@ -47,8 +47,10 @@ ShardedTransactionDatabase ShardedTransactionDatabase::Partition(
 size_t ShardedTransactionDatabase::ResolveShardCount(int requested) {
   if (requested > 0) return static_cast<size_t>(requested);
   if (requested < 0) return 1;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<size_t>(hw);
+  // Auto-sharding matches the usable core count — affinity- and
+  // cgroup-clamped, so containers don't fragment the data into more shards
+  // than they have CPUs to scan them.
+  return static_cast<size_t>(ThreadPool::UsableHardwareConcurrency());
 }
 
 Status ShardedTransactionDatabase::AddBasket(std::vector<ItemId> items) {
@@ -137,8 +139,14 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
   // benignly on the relaxed add. Compiled out with the metrics layer.
   std::vector<std::atomic<uint64_t>> shard_ns(kMetricsEnabled ? num_shards
                                                               : 0);
-  Status status = ParallelFor(
-      pool, num_shards * blocks, 1, [&](size_t begin, size_t end) -> Status {
+  // One executor arena per scheduler slot, shared across every (shard,
+  // block) morsel that slot runs — the tile and accumulator buffers are
+  // sized once instead of growing thread-locals on transient pool threads.
+  const size_t num_slots = ParallelForSlotBound(pool, num_shards * blocks, 1);
+  std::vector<BlockedExecScratch> scratch(num_slots);
+  Status status = ParallelForSlots(
+      pool, num_shards * blocks, 1,
+      [&](size_t slot, size_t begin, size_t end) -> Status {
         for (size_t task = begin; task < end; ++task) {
           const size_t shard = task / blocks;
           const size_t block = task % blocks;
@@ -152,7 +160,7 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
           if constexpr (kMetricsEnabled) {
             const auto t0 = std::chrono::steady_clock::now();
             ExecuteBlockedGroups(plan, g_begin, g_end, indexes_[shard],
-                                 partial[shard], &exec_stats);
+                                 partial[shard], &exec_stats, &scratch[slot]);
             shard_ns[shard].fetch_add(
                 static_cast<uint64_t>(
                     std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -161,7 +169,7 @@ void ShardedCountProvider::CountAllPresentBatchImpl(
                 std::memory_order_relaxed);
           } else {
             ExecuteBlockedGroups(plan, g_begin, g_end, indexes_[shard],
-                                 partial[shard], &exec_stats);
+                                 partial[shard], &exec_stats, &scratch[slot]);
           }
           BumpKernelCounters(exec_stats);
         }

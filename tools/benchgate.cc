@@ -1,0 +1,259 @@
+// Scheduler bench-regression gate: reads the BENCH_JSON lines emitted by
+// bench_parallel and bench_sharded, checks the parallel-scaling contract,
+// and writes the merged BENCH_scheduler.json trajectory file.
+//
+// The thresholds are parallelism-aware because the contract is physical: a
+// "3.0x at 8 threads" floor is only meaningful on a machine with at least 8
+// usable cores. Below that the gate scales the requirement to the cores the
+// process can actually run on (affinity- and cgroup-clamped, the same
+// resolution `--threads 0` uses), bottoming out at "threads must not hurt"
+// (>= 0.85x) on one core. Likewise the sharded-overhead check (a K-shard
+// batch must stay within 10% of the monolithic layout at the same thread
+// count) is enforced only for K <= usable cores — sharding past the core
+// count is a known locality trade, not a scheduler regression; those runs
+// are reported unenforced.
+//
+// Usage:
+//   benchgate --out BENCH_scheduler.json parallel_out.txt sharded_out.txt
+//
+// Exit status: 0 when every enforced gate passes, 1 otherwise (and the
+// failing gates are printed), 2 on usage/parse errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "io/json_reader.h"
+
+namespace corrmine {
+namespace {
+
+constexpr char kBenchJsonPrefix[] = "BENCH_JSON ";
+
+struct ParallelRun {
+  int threads = 0;
+  double seconds = 0.0;
+  double speedup = 0.0;
+};
+
+struct ShardedRun {
+  int shards = 0;
+  int threads = 0;
+  double seconds = 0.0;
+};
+
+struct Gate {
+  std::string name;
+  double required = 0.0;  // threshold in the gate's own unit
+  double actual = 0.0;
+  bool pass = false;
+  bool enforced = true;  // unenforced gates are recorded but never fail
+};
+
+/// Required 8-thread speedup given the usable core count: the full 3.0x
+/// contract at >= 8 cores, proportionally scaled below, floored at 0.85x
+/// ("threads must not actively hurt") so the gate still means something on
+/// a 1-core container.
+double RequiredSpeedup(int usable_cores) {
+  if (usable_cores >= 8) return 3.0;
+  return std::max(0.85, 3.0 * static_cast<double>(usable_cores) / 8.0);
+}
+
+double GetNumber(const io::JsonValue& obj, const char* key) {
+  const io::JsonValue* v = obj.Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : 0.0;
+}
+
+/// Extracts every BENCH_JSON payload from a bench binary's captured stdout.
+StatusOr<std::vector<io::JsonValue>> ReadBenchLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open bench output: " + path);
+  }
+  std::vector<io::JsonValue> docs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(kBenchJsonPrefix, 0) != 0) continue;
+    CORRMINE_ASSIGN_OR_RETURN(
+        io::JsonValue doc,
+        io::ParseJson(line.substr(sizeof(kBenchJsonPrefix) - 1)));
+    docs.push_back(std::move(doc));
+  }
+  if (docs.empty()) {
+    return Status::InvalidArgument("no BENCH_JSON line in " + path);
+  }
+  return docs;
+}
+
+std::string FormatRatio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace corrmine
+
+int main(int argc, char** argv) {
+  using namespace corrmine;
+
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "benchgate: unknown flag " << argv[i] << "\n";
+      return 2;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: benchgate [--out BENCH_scheduler.json] "
+                 "<bench_output.txt>...\n";
+    return 2;
+  }
+
+  const int usable = ThreadPool::UsableHardwareConcurrency();
+  std::vector<ParallelRun> parallel_runs;
+  std::vector<ShardedRun> sharded_runs;
+  for (const std::string& path : inputs) {
+    auto docs = ReadBenchLines(path);
+    if (!docs.ok()) {
+      std::cerr << "benchgate: " << docs.status().ToString() << "\n";
+      return 2;
+    }
+    for (const io::JsonValue& doc : *docs) {
+      const io::JsonValue* bench = doc.Find("bench");
+      const io::JsonValue* runs = doc.Find("runs");
+      if (bench == nullptr || !bench->is_string() || runs == nullptr ||
+          !runs->is_array()) {
+        continue;
+      }
+      if (bench->string_value == "bench_parallel") {
+        for (const io::JsonValue& run : runs->array) {
+          parallel_runs.push_back(
+              ParallelRun{static_cast<int>(GetNumber(run, "threads")),
+                          GetNumber(run, "seconds"),
+                          GetNumber(run, "speedup")});
+        }
+      } else if (bench->string_value == "bench_sharded") {
+        for (const io::JsonValue& run : runs->array) {
+          sharded_runs.push_back(
+              ShardedRun{static_cast<int>(GetNumber(run, "shards")),
+                         static_cast<int>(GetNumber(run, "threads")),
+                         GetNumber(run, "seconds")});
+        }
+      }
+    }
+  }
+
+  std::vector<Gate> gates;
+
+  // Gate 1: end-to-end miner speedup at the widest measured thread count.
+  if (!parallel_runs.empty()) {
+    const ParallelRun* widest = &parallel_runs.front();
+    for (const ParallelRun& run : parallel_runs) {
+      if (run.threads > widest->threads) widest = &run;
+    }
+    Gate gate;
+    gate.name = "parallel_speedup_t" + std::to_string(widest->threads);
+    gate.required = RequiredSpeedup(usable);
+    gate.actual = widest->speedup;
+    gate.pass = gate.actual >= gate.required;
+    gates.push_back(gate);
+  } else {
+    std::cerr << "benchgate: no bench_parallel runs found\n";
+    return 2;
+  }
+
+  // Gate 2: sharded batch counting must stay within 10% of the monolithic
+  // layout at the same thread count — enforced while K fits the cores.
+  std::map<int, double> mono_seconds;  // threads -> shards=1 seconds
+  for (const ShardedRun& run : sharded_runs) {
+    if (run.shards == 1) mono_seconds[run.threads] = run.seconds;
+  }
+  for (const ShardedRun& run : sharded_runs) {
+    if (run.shards <= 1) continue;
+    auto mono = mono_seconds.find(run.threads);
+    if (mono == mono_seconds.end() || mono->second <= 0.0) continue;
+    Gate gate;
+    gate.name = "sharded_overhead_k" + std::to_string(run.shards) + "_t" +
+                std::to_string(run.threads);
+    gate.required = 1.10;  // max allowed seconds ratio vs shards=1
+    gate.actual = run.seconds / mono->second;
+    gate.pass = gate.actual <= gate.required;
+    gate.enforced = run.shards <= usable;
+    gates.push_back(gate);
+  }
+  if (sharded_runs.empty()) {
+    std::cerr << "benchgate: no bench_sharded runs found\n";
+    return 2;
+  }
+
+  bool all_pass = true;
+  for (const Gate& gate : gates) {
+    if (gate.enforced && !gate.pass) all_pass = false;
+  }
+
+  // BENCH_scheduler.json: the machine-readable trajectory record — the
+  // environment the thresholds were resolved against, every gate with its
+  // verdict, and the raw runs the verdicts came from.
+  std::ostringstream json;
+  json << "{\"bench\":\"bench_scheduler\",\"usable_cores\":" << usable
+       << ",\"required_speedup\":" << RequiredSpeedup(usable)
+       << ",\"pass\":" << (all_pass ? "true" : "false") << ",\"gates\":[";
+  for (size_t i = 0; i < gates.size(); ++i) {
+    const Gate& gate = gates[i];
+    if (i > 0) json << ',';
+    json << "{\"name\":\"" << gate.name << "\",\"required\":" << gate.required
+         << ",\"actual\":" << gate.actual
+         << ",\"pass\":" << (gate.pass ? "true" : "false")
+         << ",\"enforced\":" << (gate.enforced ? "true" : "false") << '}';
+  }
+  json << "],\"parallel_runs\":[";
+  for (size_t i = 0; i < parallel_runs.size(); ++i) {
+    if (i > 0) json << ',';
+    json << "{\"threads\":" << parallel_runs[i].threads
+         << ",\"seconds\":" << parallel_runs[i].seconds
+         << ",\"speedup\":" << parallel_runs[i].speedup << '}';
+  }
+  json << "],\"sharded_runs\":[";
+  for (size_t i = 0; i < sharded_runs.size(); ++i) {
+    if (i > 0) json << ',';
+    json << "{\"shards\":" << sharded_runs[i].shards
+         << ",\"threads\":" << sharded_runs[i].threads
+         << ",\"seconds\":" << sharded_runs[i].seconds << '}';
+  }
+  json << "]}";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json.str() << "\n";
+    if (!out) {
+      std::cerr << "benchgate: cannot write " << out_path << "\n";
+      return 2;
+    }
+  }
+
+  std::cout << "benchgate: " << usable << " usable core(s), required "
+            << FormatRatio(RequiredSpeedup(usable)) << "x speedup\n";
+  for (const Gate& gate : gates) {
+    std::cout << "  [" << (gate.pass ? "PASS" : (gate.enforced ? "FAIL"
+                                                               : "info"))
+              << "] " << gate.name << ": " << FormatRatio(gate.actual)
+              << " vs " << FormatRatio(gate.required)
+              << (gate.enforced ? "" : " (not enforced: shards > cores)")
+              << "\n";
+  }
+  std::cout << (all_pass ? "benchgate: OK\n" : "benchgate: FAILED\n");
+  return all_pass ? 0 : 1;
+}

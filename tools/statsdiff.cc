@@ -145,12 +145,14 @@ void DiffExact(const std::string& path, const io::JsonValue& a,
 }
 
 /// Timing-ish metric names never carry determinism guarantees: wall-clock
-/// nanoseconds and memory byte counts move with the machine, not the input.
+/// nanoseconds, memory byte counts, and the pool.* scheduler family
+/// (submissions, steals, queue depths — all schedule noise by definition)
+/// move with the machine, not the input.
 bool IsTimingLike(const std::string& name) {
   if (name.size() >= 2 && name.compare(name.size() - 2, 2, "ns") == 0) {
     return true;
   }
-  return name.rfind("mem.", 0) == 0;
+  return name.rfind("mem.", 0) == 0 || name.rfind("pool.", 0) == 0;
 }
 
 bool MatchesAnyPrefix(const std::string& name,
