@@ -11,7 +11,9 @@
 #   SKIP_METRICS_OFF=1 scripts/verify.sh  # skip the metrics-off stage
 #   SKIP_STATSDIFF=1 scripts/verify.sh    # skip the statsdiff/trace stages
 #   SKIP_BENCH=1 scripts/verify.sh        # skip the bench stages (kernel
-#                                         # throughput + scheduler gate)
+#                                         # throughput + scheduler and
+#                                         # incremental gates)
+#   SKIP_INCREMENTAL=1 scripts/verify.sh  # skip the incremental repair stage
 #
 # Test slices by ctest label (tier-1 build):
 #   (cd build && ctest -L unit)          # fast unit suites
@@ -20,6 +22,7 @@
 #   (cd build && ctest -L sharded)       # K-invariance / sharded core
 #   (cd build && ctest -L metrics)       # observability layer
 #   (cd build && ctest -L trace)         # tracing + trace validation
+#   (cd build && ctest -L incremental)   # border repair / snapshots
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -82,6 +85,43 @@ if [[ "${SKIP_STATSDIFF:-0}" != "1" ]]; then
   build/tools/statsdiff --validate-trace "$SDIR/run.trace.json"
 fi
 
+if [[ "${SKIP_INCREMENTAL:-0}" != "1" ]]; then
+  echo "== incremental slice: border repair suites =="
+  (cd build && ctest --output-on-failure -L incremental)
+
+  echo "== incremental statsdiff: repair path vs from-scratch =="
+  # The CLI loop end to end: snapshot the base mine, append a delta chunk
+  # through ingest, then resume-repair — the deterministic stats section
+  # and the schedule-independent counter families must diff clean against
+  # a from-scratch mine of the grown file. This also pins that tracing and
+  # repair metrics stay out of the deterministic section on the repair
+  # path.
+  IDIR=build/incremental-out
+  rm -rf "$IDIR" && mkdir -p "$IDIR"
+  IFLAGS=(--support-count 100 --cell-fraction 0.26 --max-level 3)
+  build/tools/corrmine_cli generate quest --baskets 2000 \
+    --out "$IDIR/work.txt" >/dev/null
+  build/tools/corrmine_cli generate quest --baskets 100 --seed 4711 \
+    --out "$IDIR/delta.txt" >/dev/null
+  build/tools/corrmine_cli mine "$IDIR/work.txt" "${IFLAGS[@]}" \
+    --border-out "$IDIR/base.cbs" >/dev/null
+  build/tools/corrmine_cli ingest "$IDIR/work.txt" \
+    --append "$IDIR/delta.txt" >/dev/null
+  build/tools/corrmine_cli mine "$IDIR/work.txt" "${IFLAGS[@]}" \
+    --stats-json "$IDIR/scratch.json" >/dev/null
+  build/tools/corrmine_cli mine "$IDIR/work.txt" \
+    --resume-from "$IDIR/base.cbs" \
+    --stats-json "$IDIR/repair.json" >/dev/null 2>/dev/null
+  build/tools/statsdiff "$IDIR/scratch.json" "$IDIR/repair.json" \
+    --counters miner.,count_provider.
+
+  echo "== incremental trace: record + validate a repair trace =="
+  build/tools/corrmine_cli mine "$IDIR/work.txt" \
+    --resume-from "$IDIR/base.cbs" \
+    --trace-out "$IDIR/repair.trace.json" >/dev/null 2>/dev/null
+  build/tools/statsdiff --validate-trace "$IDIR/repair.trace.json"
+fi
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   echo "== bench stage: kernel throughput =="
   # The SIMD layer's reason to exist: bench_kernels CHECK-fails if any
@@ -104,6 +144,19 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   build/bench/bench_sharded | tee "$BDIR/sharded.txt" | grep -v BENCH_
   build/tools/benchgate --out BENCH_scheduler.json \
     "$BDIR/parallel.txt" "$BDIR/sharded.txt"
+
+  if [[ "${SKIP_INCREMENTAL:-0}" != "1" ]]; then
+    echo "== bench stage: incremental repair gate =="
+    # Border repair vs. full re-mine (DESIGN.md §11): bench_incremental
+    # CHECKs byte-equality of the two results internally; benchgate then
+    # enforces the repair-speedup floor on <= 1% deltas (scaled to this
+    # machine's usable cores) and refreshes BENCH_incremental.json.
+    cmake --build build -j --target bench_incremental benchgate >/dev/null
+    build/bench/bench_incremental | tee "$BDIR/incremental.txt" \
+      | grep -v BENCH_
+    build/tools/benchgate --out BENCH_incremental.json \
+      "$BDIR/incremental.txt"
+  fi
 fi
 
 if [[ "${SKIP_METRICS_OFF:-0}" != "1" ]]; then
@@ -119,10 +172,11 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build build-tsan -j \
     --target thread_pool_test miner_test batch_tables_test \
     count_provider_cache_test sharded_database_test trace_test \
-    kernel_differential_test scheduler_determinism_test >/dev/null
+    kernel_differential_test scheduler_determinism_test \
+    incremental_differential_test border_state_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test|scheduler_determinism_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test|scheduler_determinism_test|incremental_differential_test|border_state_test)$')
 fi
 
 echo "verify: OK"

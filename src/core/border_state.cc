@@ -1,0 +1,366 @@
+#include "core/border_state.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "io/binary_io.h"
+
+namespace corrmine {
+
+namespace {
+
+// Snapshot layout (version 1) — varints are unsigned LEB128, doubles are
+// 8-byte little-endian bit patterns (exactness matters: the differential
+// suite asserts byte-identity against from-scratch mining, so statistics
+// must round-trip bit-for-bit, including infinities):
+//   magic "CBS1", varint version
+//   varint num_items, varint num_baskets
+//   config: bits(confidence) | varint min_count | bits(cell_fraction)
+//           varint level_one | varint statistic | bits(min_expected_cell)
+//           u8 yates | varint dof_policy | varint max_level | u8 frontier
+//   dictionary: varint count, per name varint length + bytes
+//   levels: varint count, 8 varints per level
+//   rules: varint count, per rule itemset + chi2 + major-dependence cell
+//   frontier: varint count + itemsets
+//   memo: varint count, per entry itemset + varint count, sorted
+//         lexicographically (the determinism the round-trip test pins)
+// Itemsets use the CMB1 delta trick: first varint is the first id, later
+// ones are strictly positive gaps.
+constexpr char kMagic[4] = {'C', 'B', 'S', '1'};
+constexpr uint64_t kVersion = 1;
+
+void AppendFixed64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendDouble(std::string* out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendFixed64(out, bits);
+}
+
+StatusOr<uint64_t> ReadFixed64(const std::string& bytes, size_t* pos) {
+  if (*pos + 8 > bytes.size()) {
+    return Status::Corruption("truncated fixed64");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[*pos + i]))
+             << (8 * i);
+  }
+  *pos += 8;
+  return value;
+}
+
+StatusOr<double> ReadDouble(const std::string& bytes, size_t* pos) {
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64(bytes, pos));
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+StatusOr<uint8_t> ReadByte(const std::string& bytes, size_t* pos) {
+  if (*pos >= bytes.size()) {
+    return Status::Corruption("truncated byte");
+  }
+  return static_cast<uint8_t>(bytes[(*pos)++]);
+}
+
+void AppendItemset(std::string* out, const Itemset& s) {
+  io::AppendVarint(out, s.size());
+  ItemId previous = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    io::AppendVarint(out, i == 0 ? s.item(i) : s.item(i) - previous);
+    previous = s.item(i);
+  }
+}
+
+StatusOr<Itemset> ReadItemset(const std::string& bytes, size_t* pos) {
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t size, io::ReadVarint(bytes, pos));
+  if (size > UINT32_MAX) {
+    return Status::Corruption("itemset size out of range");
+  }
+  std::vector<ItemId> items;
+  items.reserve(size);
+  uint64_t current = 0;
+  for (uint64_t i = 0; i < size; ++i) {
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t delta, io::ReadVarint(bytes, pos));
+    if (i > 0 && delta == 0) {
+      return Status::Corruption("non-increasing itemset delta");
+    }
+    current = i == 0 ? delta : current + delta;
+    if (current > UINT32_MAX) {
+      return Status::Corruption("item id out of range");
+    }
+    items.push_back(static_cast<ItemId>(current));
+  }
+  return Itemset(std::move(items));
+}
+
+void AppendRule(std::string* out, const CorrelationRule& rule) {
+  AppendItemset(out, rule.itemset);
+  AppendDouble(out, rule.chi2.statistic);
+  io::AppendVarint(out, static_cast<uint64_t>(rule.chi2.dof));
+  AppendDouble(out, rule.chi2.p_value);
+  out->push_back(rule.chi2.validity.all_expected_above_one ? 1 : 0);
+  AppendDouble(out, rule.chi2.validity.fraction_expected_above_five);
+  io::AppendVarint(out, rule.chi2.validity.masked_cells);
+  out->push_back(rule.chi2.validity.exact ? 1 : 0);
+  io::AppendVarint(out, rule.major_dependence.mask);
+  io::AppendVarint(out, rule.major_dependence.observed);
+  AppendDouble(out, rule.major_dependence.expected);
+  AppendDouble(out, rule.major_dependence.interest);
+  AppendDouble(out, rule.major_dependence.contribution);
+}
+
+StatusOr<CorrelationRule> ReadRule(const std::string& bytes, size_t* pos) {
+  CorrelationRule rule;
+  CORRMINE_ASSIGN_OR_RETURN(rule.itemset, ReadItemset(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(rule.chi2.statistic, ReadDouble(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t dof, io::ReadVarint(bytes, pos));
+  rule.chi2.dof = static_cast<int64_t>(dof);
+  CORRMINE_ASSIGN_OR_RETURN(rule.chi2.p_value, ReadDouble(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(uint8_t above_one, ReadByte(bytes, pos));
+  rule.chi2.validity.all_expected_above_one = above_one != 0;
+  CORRMINE_ASSIGN_OR_RETURN(rule.chi2.validity.fraction_expected_above_five,
+                            ReadDouble(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(rule.chi2.validity.masked_cells,
+                            io::ReadVarint(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(uint8_t exact, ReadByte(bytes, pos));
+  rule.chi2.validity.exact = exact != 0;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t mask, io::ReadVarint(bytes, pos));
+  if (mask > UINT32_MAX) {
+    return Status::Corruption("cell mask out of range");
+  }
+  rule.major_dependence.mask = static_cast<uint32_t>(mask);
+  CORRMINE_ASSIGN_OR_RETURN(rule.major_dependence.observed,
+                            io::ReadVarint(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(rule.major_dependence.expected,
+                            ReadDouble(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(rule.major_dependence.interest,
+                            ReadDouble(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(rule.major_dependence.contribution,
+                            ReadDouble(bytes, pos));
+  return rule;
+}
+
+}  // namespace
+
+BorderMinerConfig BorderMinerConfig::FromMinerOptions(
+    const MinerOptions& options) {
+  BorderMinerConfig config;
+  config.confidence_level = options.confidence_level;
+  config.support = options.support;
+  config.level_one = options.level_one;
+  config.chi2 = options.chi2;
+  config.max_level = options.max_level;
+  config.keep_frontier = options.keep_frontier;
+  return config;
+}
+
+MinerOptions BorderMinerConfig::ToMinerOptions() const {
+  MinerOptions options;
+  options.confidence_level = confidence_level;
+  options.support = support;
+  options.level_one = level_one;
+  options.chi2 = chi2;
+  options.max_level = max_level;
+  options.keep_frontier = keep_frontier;
+  return options;
+}
+
+std::string EncodeBorderState(const BorderState& state) {
+  std::string out(kMagic, sizeof(kMagic));
+  io::AppendVarint(&out, kVersion);
+  io::AppendVarint(&out, state.num_items);
+  io::AppendVarint(&out, state.num_baskets);
+
+  AppendDouble(&out, state.config.confidence_level);
+  io::AppendVarint(&out, state.config.support.min_count);
+  AppendDouble(&out, state.config.support.cell_fraction);
+  io::AppendVarint(&out, static_cast<uint64_t>(state.config.level_one));
+  io::AppendVarint(&out, static_cast<uint64_t>(state.config.chi2.statistic));
+  AppendDouble(&out, state.config.chi2.min_expected_cell);
+  out.push_back(state.config.chi2.yates_correction ? 1 : 0);
+  io::AppendVarint(&out, static_cast<uint64_t>(state.config.chi2.dof_policy));
+  io::AppendVarint(&out, static_cast<uint64_t>(state.config.max_level));
+  out.push_back(state.config.keep_frontier ? 1 : 0);
+
+  io::AppendVarint(&out, state.item_names.size());
+  for (const std::string& name : state.item_names) {
+    io::AppendVarint(&out, name.size());
+    out.append(name);
+  }
+
+  io::AppendVarint(&out, state.result.levels.size());
+  for (const LevelStats& level : state.result.levels) {
+    io::AppendVarint(&out, static_cast<uint64_t>(level.level));
+    io::AppendVarint(&out, level.possible_itemsets);
+    io::AppendVarint(&out, level.candidates);
+    io::AppendVarint(&out, level.discards);
+    io::AppendVarint(&out, level.significant);
+    io::AppendVarint(&out, level.not_significant);
+    io::AppendVarint(&out, level.chi2_tests);
+    io::AppendVarint(&out, level.masked_cells);
+  }
+
+  io::AppendVarint(&out, state.result.significant.size());
+  for (const CorrelationRule& rule : state.result.significant) {
+    AppendRule(&out, rule);
+  }
+
+  io::AppendVarint(&out, state.result.frontier.size());
+  for (const Itemset& s : state.result.frontier) {
+    AppendItemset(&out, s);
+  }
+
+  // The memo lives in an unordered map; emit it sorted so identical states
+  // always encode to identical bytes (the save->load->save contract).
+  std::vector<const Itemset*> keys;
+  keys.reserve(state.counts.size());
+  for (const auto& [query, count] : state.counts) keys.push_back(&query);
+  std::sort(keys.begin(), keys.end(),
+            [](const Itemset* a, const Itemset* b) { return *a < *b; });
+  io::AppendVarint(&out, keys.size());
+  for (const Itemset* query : keys) {
+    AppendItemset(&out, *query);
+    io::AppendVarint(&out, state.counts.at(*query));
+  }
+  return out;
+}
+
+StatusOr<BorderState> DecodeBorderState(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("missing CBS1 magic");
+  }
+  size_t pos = sizeof(kMagic);
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t version, io::ReadVarint(bytes, &pos));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported border-state version " +
+                              std::to_string(version));
+  }
+  BorderState state;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_items, io::ReadVarint(bytes, &pos));
+  if (num_items == 0 || num_items > UINT32_MAX) {
+    return Status::Corruption("invalid item-space size");
+  }
+  state.num_items = static_cast<ItemId>(num_items);
+  CORRMINE_ASSIGN_OR_RETURN(state.num_baskets, io::ReadVarint(bytes, &pos));
+
+  CORRMINE_ASSIGN_OR_RETURN(state.config.confidence_level,
+                            ReadDouble(bytes, &pos));
+  CORRMINE_ASSIGN_OR_RETURN(state.config.support.min_count,
+                            io::ReadVarint(bytes, &pos));
+  CORRMINE_ASSIGN_OR_RETURN(state.config.support.cell_fraction,
+                            ReadDouble(bytes, &pos));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t level_one, io::ReadVarint(bytes, &pos));
+  if (level_one > static_cast<uint64_t>(LevelOnePruning::kNone)) {
+    return Status::Corruption("invalid level-one pruning mode");
+  }
+  state.config.level_one = static_cast<LevelOnePruning>(level_one);
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t statistic, io::ReadVarint(bytes, &pos));
+  if (statistic >
+      static_cast<uint64_t>(IndependenceStatistic::kLikelihoodRatioG)) {
+    return Status::Corruption("invalid independence statistic");
+  }
+  state.config.chi2.statistic = static_cast<IndependenceStatistic>(statistic);
+  CORRMINE_ASSIGN_OR_RETURN(state.config.chi2.min_expected_cell,
+                            ReadDouble(bytes, &pos));
+  CORRMINE_ASSIGN_OR_RETURN(uint8_t yates, ReadByte(bytes, &pos));
+  state.config.chi2.yates_correction = yates != 0;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t dof_policy, io::ReadVarint(bytes, &pos));
+  if (dof_policy > static_cast<uint64_t>(DofPolicy::kIndependenceModel)) {
+    return Status::Corruption("invalid dof policy");
+  }
+  state.config.chi2.dof_policy = static_cast<DofPolicy>(dof_policy);
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t max_level, io::ReadVarint(bytes, &pos));
+  if (max_level > INT32_MAX) {
+    return Status::Corruption("max level out of range");
+  }
+  state.config.max_level = static_cast<int>(max_level);
+  CORRMINE_ASSIGN_OR_RETURN(uint8_t frontier, ReadByte(bytes, &pos));
+  state.config.keep_frontier = frontier != 0;
+
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_names, io::ReadVarint(bytes, &pos));
+  if (num_names > num_items) {
+    return Status::Corruption("dictionary larger than item space");
+  }
+  state.item_names.reserve(num_names);
+  for (uint64_t i = 0; i < num_names; ++i) {
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t length, io::ReadVarint(bytes, &pos));
+    if (pos + length > bytes.size()) {
+      return Status::Corruption("truncated dictionary name");
+    }
+    state.item_names.push_back(bytes.substr(pos, length));
+    pos += length;
+  }
+
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_levels, io::ReadVarint(bytes, &pos));
+  state.result.levels.reserve(num_levels);
+  for (uint64_t i = 0; i < num_levels; ++i) {
+    LevelStats level;
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t level_no, io::ReadVarint(bytes, &pos));
+    if (level_no > INT32_MAX) {
+      return Status::Corruption("level number out of range");
+    }
+    level.level = static_cast<int>(level_no);
+    CORRMINE_ASSIGN_OR_RETURN(level.possible_itemsets,
+                              io::ReadVarint(bytes, &pos));
+    CORRMINE_ASSIGN_OR_RETURN(level.candidates, io::ReadVarint(bytes, &pos));
+    CORRMINE_ASSIGN_OR_RETURN(level.discards, io::ReadVarint(bytes, &pos));
+    CORRMINE_ASSIGN_OR_RETURN(level.significant, io::ReadVarint(bytes, &pos));
+    CORRMINE_ASSIGN_OR_RETURN(level.not_significant,
+                              io::ReadVarint(bytes, &pos));
+    CORRMINE_ASSIGN_OR_RETURN(level.chi2_tests, io::ReadVarint(bytes, &pos));
+    CORRMINE_ASSIGN_OR_RETURN(level.masked_cells, io::ReadVarint(bytes, &pos));
+    state.result.levels.push_back(level);
+  }
+
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_rules, io::ReadVarint(bytes, &pos));
+  state.result.significant.reserve(num_rules);
+  for (uint64_t i = 0; i < num_rules; ++i) {
+    CORRMINE_ASSIGN_OR_RETURN(CorrelationRule rule, ReadRule(bytes, &pos));
+    state.result.significant.push_back(std::move(rule));
+  }
+
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_frontier,
+                            io::ReadVarint(bytes, &pos));
+  state.result.frontier.reserve(num_frontier);
+  for (uint64_t i = 0; i < num_frontier; ++i) {
+    CORRMINE_ASSIGN_OR_RETURN(Itemset s, ReadItemset(bytes, &pos));
+    state.result.frontier.push_back(std::move(s));
+  }
+
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_counts, io::ReadVarint(bytes, &pos));
+  state.counts.reserve(num_counts);
+  for (uint64_t i = 0; i < num_counts; ++i) {
+    CORRMINE_ASSIGN_OR_RETURN(Itemset query, ReadItemset(bytes, &pos));
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t count, io::ReadVarint(bytes, &pos));
+    if (count > state.num_baskets) {
+      return Status::Corruption("memo count exceeds basket count");
+    }
+    if (!state.counts.emplace(std::move(query), count).second) {
+      return Status::Corruption("duplicate memo entry");
+    }
+  }
+
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes after border state");
+  }
+  return state;
+}
+
+Status SaveBorderState(const BorderState& state, const std::string& path) {
+  return io::WriteStringToFile(EncodeBorderState(state), path);
+}
+
+StatusOr<BorderState> LoadBorderState(const std::string& path) {
+  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, io::ReadFileToString(path));
+  return DecodeBorderState(bytes);
+}
+
+}  // namespace corrmine

@@ -1,0 +1,71 @@
+#ifndef CORRMINE_CORE_BORDER_STATE_H_
+#define CORRMINE_CORE_BORDER_STATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/chi_squared_miner.h"
+#include "itemset/itemset.h"
+
+namespace corrmine {
+
+/// The deterministic subset of MinerOptions — everything that shapes the
+/// mined answer, none of the runtime plumbing (threads, pool, metrics,
+/// progress). A snapshot stores this echo so a later repair re-tests the
+/// border under exactly the configuration that produced it; resuming with
+/// different flags would silently compare incomparable borders.
+struct BorderMinerConfig {
+  double confidence_level = 0.95;
+  CellSupportPolicy support;
+  LevelOnePruning level_one = LevelOnePruning::kFigure1Strict;
+  ChiSquaredOptions chi2;
+  int max_level = 0;
+  bool keep_frontier = false;
+
+  static BorderMinerConfig FromMinerOptions(const MinerOptions& options);
+  /// The stored configuration as MinerOptions, runtime fields defaulted —
+  /// the caller (RepairBorder) fills in threads/pool/metrics.
+  MinerOptions ToMinerOptions() const;
+};
+
+/// Persistent border snapshot ("CBS1"): everything incremental mining needs
+/// to pick a dataset back up without the original run's memory — the mined
+/// border and per-level stats, the dictionary echo, the miner
+/// configuration, and the count memo: the exact O(S) of every subset count
+/// the producing run issued. The memo is the repair accelerator — delta
+/// batches update it in O(|delta|) per entry (count the chunk, add or
+/// subtract), so a repair re-mine only touches the full database for
+/// queries the lattice walk never issued before (DESIGN.md §11).
+struct BorderState {
+  /// Item space and row count of the database the snapshot describes; a
+  /// repair validates these against the live session before trusting the
+  /// memo.
+  ItemId num_items = 0;
+  uint64_t num_baskets = 0;
+  BorderMinerConfig config;
+  /// Dictionary echo (empty when the dataset used raw ids). Loading
+  /// against a session whose dictionary disagrees is an error.
+  std::vector<std::string> item_names;
+  /// The border: rules, per-level stats, and (when configured) the NOTSIG
+  /// frontier, exactly as MineCorrelations returned them.
+  MiningResult result;
+  /// Count memo: query -> exact O(S) over the snapshot's num_baskets rows.
+  std::unordered_map<Itemset, uint64_t, ItemsetHasher> counts;
+};
+
+/// Binary codec. Encoding is deterministic (memo entries are emitted in
+/// lexicographic itemset order; doubles as raw bit patterns), so
+/// save -> load -> save is byte-identical. Decode returns
+/// Status::Corruption on truncation, bad magic/version, or malformed
+/// records — never crashes on hostile bytes.
+std::string EncodeBorderState(const BorderState& state);
+StatusOr<BorderState> DecodeBorderState(const std::string& bytes);
+
+Status SaveBorderState(const BorderState& state, const std::string& path);
+StatusOr<BorderState> LoadBorderState(const std::string& path);
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_CORE_BORDER_STATE_H_

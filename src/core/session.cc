@@ -111,6 +111,22 @@ void MiningSession::PublishMemoryGauges() const {
   }
 }
 
+Status MiningSession::AppendBatch(const TransactionDatabase& chunk) {
+  TraceScope span("session.append", -1,
+                  static_cast<int64_t>(chunk.num_baskets()),
+                  static_cast<int64_t>(chunk.num_items()));
+  if (chunk.num_items() > db_.num_items()) {
+    CORRMINE_RETURN_NOT_OK(db_.GrowItemSpace(chunk.num_items()));
+  }
+  for (size_t row = 0; row < chunk.num_baskets(); ++row) {
+    CORRMINE_RETURN_NOT_OK(db_.AddBasket(chunk.basket(row)));
+  }
+  sharded_provider_->AppendFrom(db_);
+  if (cached_ != nullptr) cached_->AdvanceEpoch();
+  PublishMemoryGauges();
+  return Status::OK();
+}
+
 StatusOr<MiningResult> MiningSession::Mine(MinerOptions options) const {
   TraceScope span("session.mine", -1, static_cast<int64_t>(db_.num_shards()),
                   static_cast<int64_t>(threads_));

@@ -82,6 +82,15 @@ class MiningSession {
   /// `options` are the caller's.
   StatusOr<MiningResult> Mine(MinerOptions options = {}) const;
 
+  /// Delta ingestion: appends `chunk`'s baskets in order (round-robin
+  /// placement continues where loading left off), growing the item space to
+  /// cover chunk.num_items() when the delta introduces new items. The
+  /// per-shard vertical indexes are caught up in place — no rebuild — and
+  /// the prefix cache's epoch advances so no stale count survives. After
+  /// the call every count is exactly what a fresh session over base+delta
+  /// would produce. Must not race with Mine* calls.
+  Status AppendBatch(const TransactionDatabase& chunk);
+
   /// The random-walk border sampler, same wiring as Mine.
   StatusOr<MiningResult> MineRandomWalk(RandomWalkOptions options = {}) const;
 

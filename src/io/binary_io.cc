@@ -16,6 +16,8 @@ namespace {
 constexpr const char* kMagic = kBinaryTransactionMagic;
 constexpr size_t kMagicSize = sizeof(kBinaryTransactionMagic);
 
+}  // namespace
+
 void AppendVarint(std::string* out, uint64_t value) {
   while (value >= 0x80) {
     out->push_back(static_cast<char>((value & 0x7f) | 0x80));
@@ -24,8 +26,6 @@ void AppendVarint(std::string* out, uint64_t value) {
   out->push_back(static_cast<char>(value));
 }
 
-/// Reads one LEB128 varint; advances *pos. Errors on truncation or values
-/// wider than 64 bits.
 StatusOr<uint64_t> ReadVarint(const std::string& bytes, size_t* pos) {
   uint64_t value = 0;
   int shift = 0;
@@ -42,8 +42,6 @@ StatusOr<uint64_t> ReadVarint(const std::string& bytes, size_t* pos) {
     shift += 7;
   }
 }
-
-}  // namespace
 
 std::string EncodeBinaryTransactions(const TransactionDatabase& db) {
   std::string out(kMagic, kMagicSize);
@@ -62,31 +60,33 @@ std::string EncodeBinaryTransactions(const TransactionDatabase& db) {
   return out;
 }
 
-Status DecodeBinaryTransactionsInto(
-    const std::string& bytes, ItemId* num_items,
+Status DecodeBinaryTransactionSegment(
+    const std::string& bytes, size_t* pos, ItemId* num_items,
+    uint64_t* num_baskets,
     const std::function<Status(std::vector<ItemId>)>& sink) {
-  if (bytes.size() < kMagicSize ||
-      bytes.compare(0, kMagicSize, kMagic, kMagicSize) != 0) {
+  if (bytes.size() < *pos + kMagicSize ||
+      bytes.compare(*pos, kMagicSize, kMagic, kMagicSize) != 0) {
     return Status::Corruption("missing CMB1 magic");
   }
-  size_t pos = kMagicSize;
-  CORRMINE_ASSIGN_OR_RETURN(uint64_t item_space, ReadVarint(bytes, &pos));
-  CORRMINE_ASSIGN_OR_RETURN(uint64_t num_baskets, ReadVarint(bytes, &pos));
+  *pos += kMagicSize;
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t item_space, ReadVarint(bytes, pos));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t baskets, ReadVarint(bytes, pos));
   if (item_space == 0 || item_space > UINT32_MAX) {
     return Status::Corruption("invalid item-space size");
   }
   *num_items = static_cast<ItemId>(item_space);
+  *num_baskets = baskets;
 
-  for (uint64_t b = 0; b < num_baskets; ++b) {
-    CORRMINE_ASSIGN_OR_RETURN(uint64_t size, ReadVarint(bytes, &pos));
+  for (uint64_t b = 0; b < baskets; ++b) {
+    CORRMINE_ASSIGN_OR_RETURN(uint64_t size, ReadVarint(bytes, pos));
     if (size > item_space) {
       return Status::Corruption("basket size exceeds item space");
     }
     std::vector<ItemId> basket;
-    basket.reserve(size);
+    if (sink != nullptr) basket.reserve(size);
     uint64_t current = 0;
     for (uint64_t i = 0; i < size; ++i) {
-      CORRMINE_ASSIGN_OR_RETURN(uint64_t delta, ReadVarint(bytes, &pos));
+      CORRMINE_ASSIGN_OR_RETURN(uint64_t delta, ReadVarint(bytes, pos));
       if (i > 0 && delta == 0) {
         return Status::Corruption("non-increasing item delta");
       }
@@ -94,10 +94,22 @@ Status DecodeBinaryTransactionsInto(
       if (current >= item_space) {
         return Status::Corruption("item id out of range");
       }
-      basket.push_back(static_cast<ItemId>(current));
+      if (sink != nullptr) basket.push_back(static_cast<ItemId>(current));
     }
-    CORRMINE_RETURN_NOT_OK(sink(std::move(basket)));
+    if (sink != nullptr) {
+      CORRMINE_RETURN_NOT_OK(sink(std::move(basket)));
+    }
   }
+  return Status::OK();
+}
+
+Status DecodeBinaryTransactionsInto(
+    const std::string& bytes, ItemId* num_items,
+    const std::function<Status(std::vector<ItemId>)>& sink) {
+  size_t pos = 0;
+  uint64_t num_baskets = 0;
+  CORRMINE_RETURN_NOT_OK(DecodeBinaryTransactionSegment(
+      bytes, &pos, num_items, &num_baskets, sink));
   if (pos != bytes.size()) {
     return Status::Corruption("trailing bytes after final basket");
   }
@@ -119,23 +131,7 @@ StatusOr<TransactionDatabase> DecodeBinaryTransactions(
   return std::move(*db);
 }
 
-Status WriteBinaryTransactionFile(const TransactionDatabase& db,
-                                  const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
-  std::string bytes = EncodeBinaryTransactions(db);
-  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  file.flush();
-  if (!file) {
-    return Status::IOError("error writing " + path);
-  }
-  return Status::OK();
-}
-
-StatusOr<TransactionDatabase> ReadBinaryTransactionFile(
-    const std::string& path) {
+StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     return Status::IOError("cannot open " + path);
@@ -145,7 +141,31 @@ StatusOr<TransactionDatabase> ReadBinaryTransactionFile(
   if (file.bad()) {
     return Status::IOError("error reading " + path);
   }
-  return DecodeBinaryTransactions(content.str());
+  return content.str();
+}
+
+Status WriteStringToFile(const std::string& bytes, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) {
+    return Status::IOError("error writing " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteBinaryTransactionFile(const TransactionDatabase& db,
+                                  const std::string& path) {
+  return WriteStringToFile(EncodeBinaryTransactions(db), path);
+}
+
+StatusOr<TransactionDatabase> ReadBinaryTransactionFile(
+    const std::string& path) {
+  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return DecodeBinaryTransactions(bytes);
 }
 
 bool LooksLikeBinaryTransactionFile(const std::string& path) {

@@ -44,6 +44,28 @@ Status DecodeBinaryTransactionsInto(
     const std::string& bytes, ItemId* num_items,
     const std::function<Status(std::vector<ItemId>)>& sink);
 
+/// Decodes one CMB1 segment starting at `*pos` (magic included), invoking
+/// `sink` per basket, and leaves `*pos` on the first byte after the segment
+/// — the primitive the chunked append format (io/chunked_io.h) iterates.
+/// Unlike DecodeBinaryTransactionsInto it does NOT reject trailing bytes;
+/// the caller decides whether more segments follow. `sink` may be null to
+/// skip over a segment (header validation and bounds checks still run).
+Status DecodeBinaryTransactionSegment(
+    const std::string& bytes, size_t* pos, ItemId* num_items,
+    uint64_t* num_baskets,
+    const std::function<Status(std::vector<ItemId>)>& sink);
+
+/// Whole-file byte helpers shared by the binary codecs.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+Status WriteStringToFile(const std::string& bytes, const std::string& path);
+
+/// LEB128 varint primitives, shared with the other binary codecs (chunked
+/// transaction files, border-state snapshots).
+void AppendVarint(std::string* out, uint64_t value);
+/// Reads one varint at `*pos`, advancing it. Errors on truncation or
+/// values wider than 64 bits.
+StatusOr<uint64_t> ReadVarint(const std::string& bytes, size_t* pos);
+
 /// True when `path` starts with the binary magic. Thin wrapper over
 /// DetectTransactionFileFormat (io/format_detect.h), kept for callers that
 /// only care about this one format.

@@ -1,0 +1,108 @@
+#include "io/chunked_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "io/binary_io.h"
+#include "io/format_detect.h"
+
+namespace corrmine::io {
+
+StatusOr<std::vector<TransactionChunkInfo>> ListTransactionChunks(
+    const std::string& bytes) {
+  std::vector<TransactionChunkInfo> chunks;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    TransactionChunkInfo info;
+    info.offset = pos;
+    CORRMINE_RETURN_NOT_OK(DecodeBinaryTransactionSegment(
+        bytes, &pos, &info.num_items, &info.num_baskets, nullptr));
+    info.size = pos - info.offset;
+    chunks.push_back(info);
+  }
+  if (chunks.empty()) {
+    return Status::Corruption("missing CMB1 magic");
+  }
+  return chunks;
+}
+
+Status DecodeChunkedTransactionsInto(
+    const std::string& bytes, ItemId* num_items,
+    const std::function<Status(size_t chunk_index, ItemId chunk_items,
+                               uint64_t chunk_baskets)>& chunk_begin,
+    const std::function<Status(std::vector<ItemId>)>& sink) {
+  ItemId max_items = 0;
+  size_t pos = 0;
+  size_t chunk_index = 0;
+  bool any = false;
+  while (pos < bytes.size()) {
+    // Two passes per segment: a validating skip to learn the header before
+    // any basket reaches the sink, then the decode proper. Segment parsing
+    // is varint walking, far cheaper than the basket materialization.
+    size_t peek = pos;
+    ItemId chunk_items = 0;
+    uint64_t chunk_baskets = 0;
+    CORRMINE_RETURN_NOT_OK(DecodeBinaryTransactionSegment(
+        bytes, &peek, &chunk_items, &chunk_baskets, nullptr));
+    if (chunk_begin != nullptr) {
+      CORRMINE_RETURN_NOT_OK(
+          chunk_begin(chunk_index, chunk_items, chunk_baskets));
+    }
+    CORRMINE_RETURN_NOT_OK(DecodeBinaryTransactionSegment(
+        bytes, &pos, &chunk_items, &chunk_baskets, sink));
+    max_items = std::max(max_items, chunk_items);
+    ++chunk_index;
+    any = true;
+  }
+  if (!any) {
+    return Status::Corruption("missing CMB1 magic");
+  }
+  *num_items = max_items;
+  return Status::OK();
+}
+
+Status AppendBinaryTransactionChunk(const TransactionDatabase& chunk,
+                                    const std::string& path) {
+  {
+    // An existing file must be binary: appending a segment to a text file
+    // would corrupt it, and the sniffing rule (CMB1 prefix) would then
+    // misclassify the result.
+    std::ifstream probe(path, std::ios::binary);
+    if (probe) {
+      auto format = DetectTransactionFileFormat(path);
+      CORRMINE_RETURN_NOT_OK(format.status());
+      if (*format != TransactionFileFormat::kBinary) {
+        return Status::InvalidArgument(
+            "cannot append a binary chunk to non-binary file " + path);
+      }
+    }
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::app);
+  if (!file) {
+    return Status::IOError("cannot open " + path + " for appending");
+  }
+  std::string bytes = EncodeBinaryTransactions(chunk);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) {
+    return Status::IOError("error appending to " + path);
+  }
+  return Status::OK();
+}
+
+Status RetireOldestTransactionChunks(const std::string& path, size_t drop) {
+  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  CORRMINE_ASSIGN_OR_RETURN(std::vector<TransactionChunkInfo> chunks,
+                            ListTransactionChunks(bytes));
+  if (drop >= chunks.size()) {
+    return Status::InvalidArgument(
+        "cannot retire " + std::to_string(drop) + " of " +
+        std::to_string(chunks.size()) +
+        " chunks: a transaction file may not become empty");
+  }
+  if (drop == 0) return Status::OK();
+  return WriteStringToFile(bytes.substr(chunks[drop].offset), path);
+}
+
+}  // namespace corrmine::io

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/binary_io.h"
+#include "io/chunked_io.h"
 #include "io/format_detect.h"
 #include "io/transaction_io.h"
 
@@ -14,36 +15,47 @@ namespace corrmine::io {
 
 namespace {
 
-StatusOr<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::IOError("cannot open " + path);
+/// Global item space of a (possibly multi-segment) binary file: the max of
+/// the per-segment headers, floored to 1 so an empty file still yields a
+/// valid database.
+ItemId ChunkedItemSpace(const std::vector<TransactionChunkInfo>& chunks) {
+  ItemId num_items = 1;
+  for (const TransactionChunkInfo& chunk : chunks) {
+    num_items = std::max(num_items, chunk.num_items);
   }
-  std::ostringstream content;
-  content << file.rdbuf();
-  if (file.bad()) {
-    return Status::IOError("error reading " + path);
-  }
-  return content.str();
+  return num_items;
 }
 
 StatusOr<ShardedTransactionDatabase> LoadBinarySharded(
     const std::string& path, size_t num_shards) {
-  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
-  // The CMB1 header carries the item space, so records stream straight into
-  // their shards — no intermediate database.
-  ShardedTransactionDatabase db(1, num_shards);
+  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  // The segment headers carry the item spaces, so one cheap header walk
+  // fixes the global space and records then stream straight into their
+  // shards — no intermediate database. Multi-segment files (delta chunks
+  // appended by `ingest`) load as the concatenation of their segments.
+  CORRMINE_ASSIGN_OR_RETURN(std::vector<TransactionChunkInfo> chunks,
+                            ListTransactionChunks(bytes));
+  ShardedTransactionDatabase db(ChunkedItemSpace(chunks), num_shards);
   ItemId num_items = 0;
-  bool created = false;
-  CORRMINE_RETURN_NOT_OK(DecodeBinaryTransactionsInto(
-      bytes, &num_items, [&](std::vector<ItemId> basket) -> Status {
-        if (!created) {
-          db = ShardedTransactionDatabase(num_items, num_shards);
-          created = true;
-        }
+  CORRMINE_RETURN_NOT_OK(DecodeChunkedTransactionsInto(
+      bytes, &num_items, nullptr,
+      [&](std::vector<ItemId> basket) -> Status {
         return db.AddBasket(std::move(basket));
       }));
-  if (!created) db = ShardedTransactionDatabase(num_items, num_shards);
+  return db;
+}
+
+StatusOr<TransactionDatabase> LoadBinaryMonolithic(const std::string& path) {
+  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  CORRMINE_ASSIGN_OR_RETURN(std::vector<TransactionChunkInfo> chunks,
+                            ListTransactionChunks(bytes));
+  TransactionDatabase db(ChunkedItemSpace(chunks));
+  ItemId num_items = 0;
+  CORRMINE_RETURN_NOT_OK(DecodeChunkedTransactionsInto(
+      bytes, &num_items, nullptr,
+      [&](std::vector<ItemId> basket) -> Status {
+        return db.AddBasket(std::move(basket));
+      }));
   return db;
 }
 
@@ -92,7 +104,7 @@ StatusOr<TransactionDatabase> LoadTransactionFile(const std::string& path,
   CORRMINE_ASSIGN_OR_RETURN(TransactionFileFormat format,
                             DetectTransactionFileFormat(path));
   if (format == TransactionFileFormat::kBinary) {
-    return ReadBinaryTransactionFile(path);
+    return LoadBinaryMonolithic(path);
   }
   return ReadTransactionFile(path, num_items_hint);
 }

@@ -18,6 +18,13 @@ class Bitmap {
 
   size_t size() const { return num_bits_; }
 
+  /// Grows to `num_bits` bits, preserving existing bits (new bits are 0).
+  /// Shrinking is not supported — delta ingestion only ever appends rows.
+  void Resize(size_t num_bits) {
+    words_.resize((num_bits + 63) / 64, 0);
+    num_bits_ = num_bits;
+  }
+
   void Set(size_t bit) { words_[bit >> 6] |= (uint64_t{1} << (bit & 63)); }
   void Clear(size_t bit) { words_[bit >> 6] &= ~(uint64_t{1} << (bit & 63)); }
   bool Test(size_t bit) const {

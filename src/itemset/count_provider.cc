@@ -56,6 +56,16 @@ void CountProvider::CountAllPresentBatch(std::span<const Itemset> queries,
   CountAllPresentBatchImpl(queries, counts, pool);
 }
 
+void CountProvider::CountAllPresentBatchUncounted(
+    std::span<const Itemset> queries, std::span<uint64_t> counts,
+    ThreadPool* pool) const {
+  CORRMINE_CHECK(queries.size() == counts.size())
+      << "batch spans disagree: " << queries.size() << " queries, "
+      << counts.size() << " count slots";
+  if (queries.empty()) return;
+  CountAllPresentBatchImpl(queries, counts, pool);
+}
+
 void CountProvider::CountAllPresentBatchImpl(std::span<const Itemset> queries,
                                              std::span<uint64_t> counts,
                                              ThreadPool* pool) const {
@@ -224,10 +234,20 @@ const Bitmap* CachedCountProvider::PrefixBitmapInto(const Itemset& prefix,
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(prefix);
-    if (it != cache_.end()) {
+    if (it != cache_.end() && it->second->epoch == epoch_) {
       entry = it->second;
+    } else if (it != cache_.end()) {
+      // Stale epoch: the index gained rows since this entry was built.
+      // Replace it with a fresh claimed entry — build-once still holds per
+      // epoch, because AdvanceEpoch may not race with queries, so no other
+      // thread can hold the old entry here.
+      entry = std::make_shared<Entry>();
+      entry->epoch = epoch_;
+      it->second = entry;
+      builder = true;
     } else if (cache_.size() < max_entries_) {
       entry = std::make_shared<Entry>();
+      entry->epoch = epoch_;
       cache_.emplace(prefix, entry);
       builder = true;
     }
@@ -312,6 +332,16 @@ uint64_t CachedCountProvider::MemoryBytes() const {
 void CachedCountProvider::ClearCache() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
+}
+
+void CachedCountProvider::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+}
+
+uint64_t CachedCountProvider::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
 }
 
 size_t CachedCountProvider::cache_size() const {

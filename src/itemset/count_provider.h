@@ -62,6 +62,16 @@ class CountProvider {
                             std::span<uint64_t> counts,
                             ThreadPool* pool = nullptr) const;
 
+  /// CountAllPresentBatch without the "count_provider.*" counter bumps —
+  /// for decorators (the border-repair memo provider) that already ticked
+  /// the counters for the enclosing batch and only fall through here for
+  /// the subset of queries they cannot answer. Using the counted entry
+  /// point would double-bump and break the schedule-independence contract
+  /// those counters carry (DESIGN.md §7).
+  void CountAllPresentBatchUncounted(std::span<const Itemset> queries,
+                                     std::span<uint64_t> counts,
+                                     ThreadPool* pool = nullptr) const;
+
  protected:
   /// Single-query strategy; called by the CountAllPresent wrapper and by
   /// the default batch loop.
@@ -202,6 +212,17 @@ class CachedCountProvider : public CountProvider {
   /// concurrently with CountAllPresent.
   void ClearCache();
 
+  /// Lazy invalidation for append-aware callers: bumping the epoch marks
+  /// every memoized prefix stale without sweeping the map. A stale entry is
+  /// rebuilt (against the grown index) the first time the new epoch touches
+  /// it — so after `index` gains rows, AdvanceEpoch() restores exactness at
+  /// the cost of re-materializing only the prefixes actually re-queried.
+  /// Without it, appends whose row count stays within the same bitmap word
+  /// count would silently serve stale counts. Must not race with queries
+  /// (same contract as ClearCache).
+  void AdvanceEpoch();
+  uint64_t epoch() const;
+
   size_t cache_size() const;
 
  protected:
@@ -218,6 +239,9 @@ class CachedCountProvider : public CountProvider {
     std::condition_variable ready_cv;
     bool ready = false;
     Bitmap bits;
+    /// Epoch this entry was built in; entries from older epochs are
+    /// replaced on first touch (see AdvanceEpoch).
+    uint64_t epoch = 0;
   };
 
   /// Intersection bitmap of `prefix`, memoized when the cache has room;
@@ -239,6 +263,7 @@ class CachedCountProvider : public CountProvider {
   mutable std::mutex mu_;
   mutable std::unordered_map<Itemset, std::shared_ptr<Entry>, ItemsetHasher>
       cache_;
+  uint64_t epoch_ = 0;  // Guarded by mu_.
   mutable std::atomic<uint64_t> queries_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

@@ -60,6 +60,27 @@ Status ShardedTransactionDatabase::AddBasket(std::vector<ItemId> items) {
   return Status::OK();
 }
 
+Status ShardedTransactionDatabase::AppendBatch(
+    std::vector<std::vector<ItemId>> baskets) {
+  for (std::vector<ItemId>& basket : baskets) {
+    CORRMINE_RETURN_NOT_OK(AddBasket(std::move(basket)));
+  }
+  return Status::OK();
+}
+
+Status ShardedTransactionDatabase::GrowItemSpace(ItemId num_items) {
+  if (num_items < num_items_) {
+    return Status::InvalidArgument(
+        "item space cannot shrink: " + std::to_string(num_items) + " < " +
+        std::to_string(num_items_));
+  }
+  for (TransactionDatabase& shard : shards_) {
+    CORRMINE_RETURN_NOT_OK(shard.GrowItemSpace(num_items));
+  }
+  num_items_ = num_items;
+  return Status::OK();
+}
+
 uint64_t ShardedTransactionDatabase::ItemCount(ItemId item) const {
   uint64_t total = 0;
   for (const TransactionDatabase& shard : shards_) {
@@ -99,6 +120,17 @@ ShardedCountProvider::ShardedCountProvider(
   }
   MetricsRegistry::Global().GetGauge("sharded.shards")
       ->Set(static_cast<int64_t>(indexes_.size()));
+  MetricsRegistry::Global().GetGauge("mem.shard_index_bytes")
+      ->Set(static_cast<int64_t>(IndexMemoryBytes()));
+}
+
+void ShardedCountProvider::AppendFrom(const ShardedTransactionDatabase& db) {
+  CORRMINE_CHECK(db.num_shards() == indexes_.size())
+      << "AppendFrom across a different shard layout";
+  for (size_t k = 0; k < indexes_.size(); ++k) {
+    indexes_[k].AppendFrom(db.shard(k), indexes_[k].num_baskets());
+  }
+  num_baskets_ = db.num_baskets();
   MetricsRegistry::Global().GetGauge("mem.shard_index_bytes")
       ->Set(static_cast<int64_t>(IndexMemoryBytes()));
 }

@@ -43,6 +43,14 @@ class ShardedTransactionDatabase {
   /// sorted/deduplicated. Errors if any item id is out of range.
   Status AddBasket(std::vector<ItemId> items);
 
+  /// Appends a whole delta chunk in arrival order (round-robin placement
+  /// continues where the last append left off, so the layout is identical
+  /// to having loaded base+delta in one pass).
+  Status AppendBatch(std::vector<std::vector<ItemId>> baskets);
+
+  /// Widens the item space on every shard; errors if it would shrink.
+  Status GrowItemSpace(ItemId num_items);
+
   size_t num_shards() const { return shards_.size(); }
   const TransactionDatabase& shard(size_t i) const { return shards_[i]; }
 
@@ -95,6 +103,12 @@ class ShardedCountProvider : public CountProvider {
   /// only if shard_index()/num_shards() introspection is not enough for the
   /// caller (the provider itself keeps no reference after construction).
   explicit ShardedCountProvider(const ShardedTransactionDatabase& db);
+
+  /// Catches the per-shard indexes up with rows appended to `db` since
+  /// construction (or the last AppendFrom). Each shard's bitmaps grow in
+  /// place — no rebuild — and the result is byte-identical to constructing
+  /// a fresh provider over the grown database. Must not race with queries.
+  void AppendFrom(const ShardedTransactionDatabase& db);
 
   uint64_t num_baskets() const override { return num_baskets_; }
 

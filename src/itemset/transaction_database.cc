@@ -46,6 +46,17 @@ Status TransactionDatabase::AddBasket(std::vector<ItemId> items) {
   return Status::OK();
 }
 
+Status TransactionDatabase::GrowItemSpace(ItemId num_items) {
+  if (num_items < num_items_) {
+    return Status::InvalidArgument(
+        "item space cannot shrink: " + std::to_string(num_items) + " < " +
+        std::to_string(num_items_));
+  }
+  item_counts_.resize(num_items, 0);
+  num_items_ = num_items;
+  return Status::OK();
+}
+
 StatusOr<double> TransactionDatabase::ItemProbability(ItemId item) const {
   if (item >= num_items_) {
     return Status::OutOfRange("item id out of range");
@@ -70,6 +81,26 @@ VerticalIndex::VerticalIndex(const TransactionDatabase& db)
     bitmaps_.emplace_back(num_baskets_);
   }
   for (size_t row = 0; row < db.num_baskets(); ++row) {
+    for (ItemId item : db.basket(row)) {
+      bitmaps_[item].Set(row);
+    }
+  }
+}
+
+void VerticalIndex::AppendFrom(const TransactionDatabase& db,
+                               size_t from_row) {
+  CORRMINE_CHECK(from_row == num_baskets_)
+      << "AppendFrom row gap: index has " << num_baskets_
+      << " baskets, caller resumes at " << from_row;
+  CORRMINE_CHECK(db.num_baskets() >= from_row)
+      << "database shrank under the index";
+  num_baskets_ = db.num_baskets();
+  for (Bitmap& bitmap : bitmaps_) bitmap.Resize(num_baskets_);
+  for (ItemId i = static_cast<ItemId>(bitmaps_.size()); i < db.num_items();
+       ++i) {
+    bitmaps_.emplace_back(num_baskets_);
+  }
+  for (size_t row = from_row; row < num_baskets_; ++row) {
     for (ItemId item : db.basket(row)) {
       bitmaps_[item].Set(row);
     }

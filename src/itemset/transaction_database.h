@@ -48,6 +48,11 @@ class TransactionDatabase {
   /// is out of range.
   Status AddBasket(std::vector<ItemId> items);
 
+  /// Widens the item space to `num_items` (delta chunks may introduce ids
+  /// the base dataset never saw). Existing baskets and counts are
+  /// unchanged; errors if the space would shrink.
+  Status GrowItemSpace(ItemId num_items);
+
   size_t num_baskets() const { return baskets_.size(); }
   ItemId num_items() const { return num_items_; }
 
@@ -79,12 +84,21 @@ class TransactionDatabase {
 
 /// Per-item vertical index: one Bitmap per item over the basket axis.
 /// Construction is one pass over the database; afterwards any
-/// all-items-present count is an AND/popcount.
+/// all-items-present count is an AND/popcount. Appended database rows can
+/// be folded in with AppendFrom — the index never needs a full rebuild on
+/// delta ingestion.
 class VerticalIndex {
  public:
   /// Builds bitmaps for all items of `db`. The database must not change
-  /// afterwards (the index does not track it).
+  /// afterwards (the index does not track it) except by appending rows,
+  /// which AppendFrom catches the index up on.
   explicit VerticalIndex(const TransactionDatabase& db);
+
+  /// Catches the index up with rows appended to `db` since it was built
+  /// (or last caught up): `from_row` must equal num_baskets(). Existing
+  /// bitmaps grow in place; items beyond the old space gain fresh bitmaps,
+  /// so the result is byte-identical to rebuilding from scratch.
+  void AppendFrom(const TransactionDatabase& db, size_t from_row);
 
   size_t num_baskets() const { return num_baskets_; }
   ItemId num_items() const { return static_cast<ItemId>(bitmaps_.size()); }

@@ -1,0 +1,238 @@
+// CBS1 snapshot codec contract: save -> load -> save is byte-identical
+// (memo order and double bit patterns included), and decode returns a
+// Status — never a crash — on every truncation prefix, bad magic/version,
+// trailing garbage, and records that lie about their own sizes. Mirrors the
+// hostile-bytes posture of the CMB1 tests in io_test.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/border_repair.h"
+#include "core/border_state.h"
+#include "core/chi_squared_miner.h"
+#include "core/session.h"
+#include "datagen/quest_generator.h"
+
+namespace corrmine {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// A small but fully populated state: named items, rules with adversarial
+/// doubles (infinity, a subnormal, negative zero), level stats, a frontier,
+/// and a memo — every record type the codec owns.
+BorderState RichState() {
+  BorderState state;
+  state.num_items = 7;
+  state.num_baskets = 123;
+  state.config.confidence_level = 0.99;
+  state.config.support.min_count = 5;
+  state.config.support.cell_fraction = 0.3;
+  state.config.level_one = LevelOnePruning::kNone;
+  state.config.chi2.min_expected_cell = 1.25;
+  state.config.max_level = 4;
+  state.config.keep_frontier = true;
+  state.item_names = {"tea", "coffee", "milk", "sugar", "doughnuts",
+                      "beer", "diapers"};
+
+  CorrelationRule rule;
+  rule.itemset = Itemset({0, 2, 5});
+  rule.chi2.statistic = std::numeric_limits<double>::infinity();
+  rule.chi2.dof = 3;
+  rule.chi2.p_value = std::numeric_limits<double>::denorm_min();
+  rule.chi2.validity.all_expected_above_one = false;
+  rule.chi2.validity.fraction_expected_above_five = 0.625;
+  rule.chi2.validity.masked_cells = 2;
+  rule.chi2.validity.exact = false;
+  rule.major_dependence.mask = 5;
+  rule.major_dependence.observed = 41;
+  rule.major_dependence.expected = -0.0;
+  rule.major_dependence.interest =
+      std::numeric_limits<double>::infinity();
+  rule.major_dependence.contribution = 17.25;
+  state.result.significant.push_back(rule);
+  rule.itemset = Itemset({1, 3});
+  rule.chi2.statistic = 3.8415;
+  rule.chi2.p_value = 0.04999;
+  state.result.significant.push_back(rule);
+
+  LevelStats level;
+  level.level = 2;
+  level.possible_itemsets = 21;
+  level.candidates = 10;
+  level.discards = 3;
+  level.chi2_tests = 7;
+  level.masked_cells = 1;
+  level.significant = 2;
+  level.not_significant = 5;
+  state.result.levels.push_back(level);
+
+  state.result.frontier.push_back(Itemset({2, 4}));
+  state.result.frontier.push_back(Itemset({0, 6}));
+
+  state.counts[Itemset({0})] = 50;
+  state.counts[Itemset({0, 2})] = 31;
+  state.counts[Itemset({1, 3, 6})] = 0;
+  state.counts[Itemset({6})] = 123;
+  return state;
+}
+
+TEST(BorderStateTest, SaveLoadSaveIsByteIdentical) {
+  const BorderState state = RichState();
+  const std::string bytes = EncodeBorderState(state);
+  auto loaded = DecodeBorderState(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(EncodeBorderState(*loaded), bytes);
+}
+
+TEST(BorderStateTest, RoundTripPreservesEveryField) {
+  const BorderState state = RichState();
+  auto loaded = DecodeBorderState(EncodeBorderState(state));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_items, state.num_items);
+  EXPECT_EQ(loaded->num_baskets, state.num_baskets);
+  EXPECT_EQ(loaded->config.confidence_level, state.config.confidence_level);
+  EXPECT_EQ(loaded->config.support.min_count, state.config.support.min_count);
+  EXPECT_EQ(loaded->config.support.cell_fraction,
+            state.config.support.cell_fraction);
+  EXPECT_EQ(loaded->config.level_one, state.config.level_one);
+  EXPECT_EQ(loaded->config.chi2.min_expected_cell,
+            state.config.chi2.min_expected_cell);
+  EXPECT_EQ(loaded->config.max_level, state.config.max_level);
+  EXPECT_EQ(loaded->config.keep_frontier, state.config.keep_frontier);
+  EXPECT_EQ(loaded->item_names, state.item_names);
+
+  ASSERT_EQ(loaded->result.significant.size(),
+            state.result.significant.size());
+  const CorrelationRule& got = loaded->result.significant[0];
+  const CorrelationRule& want = state.result.significant[0];
+  EXPECT_EQ(got.itemset, want.itemset);
+  EXPECT_EQ(Bits(got.chi2.statistic), Bits(want.chi2.statistic));
+  EXPECT_EQ(Bits(got.chi2.p_value), Bits(want.chi2.p_value));
+  EXPECT_EQ(got.chi2.dof, want.chi2.dof);
+  EXPECT_EQ(got.chi2.validity.all_expected_above_one,
+            want.chi2.validity.all_expected_above_one);
+  EXPECT_EQ(got.chi2.validity.fraction_expected_above_five,
+            want.chi2.validity.fraction_expected_above_five);
+  EXPECT_EQ(got.chi2.validity.masked_cells,
+            want.chi2.validity.masked_cells);
+  EXPECT_EQ(got.chi2.validity.exact, want.chi2.validity.exact);
+  EXPECT_EQ(got.major_dependence.mask, want.major_dependence.mask);
+  EXPECT_EQ(got.major_dependence.observed, want.major_dependence.observed);
+  // -0.0 == 0.0 under operator==; the bit compare is the actual contract.
+  EXPECT_EQ(Bits(got.major_dependence.expected),
+            Bits(want.major_dependence.expected));
+  EXPECT_EQ(Bits(got.major_dependence.interest),
+            Bits(want.major_dependence.interest));
+  EXPECT_EQ(Bits(got.major_dependence.contribution),
+            Bits(want.major_dependence.contribution));
+
+  ASSERT_EQ(loaded->result.levels.size(), 1u);
+  EXPECT_EQ(loaded->result.levels[0].possible_itemsets, 21u);
+  EXPECT_EQ(loaded->result.levels[0].not_significant, 5u);
+  ASSERT_EQ(loaded->result.frontier.size(), 2u);
+  EXPECT_EQ(loaded->result.frontier[0], state.result.frontier[0]);
+  EXPECT_EQ(loaded->counts, state.counts);
+}
+
+TEST(BorderStateTest, EveryTruncationPrefixIsAStatusNotACrash) {
+  const std::string bytes = EncodeBorderState(RichState());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto state = DecodeBorderState(bytes.substr(0, len));
+    EXPECT_FALSE(state.ok()) << "truncation to " << len << " of "
+                             << bytes.size() << " bytes decoded";
+  }
+}
+
+TEST(BorderStateTest, TrailingBytesAreAnError) {
+  std::string bytes = EncodeBorderState(RichState());
+  bytes.push_back('\0');
+  EXPECT_FALSE(DecodeBorderState(bytes).ok());
+}
+
+TEST(BorderStateTest, BadMagicAndVersionAreErrors) {
+  std::string bytes = EncodeBorderState(RichState());
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';
+    EXPECT_FALSE(DecodeBorderState(bad).ok());
+  }
+  {
+    std::string bad = bytes;
+    bad[4] = 99;  // version byte follows the 4-byte magic
+    EXPECT_FALSE(DecodeBorderState(bad).ok());
+  }
+}
+
+TEST(BorderStateTest, SaveAndLoadRoundTripThroughDisk) {
+  const BorderState state = RichState();
+  const std::string path = ::testing::TempDir() + "/border_state_test.cbs";
+  ASSERT_TRUE(SaveBorderState(state, path).ok());
+  auto loaded = LoadBorderState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(EncodeBorderState(*loaded), EncodeBorderState(state));
+  EXPECT_FALSE(LoadBorderState(path + ".missing").ok());
+}
+
+TEST(BorderStateTest, MinedStateRoundTripsExactly) {
+  datagen::QuestOptions quest;
+  quest.num_transactions = 300;
+  quest.num_items = 40;
+  quest.seed = 11;
+  auto db = datagen::GenerateQuestData(quest);
+  ASSERT_TRUE(db.ok());
+  MinerOptions options;
+  options.support.min_count = 10;
+  options.max_level = 3;
+  options.keep_frontier = true;
+  auto inc = IncrementalMiner::Create(std::move(*db), SessionOptions(),
+                                      options);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  ASSERT_TRUE(inc->Repair().ok());
+  ASSERT_FALSE(inc->state().counts.empty());
+  const std::string bytes = EncodeBorderState(inc->state());
+  auto loaded = DecodeBorderState(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(EncodeBorderState(*loaded), bytes);
+}
+
+// RepairBorder's preconditions: a snapshot from a different dataset (name
+// mismatch) or a different row count must be rejected with a Status before
+// the memo is ever trusted.
+TEST(BorderStateTest, RepairRejectsMismatchedSnapshot) {
+  datagen::QuestOptions quest;
+  quest.num_transactions = 200;
+  quest.num_items = 30;
+  quest.seed = 5;
+  auto db = datagen::GenerateQuestData(quest);
+  ASSERT_TRUE(db.ok());
+  auto session = MiningSession::FromDatabase(*db, SessionOptions());
+  ASSERT_TRUE(session.ok());
+
+  BorderState state;
+  state.num_items = session->num_items();
+  state.num_baskets = session->num_baskets() + 1;  // one phantom row
+  EXPECT_FALSE(RepairBorder(*session, &state).ok());
+
+  state.num_baskets = session->num_baskets();
+  state.item_names = {"not", "this", "dataset"};
+  EXPECT_FALSE(RepairBorder(*session, &state).ok());
+
+  state.item_names.clear();
+  state.num_items = session->num_items() + 1;
+  EXPECT_FALSE(RepairBorder(*session, &state).ok());
+}
+
+}  // namespace
+}  // namespace corrmine

@@ -93,6 +93,63 @@ TEST(CachedCountProviderTest, ClearCacheDropsEntriesNotAnswers) {
   EXPECT_EQ(cached.CountAllPresent(Itemset{0, 1, 2}), before);
 }
 
+// Regression: the cache had no invalidation story, so growing the
+// underlying index in place (delta ingestion) silently served counts over
+// the OLD rows. The append below stays within the same 64-bit word count —
+// the stale prefix bitmap has the right size and simply reads 0 for every
+// new row, the nastiest variant of the bug — so only epoch invalidation
+// can produce the fresh answer.
+TEST(CachedCountProviderTest, AdvanceEpochInvalidatesStalePrefixes) {
+  auto db = testing::RandomIndependentDatabase(6, 40, 77);
+  VerticalIndex index(db);
+  CachedCountProvider cached(index);
+  const Itemset query{0, 1, 2};
+  // ScanCountProvider reads `db` live, so pin the pre-append count now.
+  const uint64_t count_before = ScanCountProvider(db).CountAllPresent(query);
+  EXPECT_EQ(cached.CountAllPresent(query), count_before);
+  EXPECT_EQ(cached.epoch(), 0u);
+
+  // 40 -> 50 rows: both round up to one 64-bit word per bitmap, and every
+  // new row contains the queried items.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.AddBasket({0, 1, 2}).ok());
+  }
+  index.AppendFrom(db, index.num_baskets());
+  cached.AdvanceEpoch();
+  EXPECT_EQ(cached.epoch(), 1u);
+
+  ScanCountProvider scan_after(db);
+  EXPECT_EQ(scan_after.CountAllPresent(query), count_before + 10);
+  EXPECT_EQ(cached.CountAllPresent(query),
+            scan_after.CountAllPresent(query))
+      << "stale prefix bitmap served across an epoch bump";
+  // The prefix had to be rebuilt: the stale entry may not count as a hit.
+  EXPECT_EQ(cached.stats().misses, 2u);
+}
+
+// Multi-epoch churn with untouched entries: a prefix queried only in epoch
+// 0 must still be re-resolved freshly when it next appears epochs later.
+TEST(CachedCountProviderTest, EntriesStaleAcrossSeveralEpochsStayExact) {
+  auto db = testing::RandomCorrelatedDatabase(8, 100, 0.8, 9);
+  VerticalIndex index(db);
+  CachedCountProvider cached(index);
+  std::vector<Itemset> queries = AllSubsets(8, 3);
+  for (const Itemset& s : queries) cached.CountAllPresent(s);
+
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db.AddBasket({0, static_cast<ItemId>(epoch), 7}).ok());
+    }
+    index.AppendFrom(db, index.num_baskets());
+    cached.AdvanceEpoch();
+  }
+  ScanCountProvider scan(db);
+  for (const Itemset& s : queries) {
+    EXPECT_EQ(cached.CountAllPresent(s), scan.CountAllPresent(s))
+        << s.ToString();
+  }
+}
+
 TEST(CachedCountProviderTest, ConcurrentQueriesStayExact) {
   auto db = testing::RandomCorrelatedDatabase(9, 400, 0.85, 47);
   ScanCountProvider scan(db);

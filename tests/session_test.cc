@@ -169,6 +169,47 @@ TEST(MiningSessionTest, FrequentMinersAgreeWithMonolithicBaseline) {
   }
 }
 
+// Delta ingestion through the facade: AppendBatch must leave the session
+// indistinguishable from one opened over the concatenated data — for every
+// layout, including the prefix-cached one, whose memoized bitmaps predate
+// the append and must be epoch-invalidated rather than silently reused.
+TEST(MiningSessionTest, AppendBatchMatchesFromScratchSession) {
+  TransactionDatabase base = SeededQuest(1997);
+  TransactionDatabase delta = SeededQuest(4711);
+  TransactionDatabase combined = SeededQuest(1997);
+  for (size_t row = 0; row < delta.num_baskets(); ++row) {
+    ASSERT_TRUE(combined.AddBasket(delta.basket(row)).ok());
+  }
+
+  struct Layout {
+    int shards;
+    bool prefix_cache;
+  };
+  for (const Layout& layout :
+       {Layout{1, false}, Layout{3, false}, Layout{1, true}}) {
+    SessionOptions options;
+    options.num_shards = layout.shards;
+    options.prefix_cache = layout.prefix_cache;
+    auto session = MiningSession::FromDatabase(base, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    // Prime the session (and any prefix cache) over the base rows first.
+    ASSERT_TRUE(session->Mine(TestMinerOptions()).ok());
+    ASSERT_TRUE(session->AppendBatch(delta).ok());
+    EXPECT_EQ(session->num_baskets(),
+              base.num_baskets() + delta.num_baskets());
+
+    auto scratch = MiningSession::FromDatabase(combined, options);
+    ASSERT_TRUE(scratch.ok());
+    auto appended_result = session->Mine(TestMinerOptions());
+    ASSERT_TRUE(appended_result.ok()) << appended_result.status().ToString();
+    auto scratch_result = scratch->Mine(TestMinerOptions());
+    ASSERT_TRUE(scratch_result.ok());
+    EXPECT_EQ(Fingerprint(*appended_result), Fingerprint(*scratch_result))
+        << "shards " << layout.shards << " prefix_cache "
+        << layout.prefix_cache;
+  }
+}
+
 TEST(MiningSessionTest, LevelWiseMinerStaysOnBatchPath) {
   if constexpr (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
   TransactionDatabase db = SeededQuest(1997);

@@ -16,13 +16,17 @@
 // which owns the (optionally sharded) dataset, the counting provider, and
 // the thread pool.
 
+#include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "core/border_repair.h"
+#include "core/border_state.h"
 #include "core/interest.h"
 #include "core/report.h"
 #include "core/session.h"
@@ -30,6 +34,9 @@
 #include "datagen/quest_generator.h"
 #include "datagen/text_generator.h"
 #include "io/binary_io.h"
+#include "io/chunked_io.h"
+#include "io/format_detect.h"
+#include "io/sharded_loader.h"
 #include "itemset/kernels.h"
 #include "io/csv.h"
 #include "io/result_io.h"
@@ -74,6 +81,21 @@ constexpr char kUsage[] =
     "                             every kernel — only throughput changes\n"
     "      --algo levelwise|walk  search strategy (default levelwise)\n"
     "      --walks N              random walks when --algo walk\n"
+    "      --resume-from SNAP     load a border snapshot (CBS1) and repair\n"
+    "                             it against the file's current contents —\n"
+    "                             the mined output is byte-identical to a\n"
+    "                             from-scratch mine, but counting only\n"
+    "                             touches rows the snapshot has not seen.\n"
+    "                             Mining flags are taken from the snapshot,\n"
+    "                             not the command line; tail chunks appended\n"
+    "                             to the file since the snapshot are folded\n"
+    "                             in automatically\n"
+    "      --append FILE          append FILE's baskets to the in-memory\n"
+    "                             session before mining (with --resume-from:\n"
+    "                             delta repair without touching the input\n"
+    "                             file). Not available with --names\n"
+    "      --border-out SNAP      write the border snapshot after mining —\n"
+    "                             the input to a later --resume-from\n"
     "      --out FILE             also write the result in the line format\n"
     "      --stats-json FILE      write run statistics as JSON (schema\n"
     "                             corrmine-stats-v1: a \"deterministic\"\n"
@@ -108,6 +130,14 @@ constexpr char kUsage[] =
     "                      attributes (CSV: header + label rows)\n"
     "      --confidence-level A   significance level (default 0.95)\n"
     "      --min-expected E       ignore cells with expectation < E\n"
+    "  ingest <file>    maintain a chunked binary transaction file\n"
+    "      --append DELTA         append DELTA's baskets as a new tail\n"
+    "                             chunk (DELTA may be text or binary; a\n"
+    "                             text base file is converted to binary\n"
+    "                             in place first)\n"
+    "      --retire N             drop the N oldest chunks — sliding-window\n"
+    "                             retirement; the file may not become empty\n"
+    "                             With neither flag, prints the chunk layout\n"
     "  generate <kind>  write a synthetic dataset (quest|census|text)\n"
     "      --out FILE             output path (default <kind>.txt)\n"
     "      --baskets N            override basket count\n"
@@ -191,9 +221,69 @@ Status RunMine(const FlagParser& flags) {
     };
   }
 
-  MiningResult result;
+  const std::string resume_path = flags.GetString("resume-from", "");
+  const std::string append_path = flags.GetString("append", "");
+  const std::string border_out = flags.GetString("border-out", "");
   std::string algo = flags.GetString("algo", "levelwise");
-  if (algo == "levelwise") {
+  if ((!resume_path.empty() || !border_out.empty()) && algo != "levelwise") {
+    return Status::InvalidArgument(
+        "--resume-from/--border-out require --algo levelwise");
+  }
+
+  std::optional<BorderState> state;
+  if (!resume_path.empty()) {
+    CORRMINE_ASSIGN_OR_RETURN(BorderState loaded,
+                              LoadBorderState(resume_path));
+    state.emplace(std::move(loaded));
+    if (session.num_baskets() < state->num_baskets) {
+      return Status::FailedPrecondition(
+          "input has " + std::to_string(session.num_baskets()) +
+          " baskets but the snapshot covers " +
+          std::to_string(state->num_baskets) +
+          " — after retiring chunks, re-mine with --border-out instead of "
+          "resuming");
+    }
+    if (session.num_baskets() > state->num_baskets) {
+      // Rows past the snapshot's coverage are tail chunks appended since it
+      // was written (ingest --append): fold them into the memo so the
+      // repair only ever re-counts the delta.
+      TransactionDatabase flat = session.Flatten();
+      TransactionDatabase tail(flat.num_items());
+      for (size_t row = state->num_baskets; row < flat.num_baskets();
+           ++row) {
+        CORRMINE_RETURN_NOT_OK(tail.AddBasket(flat.basket(row)));
+      }
+      CORRMINE_RETURN_NOT_OK(ApplyAppendedChunk(&*state, tail));
+      std::cerr << "[repair] folded " << tail.num_baskets()
+                << " appended baskets from the input file into the "
+                   "snapshot\n";
+    }
+  }
+  if (!append_path.empty()) {
+    if (session_options.named_items) {
+      return Status::InvalidArgument(
+          "--append is id-based and cannot be combined with --names (the "
+          "delta's token->id mapping would not match the session's)");
+    }
+    CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase delta,
+                              io::LoadTransactionFile(append_path));
+    CORRMINE_RETURN_NOT_OK(session.AppendBatch(delta));
+    if (state) CORRMINE_RETURN_NOT_OK(ApplyAppendedChunk(&*state, delta));
+  }
+
+  MiningResult result;
+  if (state || !border_out.empty()) {
+    if (!state) {
+      // Fresh snapshot: the first repair over an empty memo is exactly a
+      // full mine, and it leaves the memo primed for later resumes.
+      state.emplace();
+      state->num_items = session.num_items();
+      state->num_baskets = session.num_baskets();
+      state->item_names = session.dictionary().names();
+      state->config = BorderMinerConfig::FromMinerOptions(options);
+    }
+    CORRMINE_ASSIGN_OR_RETURN(result, RepairBorder(session, &*state));
+  } else if (algo == "levelwise") {
     CORRMINE_ASSIGN_OR_RETURN(result, session.Mine(options));
   } else if (algo == "walk") {
     RandomWalkOptions walk;
@@ -235,6 +325,11 @@ Status RunMine(const FlagParser& flags) {
   if (!out.empty()) {
     CORRMINE_RETURN_NOT_OK(io::WriteMiningResult(result, out));
     std::cout << "result written to " << out << "\n";
+  }
+  if (!border_out.empty()) {
+    CORRMINE_RETURN_NOT_OK(SaveBorderState(*state, border_out));
+    std::cout << "border snapshot written to " << border_out << " ("
+              << state->counts.size() << " memoized counts)\n";
   }
 
   std::string stats_path = flags.GetString("stats-json", "");
@@ -385,6 +480,72 @@ Status RunRules(const FlagParser& flags) {
   return Status::OK();
 }
 
+Status RunIngest(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    return Status::InvalidArgument("ingest: missing transaction file");
+  }
+  const std::string path = flags.positional()[1];
+  const std::string append_path = flags.GetString("append", "");
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t retire, flags.GetUint64("retire", 0));
+
+  if (!append_path.empty()) {
+    // Binary chunks can only follow a binary base; a text base is converted
+    // in place first (its rows become chunk 0).
+    auto format_or = io::DetectTransactionFileFormat(path);
+    if (format_or.ok() &&
+        *format_or == io::TransactionFileFormat::kText) {
+      CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase base,
+                                io::LoadTransactionFile(path));
+      CORRMINE_RETURN_NOT_OK(io::WriteBinaryTransactionFile(base, path));
+      std::cout << "converted text base to binary (" << base.num_baskets()
+                << " baskets)\n";
+    }
+    CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase delta,
+                              io::LoadTransactionFile(append_path));
+    if (delta.num_baskets() == 0) {
+      return Status::InvalidArgument("ingest: delta file has no baskets");
+    }
+    CORRMINE_RETURN_NOT_OK(io::AppendBinaryTransactionChunk(delta, path));
+    std::cout << "appended " << delta.num_baskets() << " baskets over "
+              << delta.num_items() << " items\n";
+  }
+  if (retire > 0) {
+    CORRMINE_RETURN_NOT_OK(io::RetireOldestTransactionChunks(
+        path, static_cast<size_t>(retire)));
+    std::cout << "retired " << retire
+              << (retire == 1 ? " oldest chunk\n" : " oldest chunks\n");
+  }
+
+  CORRMINE_ASSIGN_OR_RETURN(io::TransactionFileFormat format,
+                            io::DetectTransactionFileFormat(path));
+  if (format == io::TransactionFileFormat::kText) {
+    CORRMINE_ASSIGN_OR_RETURN(TransactionDatabase db,
+                              io::LoadTransactionFile(path));
+    std::cout << path << ": text format, " << db.num_baskets()
+              << " baskets over " << db.num_items()
+              << " items (ingest --append converts to chunked binary)\n";
+    return Status::OK();
+  }
+  CORRMINE_ASSIGN_OR_RETURN(std::string bytes, io::ReadFileToString(path));
+  CORRMINE_ASSIGN_OR_RETURN(auto chunks, io::ListTransactionChunks(bytes));
+  uint64_t total_baskets = 0;
+  ItemId item_space = 0;
+  for (const io::TransactionChunkInfo& chunk : chunks) {
+    total_baskets += chunk.num_baskets;
+    item_space = std::max(item_space, chunk.num_items);
+  }
+  std::cout << path << ": " << chunks.size() << " chunk"
+            << (chunks.size() == 1 ? "" : "s") << ", " << total_baskets
+            << " baskets over " << item_space << " items\n";
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    std::cout << "  chunk " << i << ": " << chunks[i].num_baskets
+              << " baskets, " << chunks[i].num_items << " items, "
+              << chunks[i].size << " bytes at offset " << chunks[i].offset
+              << "\n";
+  }
+  return Status::OK();
+}
+
 Status RunGenerate(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     return Status::InvalidArgument("generate: missing dataset kind");
@@ -465,6 +626,8 @@ int Main(int argc, const char* const* argv) {
     status = RunDependencies(flags);
   } else if (command == "rules") {
     status = RunRules(flags);
+  } else if (command == "ingest") {
+    status = RunIngest(flags);
   } else if (command == "generate") {
     status = RunGenerate(flags);
   } else {
