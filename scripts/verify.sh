@@ -14,6 +14,9 @@
 #                                         # throughput + scheduler and
 #                                         # incremental gates)
 #   SKIP_INCREMENTAL=1 scripts/verify.sh  # skip the incremental repair stage
+#   SKIP_OUTOFCORE=1 scripts/verify.sh    # skip the out-of-core stage
+#                                         # (spill-partition mining + the
+#                                         # memory-budget bench gate)
 #
 # Test slices by ctest label (tier-1 build):
 #   (cd build && ctest -L unit)          # fast unit suites
@@ -78,6 +81,29 @@ if [[ "${SKIP_STATSDIFF:-0}" != "1" ]]; then
     "$SDIR/stats_kernel_auto.json" \
     --counters miner.,count_provider.,kernel.
 
+  echo "== kernel sentinel: compressed counting columns =="
+  # Same invariance for the hybrid-container kernels: the compressed
+  # provider routes array/dense/run intersections through the same dispatch
+  # table, so forced-scalar vs dispatched must agree on the deterministic
+  # section and the kernel.* logical-element counters. And the compressed
+  # provider itself must answer byte-identically to the bitmap provider
+  # (deterministic section only — kernel.* families differ across
+  # physically different index layouts).
+  build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
+    --support-count 100 --cell-fraction 0.26 --max-level 3 \
+    --threads 8 --shards 4 --provider compressed --kernel scalar \
+    --stats-json "$SDIR/stats_column_scalar.json" >/dev/null
+  build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
+    --support-count 100 --cell-fraction 0.26 --max-level 3 \
+    --threads 8 --shards 4 --provider compressed \
+    --stats-json "$SDIR/stats_column_auto.json" >/dev/null
+  build/tools/statsdiff "$SDIR/stats_column_scalar.json" \
+    "$SDIR/stats_column_auto.json" \
+    --counters miner.,count_provider.,kernel.
+  build/tools/statsdiff "$SDIR/stats_kernel_auto.json" \
+    "$SDIR/stats_column_auto.json" \
+    --counters miner.,count_provider.
+
   echo "== trace stage: record + validate a Chrome trace =="
   build/tools/corrmine_cli mine "$SDIR/fixture.txt" \
     --support-count 100 --cell-fraction 0.26 --max-level 3 \
@@ -122,6 +148,38 @@ if [[ "${SKIP_INCREMENTAL:-0}" != "1" ]]; then
   build/tools/statsdiff --validate-trace "$IDIR/repair.trace.json"
 fi
 
+if [[ "${SKIP_OUTOFCORE:-0}" != "1" ]]; then
+  echo "== out-of-core slice: spill-partition suites =="
+  (cd build && ctest --output-on-failure -R '^(outofcore_test|counting_column_test)$')
+
+  echo "== out-of-core differential: spill mining vs in-memory =="
+  # The §12 exactness contract end to end through the CLI: mining with
+  # --out-of-core under a partition-forcing budget must produce the rule
+  # file byte-for-byte and a clean deterministic-stats diff against the
+  # in-memory mine, at 1 and 8 threads. Counter families are deliberately
+  # NOT compared: the out-of-core pipeline runs extra per-partition mines
+  # and streaming count passes by design, so only the deterministic
+  # section (rules, levels, dataset identity) is pinned.
+  ODIR=build/outofcore-out
+  rm -rf "$ODIR" && mkdir -p "$ODIR"
+  OFLAGS=(--support-count 3000 --cell-fraction 0.26 --max-level 3)
+  build/tools/corrmine_cli generate quest --baskets 60000 \
+    --format binary --out "$ODIR/fixture.cmb" >/dev/null
+  build/tools/corrmine_cli mine "$ODIR/fixture.cmb" "${OFLAGS[@]}" \
+    --out "$ODIR/rules_mem.txt" \
+    --stats-json "$ODIR/stats_mem.json" >/dev/null
+  for threads in 1 8; do
+    build/tools/corrmine_cli mine "$ODIR/fixture.cmb" "${OFLAGS[@]}" \
+      --out-of-core --memory-budget $((8 * 1024 * 1024)) \
+      --threads "$threads" \
+      --out "$ODIR/rules_ooc_t${threads}.txt" \
+      --stats-json "$ODIR/stats_ooc_t${threads}.json" >/dev/null
+    cmp "$ODIR/rules_mem.txt" "$ODIR/rules_ooc_t${threads}.txt"
+    build/tools/statsdiff "$ODIR/stats_mem.json" \
+      "$ODIR/stats_ooc_t${threads}.json"
+  done
+fi
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   echo "== bench stage: kernel throughput =="
   # The SIMD layer's reason to exist: bench_kernels CHECK-fails if any
@@ -157,6 +215,20 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     build/tools/benchgate --out BENCH_incremental.json \
       "$BDIR/incremental.txt"
   fi
+
+  if [[ "${SKIP_OUTOFCORE:-0}" != "1" ]]; then
+    echo "== bench stage: out-of-core memory gate =="
+    # The §12 budget contract: bench_outofcore streams a dataset >= 10x
+    # its --memory-budget through the spill pipeline (CHECKing exactness
+    # against an in-memory mine internally); benchgate then enforces peak
+    # RSS <= 1.1x budget — core-independent, a byte budget is the same
+    # promise on every machine — and refreshes BENCH_outofcore.json.
+    cmake --build build -j --target bench_outofcore benchgate >/dev/null
+    build/bench/bench_outofcore | tee "$BDIR/outofcore.txt" \
+      | grep -v BENCH_
+    build/tools/benchgate --out BENCH_outofcore.json \
+      "$BDIR/outofcore.txt"
+  fi
 fi
 
 if [[ "${SKIP_METRICS_OFF:-0}" != "1" ]]; then
@@ -173,10 +245,11 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     --target thread_pool_test miner_test batch_tables_test \
     count_provider_cache_test sharded_database_test trace_test \
     kernel_differential_test scheduler_determinism_test \
-    incremental_differential_test border_state_test >/dev/null
+    incremental_differential_test border_state_test \
+    differential_miners_test counting_column_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test|scheduler_determinism_test|incremental_differential_test|border_state_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test|scheduler_determinism_test|incremental_differential_test|border_state_test|differential_miners_test|counting_column_test)$')
 fi
 
 echo "verify: OK"

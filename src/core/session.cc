@@ -27,6 +27,12 @@ Status ValidateSessionOptions(const SessionOptions& options,
         "prefix_cache requires num_shards == 1 (the cache decorates a "
         "single whole-database index)");
   }
+  if (options.prefix_cache &&
+      options.provider != SessionProvider::kBitmap) {
+    return Status::InvalidArgument(
+        "prefix_cache requires the bitmap provider (the cache memoizes "
+        "whole-database prefix bitmaps)");
+  }
   return Status::OK();
 }
 
@@ -39,17 +45,32 @@ MiningSession::~MiningSession() = default;
 MiningSession::MiningSession(ShardedTransactionDatabase db,
                              const SessionOptions& options)
     : db_(std::move(db)),
+      provider_kind_(options.provider),
       threads_(ThreadPool::ResolveThreadCount(options.num_threads)),
       metrics_(options.metrics) {
   TraceScope span("session.open", -1,
                   static_cast<int64_t>(db_.num_shards()),
                   static_cast<int64_t>(db_.num_baskets()));
-  sharded_provider_ = std::make_unique<ShardedCountProvider>(db_);
+  switch (provider_kind_) {
+    case SessionProvider::kBitmap:
+      sharded_provider_ = std::make_unique<ShardedCountProvider>(db_);
+      active_provider_ = sharded_provider_.get();
+      break;
+    case SessionProvider::kCompressed:
+      compressed_provider_ = std::make_unique<CompressedCountProvider>(db_);
+      active_provider_ = compressed_provider_.get();
+      break;
+    case SessionProvider::kScan:
+      scan_provider_ = std::make_unique<ShardedScanCountProvider>(db_);
+      active_provider_ = scan_provider_.get();
+      break;
+  }
   if (options.prefix_cache) {
-    // Validated by the factories: exactly one shard, whose vertical index
-    // therefore covers the whole database.
+    // Validated by the factories: the bitmap strategy with exactly one
+    // shard, whose vertical index therefore covers the whole database.
     cached_ =
         std::make_unique<CachedCountProvider>(sharded_provider_->shard_index(0));
+    active_provider_ = cached_.get();
   }
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
   metrics().GetGauge("mem.peak_rss_bytes")
@@ -103,8 +124,23 @@ void MiningSession::PublishMemoryGauges() const {
   MetricsRegistry& registry = metrics();
   registry.GetGauge("mem.peak_rss_bytes")
       ->Set(static_cast<int64_t>(PeakRssBytes()));
-  registry.GetGauge("mem.shard_index_bytes")
-      ->Set(static_cast<int64_t>(sharded_provider_->IndexMemoryBytes()));
+  if (sharded_provider_ != nullptr) {
+    registry.GetGauge("mem.shard_index_bytes")
+        ->Set(static_cast<int64_t>(sharded_provider_->IndexMemoryBytes()));
+  }
+  if (compressed_provider_ != nullptr) {
+    registry.GetGauge("mem.shard_index_bytes")
+        ->Set(static_cast<int64_t>(compressed_provider_->IndexMemoryBytes()));
+    const ColumnStorageStats storage = compressed_provider_->StorageStats();
+    registry.GetGauge("column.array_containers")
+        ->Set(static_cast<int64_t>(storage.array_containers));
+    registry.GetGauge("column.dense_containers")
+        ->Set(static_cast<int64_t>(storage.dense_containers));
+    registry.GetGauge("column.run_containers")
+        ->Set(static_cast<int64_t>(storage.run_containers));
+    registry.GetGauge("column.payload_bytes")
+        ->Set(static_cast<int64_t>(storage.payload_bytes));
+  }
   if (cached_ != nullptr) {
     registry.GetGauge("mem.cache_bytes")
         ->Set(static_cast<int64_t>(cached_->MemoryBytes()));
@@ -121,7 +157,9 @@ Status MiningSession::AppendBatch(const TransactionDatabase& chunk) {
   for (size_t row = 0; row < chunk.num_baskets(); ++row) {
     CORRMINE_RETURN_NOT_OK(db_.AddBasket(chunk.basket(row)));
   }
-  sharded_provider_->AppendFrom(db_);
+  if (sharded_provider_ != nullptr) sharded_provider_->AppendFrom(db_);
+  if (compressed_provider_ != nullptr) compressed_provider_->AppendFrom(db_);
+  // The scan provider reads db_ live — nothing to catch up.
   if (cached_ != nullptr) cached_->AdvanceEpoch();
   PublishMemoryGauges();
   return Status::OK();

@@ -8,6 +8,7 @@
 #include "core/chi_squared_miner.h"
 #include "core/random_walk_miner.h"
 #include "itemset/count_provider.h"
+#include "itemset/counting_column.h"
 #include "itemset/sharded_database.h"
 #include "mining/apriori.h"
 #include "mining/eclat.h"
@@ -15,6 +16,23 @@
 namespace corrmine {
 
 class ThreadPool;
+
+/// Counting strategy a MiningSession builds (CLI `--provider`). All three
+/// satisfy the same CountProvider contract with batch overrides, so mined
+/// answers are byte-identical across strategies; only cost, memory, and
+/// which kernel counters tick differ.
+enum class SessionProvider {
+  /// Per-shard uncompressed bitmap indexes (ShardedCountProvider) — the
+  /// default: fastest on dense row spaces, O(items x rows / 8) memory.
+  kBitmap = 0,
+  /// Per-shard hybrid counting columns (CompressedCountProvider) — adaptive
+  /// array/dense/run containers, memory tracks occupancy instead of the
+  /// rectangle, and the same storage the out-of-core shard files hold.
+  kCompressed = 1,
+  /// No index at all (ShardedScanCountProvider) — re-scans the row store
+  /// per batch; the paper's full-pass baseline cost model.
+  kScan = 2,
+};
 
 /// Knobs a MiningSession resolves once, up front, instead of every caller
 /// re-deriving them per run.
@@ -35,6 +53,10 @@ struct SessionOptions {
   /// decorates a single whole-database vertical index, and its cost
   /// counters are pinned by golden tests to the unsharded AND-chain shape.
   bool prefix_cache = false;
+
+  /// Counting strategy to build. prefix_cache additionally requires
+  /// kBitmap (the cache decorates a whole-database bitmap index).
+  SessionProvider provider = SessionProvider::kBitmap;
 
   /// Text inputs hold word tokens, not integer ids (Open only).
   bool named_items = false;
@@ -105,11 +127,10 @@ class MiningSession {
 
   const ShardedTransactionDatabase& database() const { return db_; }
   /// The counting strategy every Mine* call uses (the prefix cache when
-  /// enabled, else the sharded provider).
-  const CountProvider& provider() const {
-    return cached_ ? static_cast<const CountProvider&>(*cached_)
-                   : *sharded_provider_;
-  }
+  /// enabled, else the selected provider).
+  const CountProvider& provider() const { return *active_provider_; }
+  /// The strategy this session was built with.
+  SessionProvider provider_kind() const { return provider_kind_; }
   /// Non-null only when SessionOptions::prefix_cache was set.
   const CachedCountProvider* cache() const { return cached_.get(); }
   CachedCountProvider* cache() { return cached_.get(); }
@@ -137,8 +158,15 @@ class MiningSession {
   void PublishMemoryGauges() const;
 
   ShardedTransactionDatabase db_;
+  // Exactly one of the three strategy members is built (provider_kind_);
+  // active_provider_ points at it, or at cached_ when the cache decorates
+  // the bitmap strategy.
   std::unique_ptr<ShardedCountProvider> sharded_provider_;
+  std::unique_ptr<CompressedCountProvider> compressed_provider_;
+  std::unique_ptr<ShardedScanCountProvider> scan_provider_;
   std::unique_ptr<CachedCountProvider> cached_;
+  const CountProvider* active_provider_ = nullptr;
+  SessionProvider provider_kind_ = SessionProvider::kBitmap;
   std::unique_ptr<ThreadPool> pool_;
   int threads_ = 1;
   MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,222 @@
+#include "io/column_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/binary_io.h"
+
+namespace corrmine::io {
+
+namespace {
+
+size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) / align * align;
+}
+
+/// Varint reader over the mapped bytes (ReadVarint wants a std::string).
+StatusOr<uint64_t> ReadVarintMem(const uint8_t* data, size_t len,
+                                 size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < len && shift < 64) {
+    const uint8_t byte = data[*pos];
+    ++*pos;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::Corruption("CCS1: truncated varint in directory");
+}
+
+size_t ContainerPayloadBytes(const CountingColumn::ContainerView& view) {
+  return view.kind == CountingColumn::ContainerKind::kDense
+             ? CountingColumn::kWordsPerDense * sizeof(uint64_t)
+             : view.u16.size() * sizeof(uint16_t);
+}
+
+}  // namespace
+
+Status WriteColumnShardFile(const ColumnSource& source,
+                            const std::string& path) {
+  // Pass 1: assign 8-aligned payload offsets (relative to payload_base, so
+  // they are known before the directory — whose size sets the base — is
+  // built).
+  struct Entry {
+    CountingColumn::ContainerView view;
+    uint64_t rel_offset = 0;
+  };
+  std::vector<std::vector<Entry>> columns(source.num_columns());
+  uint64_t payload_bytes = 0;
+  for (ItemId item = 0; item < source.num_columns(); ++item) {
+    const CountingColumn& col = source.column(item);
+    columns[item].reserve(col.num_containers());
+    for (size_t i = 0; i < col.num_containers(); ++i) {
+      Entry entry;
+      entry.view = col.container_view(i);
+      payload_bytes = AlignUp(payload_bytes, kColumnShardPayloadAlign);
+      entry.rel_offset = payload_bytes;
+      payload_bytes += ContainerPayloadBytes(entry.view);
+      columns[item].push_back(entry);
+    }
+  }
+
+  std::string directory;
+  AppendVarint(&directory, source.num_rows());
+  AppendVarint(&directory, source.num_columns());
+  for (const std::vector<Entry>& column : columns) {
+    AppendVarint(&directory, column.size());
+    for (const Entry& entry : column) {
+      AppendVarint(&directory, entry.view.key);
+      directory.push_back(static_cast<char>(entry.view.kind));
+      AppendVarint(&directory, entry.view.count);
+      AppendVarint(&directory, entry.rel_offset);
+      AppendVarint(&directory, ContainerPayloadBytes(entry.view));
+    }
+  }
+
+  const size_t header_bytes =
+      sizeof(kColumnShardMagic) + sizeof(uint64_t) + directory.size();
+  const uint64_t payload_base = AlignUp(header_bytes, kColumnShardPageAlign);
+
+  std::string bytes;
+  bytes.reserve(payload_base + payload_bytes);
+  bytes.append(kColumnShardMagic, sizeof(kColumnShardMagic));
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<char>((payload_base >> (8 * i)) & 0xff));
+  }
+  bytes += directory;
+  bytes.resize(payload_base, '\0');
+  for (const std::vector<Entry>& column : columns) {
+    for (const Entry& entry : column) {
+      bytes.resize(payload_base + entry.rel_offset, '\0');
+      if (entry.view.kind == CountingColumn::ContainerKind::kDense) {
+        bytes.append(reinterpret_cast<const char*>(entry.view.words.data()),
+                     entry.view.words.size() * sizeof(uint64_t));
+      } else {
+        bytes.append(reinterpret_cast<const char*>(entry.view.u16.data()),
+                     entry.view.u16.size() * sizeof(uint16_t));
+      }
+    }
+  }
+  return WriteStringToFile(bytes, path);
+}
+
+StatusOr<std::unique_ptr<MappedColumnShard>> MappedColumnShard::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open column shard: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat column shard: " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    return Status::IOError("mmap failed for column shard: " + path);
+  }
+  std::unique_ptr<MappedColumnShard> shard(new MappedColumnShard());
+  shard->map_ = map;
+  shard->map_len_ = len;
+
+  const uint8_t* data = static_cast<const uint8_t*>(map);
+  if (len < sizeof(kColumnShardMagic) + sizeof(uint64_t) ||
+      std::memcmp(data, kColumnShardMagic, sizeof(kColumnShardMagic)) != 0) {
+    return Status::Corruption("not a CCS1 column shard: " + path);
+  }
+  size_t pos = sizeof(kColumnShardMagic);
+  uint64_t payload_base = 0;
+  for (int i = 0; i < 8; ++i) {
+    payload_base |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+  }
+  pos += 8;
+  if (payload_base > len) {
+    return Status::Corruption("CCS1: payload base past end of file");
+  }
+  CORRMINE_ASSIGN_OR_RETURN(const uint64_t num_rows,
+                            ReadVarintMem(data, payload_base, &pos));
+  CORRMINE_ASSIGN_OR_RETURN(const uint64_t num_columns,
+                            ReadVarintMem(data, payload_base, &pos));
+  shard->num_rows_ = num_rows;
+  shard->columns_.reserve(num_columns);
+  std::vector<CountingColumn::ContainerView> views;
+  for (uint64_t item = 0; item < num_columns; ++item) {
+    CORRMINE_ASSIGN_OR_RETURN(const uint64_t num_containers,
+                              ReadVarintMem(data, payload_base, &pos));
+    views.clear();
+    views.reserve(num_containers);
+    for (uint64_t c = 0; c < num_containers; ++c) {
+      CORRMINE_ASSIGN_OR_RETURN(const uint64_t key,
+                                ReadVarintMem(data, payload_base, &pos));
+      if (pos >= payload_base) {
+        return Status::Corruption("CCS1: truncated container record");
+      }
+      const uint8_t kind_byte = data[pos++];
+      if (kind_byte > 2) {
+        return Status::Corruption("CCS1: unknown container kind");
+      }
+      CORRMINE_ASSIGN_OR_RETURN(const uint64_t count,
+                                ReadVarintMem(data, payload_base, &pos));
+      CORRMINE_ASSIGN_OR_RETURN(const uint64_t rel_offset,
+                                ReadVarintMem(data, payload_base, &pos));
+      CORRMINE_ASSIGN_OR_RETURN(const uint64_t bytes,
+                                ReadVarintMem(data, payload_base, &pos));
+      if (rel_offset % kColumnShardPayloadAlign != 0 ||
+          payload_base + rel_offset + bytes > len) {
+        return Status::Corruption("CCS1: payload out of bounds");
+      }
+      CountingColumn::ContainerView view;
+      view.key = static_cast<uint32_t>(key);
+      view.kind = static_cast<CountingColumn::ContainerKind>(kind_byte);
+      view.count = static_cast<uint32_t>(count);
+      const uint8_t* payload = data + payload_base + rel_offset;
+      if (view.kind == CountingColumn::ContainerKind::kDense) {
+        if (bytes != CountingColumn::kWordsPerDense * sizeof(uint64_t)) {
+          return Status::Corruption("CCS1: dense payload size mismatch");
+        }
+        view.words = std::span<const uint64_t>(
+            reinterpret_cast<const uint64_t*>(payload),
+            CountingColumn::kWordsPerDense);
+      } else {
+        if (bytes % sizeof(uint16_t) != 0) {
+          return Status::Corruption("CCS1: odd u16 payload size");
+        }
+        if (view.kind == CountingColumn::ContainerKind::kArray &&
+            bytes != count * sizeof(uint16_t)) {
+          return Status::Corruption("CCS1: array payload size mismatch");
+        }
+        view.u16 = std::span<const uint16_t>(
+            reinterpret_cast<const uint16_t*>(payload),
+            bytes / sizeof(uint16_t));
+      }
+      views.push_back(view);
+    }
+    shard->columns_.push_back(
+        CountingColumn::FromContainerViews(num_rows, views));
+  }
+  shard->empty_ = CountingColumn(num_rows, {});
+  return shard;
+}
+
+MappedColumnShard::~MappedColumnShard() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+  }
+}
+
+const CountingColumn& MappedColumnShard::column(ItemId item) const {
+  if (static_cast<size_t>(item) < columns_.size()) return columns_[item];
+  return empty_;
+}
+
+}  // namespace corrmine::io

@@ -1,0 +1,84 @@
+#ifndef CORRMINE_IO_COLUMN_STORE_H_
+#define CORRMINE_IO_COLUMN_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "itemset/counting_column.h"
+
+namespace corrmine::io {
+
+/// CCS1 — the column-shard file format (DESIGN.md §12): one ColumnSource
+/// (per-item hybrid counting columns over one row space) serialized
+/// container-at-a-time for mmap-backed lazy loading.
+///
+///   "CCS1"                       4-byte magic
+///   payload_base                 8-byte LE file offset (4096-aligned)
+///   varint num_rows
+///   varint num_columns
+///   per column:  varint num_containers
+///     per container: varint key · 1-byte kind · varint count
+///                    · varint rel_offset (from payload_base, 8-aligned)
+///                    · varint payload_bytes
+///   zero padding to payload_base
+///   payload section              raw container payloads
+///
+/// The directory is tiny and parsed eagerly at open; payloads are only
+/// ever touched through the container views handed to CountingColumn, so
+/// the kernel faults pages in at access granularity — a mapped shard
+/// costs directory-size resident bytes until it is actually counted
+/// against. payload_base is fixed-width (not varint) so the directory can
+/// be sized before the base is known. Offsets are 8-byte aligned: every
+/// payload type (uint16 arrays/runs, uint64 dense words) reads aligned.
+inline constexpr char kColumnShardMagic[4] = {'C', 'C', 'S', '1'};
+
+/// Payload-section alignment (one page), and per-payload alignment.
+inline constexpr size_t kColumnShardPageAlign = 4096;
+inline constexpr size_t kColumnShardPayloadAlign = 8;
+
+/// Serializes every column of `source` to `path` (atomic whole-file
+/// write). Columns are written in item order, containers in key order.
+Status WriteColumnShardFile(const ColumnSource& source,
+                            const std::string& path);
+
+/// A CCS1 file mapped read-only; implements ColumnSource over view-backed
+/// columns whose payloads live in the mapping. The mapping (and therefore
+/// every column handed out) lives until destruction; resident cost is
+/// whatever pages counting actually touched, and munmap returns them —
+/// the out-of-core miner's map → count → unmap cycle keeps its high-water
+/// mark near one partition.
+class MappedColumnShard : public ColumnSource {
+ public:
+  static StatusOr<std::unique_ptr<MappedColumnShard>> Open(
+      const std::string& path);
+
+  ~MappedColumnShard() override;
+
+  MappedColumnShard(const MappedColumnShard&) = delete;
+  MappedColumnShard& operator=(const MappedColumnShard&) = delete;
+
+  size_t num_rows() const override { return num_rows_; }
+  ItemId num_columns() const override {
+    return static_cast<ItemId>(columns_.size());
+  }
+  const CountingColumn& column(ItemId item) const override;
+
+  size_t file_bytes() const { return map_len_; }
+
+ private:
+  MappedColumnShard() = default;
+
+  void* map_ = nullptr;
+  size_t map_len_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<CountingColumn> columns_;  // view-backed into map_
+  CountingColumn empty_;                 // items past the stored range
+};
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_COLUMN_STORE_H_

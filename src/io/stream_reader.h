@@ -1,0 +1,31 @@
+#ifndef CORRMINE_IO_STREAM_READER_H_
+#define CORRMINE_IO_STREAM_READER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status_or.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine::io {
+
+/// Streams a transaction file basket-by-basket without ever materializing
+/// the database — the entry point the out-of-core spill pass reads
+/// through, so resident memory stays O(one basket + read buffer) no
+/// matter the file size. Formats are sniffed like every other loader
+/// (io/format_detect.h): text files are parsed line-by-line; CMB1 binary
+/// files — including chunked multi-segment tails from `ingest --append` —
+/// are decoded through a bounded rolling window.
+///
+/// `num_items` receives the item-space size on success: the maximum of
+/// the per-segment header values for binary files (authoritative — it may
+/// exceed the largest id actually present, and the in-memory loaders
+/// honor it the same way), or max-id+1 for text. `sink` is invoked once
+/// per basket in file order; a non-OK sink status aborts the stream.
+Status StreamTransactionFile(
+    const std::string& path, ItemId* num_items,
+    const std::function<Status(std::vector<ItemId>)>& sink);
+
+}  // namespace corrmine::io
+
+#endif  // CORRMINE_IO_STREAM_READER_H_

@@ -1,115 +1,12 @@
 #ifndef CORRMINE_ITEMSET_COMPRESSED_BITMAP_H_
 #define CORRMINE_ITEMSET_COMPRESSED_BITMAP_H_
 
-#include <cstdint>
-#include <vector>
+// The side-car CompressedBitmap grew into the first-class CountingColumn
+// storage layer (DESIGN.md §12). This header remains as a shim so existing
+// includes keep compiling; CompressedBitmap is now an alias of
+// CountingColumn, and CompressedVerticalIndex / CompressedCountProvider
+// live in counting_column.h.
 
-#include "itemset/bitmap.h"
-#include "itemset/count_provider.h"
-#include "itemset/itemset.h"
-#include "itemset/transaction_database.h"
-
-namespace corrmine {
-
-/// Compressed basket-set bitmap in the Roaring style: the row space is
-/// chunked into 2^16-row blocks, and each non-empty block is stored either
-/// as a sorted array of 16-bit offsets (sparse) or as a dense 8 KiB bitset
-/// (popular). Item columns in market-basket data are typically 0.1–5%
-/// dense, where the array containers cut memory by an order of magnitude
-/// while AND/popcount kernels stay fast (galloping intersection on arrays,
-/// word-wise AND on bitsets).
-///
-/// Immutable after construction; build from the sorted row ids of an item.
-class CompressedBitmap {
- public:
-  /// Rows must be strictly increasing and below `num_rows`.
-  CompressedBitmap(size_t num_rows, const std::vector<uint32_t>& rows);
-
-  /// Conversion from a plain bitmap (used by tests and adapters).
-  static CompressedBitmap FromBitmap(const Bitmap& bitmap);
-
-  size_t num_rows() const { return num_rows_; }
-
-  bool Test(uint32_t row) const;
-
-  /// Number of set rows.
-  uint64_t Count() const { return total_count_; }
-
-  /// Popcount of the intersection; both maps must cover the same row
-  /// space.
-  uint64_t AndCount(const CompressedBitmap& other) const;
-
-  /// Approximate heap bytes used by the container payloads (for the
-  /// compression diagnostics and tests).
-  size_t MemoryBytes() const;
-
-  /// Materializes the sorted set rows (used by multi-way intersection).
-  std::vector<uint32_t> ToRows() const;
-
- private:
-  /// A block covers rows [key << 16, (key+1) << 16).
-  struct Container {
-    uint32_t key = 0;
-    bool dense = false;
-    /// Sorted 16-bit offsets when sparse.
-    std::vector<uint16_t> array;
-    /// 1024 words when dense.
-    std::vector<uint64_t> words;
-    uint32_t count = 0;
-  };
-
-  /// Sparse containers convert to dense above this cardinality (the
-  /// break-even point: 4096 * 2 bytes == 8 KiB).
-  static constexpr uint32_t kDenseThreshold = 4096;
-
-  static uint64_t AndCountContainers(const Container& a, const Container& b);
-
-  size_t num_rows_ = 0;
-  uint64_t total_count_ = 0;
-  std::vector<Container> containers_;  // Sorted by key.
-};
-
-/// Vertical index over compressed columns; drop-in alternative to
-/// VerticalIndex for memory-constrained runs.
-class CompressedVerticalIndex {
- public:
-  explicit CompressedVerticalIndex(const TransactionDatabase& db);
-
-  size_t num_baskets() const { return num_baskets_; }
-  const CompressedBitmap& item_bitmap(ItemId item) const {
-    return columns_[item];
-  }
-
-  uint64_t CountAllPresent(const Itemset& s) const;
-
-  /// Total container payload bytes across all columns.
-  size_t MemoryBytes() const;
-
- private:
-  size_t num_baskets_;
-  std::vector<CompressedBitmap> columns_;
-};
-
-/// CountProvider over the compressed index. Multi-way counts intersect
-/// pairwise (cheapest-first), which is exact though not single-pass.
-class CompressedCountProvider : public CountProvider {
- public:
-  explicit CompressedCountProvider(const TransactionDatabase& db)
-      : index_(db) {}
-
-  uint64_t num_baskets() const override { return index_.num_baskets(); }
-
-  const CompressedVerticalIndex& index() const { return index_; }
-
- protected:
-  uint64_t CountAllPresentImpl(const Itemset& s) const override {
-    return index_.CountAllPresent(s);
-  }
-
- private:
-  CompressedVerticalIndex index_;
-};
-
-}  // namespace corrmine
+#include "itemset/counting_column.h"
 
 #endif  // CORRMINE_ITEMSET_COMPRESSED_BITMAP_H_

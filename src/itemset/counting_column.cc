@@ -1,0 +1,864 @@
+#include "itemset/counting_column.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace corrmine {
+
+namespace {
+
+/// Group-block granularity of the batch morsels: one (shard, block) task
+/// covers up to this many plan groups, matching ShardedCountProvider.
+constexpr size_t kColumnGroupBlock = 64;
+
+/// Number of (start, length-1) runs in a sorted offset sequence.
+size_t CountRuns(std::span<const uint16_t> offsets) {
+  size_t runs = 0;
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    runs += (i == 0 || offsets[i] != static_cast<uint16_t>(offsets[i - 1] + 1) ||
+             offsets[i] == 0);
+  }
+  return runs;
+}
+
+/// Popcount of words[...] restricted to bit positions [first, last].
+uint64_t CountDenseRange(const uint64_t* words, uint32_t first,
+                         uint32_t last) {
+  const uint32_t first_word = first >> 6;
+  const uint32_t last_word = last >> 6;
+  const uint64_t head_mask = ~uint64_t{0} << (first & 63);
+  const uint64_t tail_mask = ~uint64_t{0} >> (63 - (last & 63));
+  if (first_word == last_word) {
+    return static_cast<uint64_t>(
+        std::popcount(words[first_word] & head_mask & tail_mask));
+  }
+  uint64_t count = std::popcount(words[first_word] & head_mask);
+  for (uint32_t w = first_word + 1; w < last_word; ++w) {
+    count += std::popcount(words[w]);
+  }
+  count += std::popcount(words[last_word] & tail_mask);
+  return count;
+}
+
+/// Words spanned by bit range [first, last] (ISA-invariant work unit).
+uint64_t DenseRangeWords(uint32_t first, uint32_t last) {
+  return (last >> 6) - (first >> 6) + 1;
+}
+
+}  // namespace
+
+CountingColumn::Container CountingColumn::MakeContainer(
+    uint32_t key, std::span<const uint16_t> offsets) {
+  Container c;
+  c.key = key;
+  c.count = static_cast<uint32_t>(offsets.size());
+  const size_t runs = CountRuns(offsets);
+  const size_t array_bytes = 2 * offsets.size();
+  const size_t run_bytes = 4 * runs;
+  const size_t dense_bytes = kWordsPerDense * sizeof(uint64_t);
+  if (run_bytes < array_bytes && run_bytes < dense_bytes) {
+    c.kind = ContainerKind::kRun;
+    c.owned_u16.reserve(2 * runs);
+    size_t i = 0;
+    while (i < offsets.size()) {
+      size_t j = i + 1;
+      while (j < offsets.size() &&
+             offsets[j] == static_cast<uint16_t>(offsets[j - 1] + 1) &&
+             offsets[j] != 0) {
+        ++j;
+      }
+      c.owned_u16.push_back(offsets[i]);
+      c.owned_u16.push_back(static_cast<uint16_t>(j - i - 1));
+      i = j;
+    }
+  } else if (array_bytes <= dense_bytes) {
+    c.kind = ContainerKind::kArray;
+    c.owned_u16.assign(offsets.begin(), offsets.end());
+  } else {
+    c.kind = ContainerKind::kDense;
+    c.owned_words.assign(kWordsPerDense, 0);
+    for (uint16_t off : offsets) {
+      c.owned_words[off >> 6] |= uint64_t{1} << (off & 63);
+    }
+  }
+  return c;
+}
+
+void CountingColumn::ContainerOffsets(const Container& c,
+                                      std::vector<uint16_t>* out) {
+  out->clear();
+  out->reserve(c.count);
+  switch (c.kind) {
+    case ContainerKind::kArray: {
+      const auto u16 = c.u16();
+      out->assign(u16.begin(), u16.end());
+      break;
+    }
+    case ContainerKind::kDense: {
+      const uint64_t* words = c.words();
+      for (size_t w = 0; w < kWordsPerDense; ++w) {
+        uint64_t bits = words[w];
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          out->push_back(static_cast<uint16_t>(w * 64 + b));
+          bits &= bits - 1;
+        }
+      }
+      break;
+    }
+    case ContainerKind::kRun: {
+      const auto runs = c.u16();
+      for (size_t r = 0; r + 1 < runs.size(); r += 2) {
+        const uint32_t start = runs[r];
+        const uint32_t end = start + runs[r + 1];
+        for (uint32_t off = start; off <= end; ++off) {
+          out->push_back(static_cast<uint16_t>(off));
+        }
+      }
+      break;
+    }
+  }
+}
+
+CountingColumn::CountingColumn(size_t num_rows,
+                               const std::vector<uint32_t>& rows)
+    : num_rows_(num_rows), total_count_(rows.size()) {
+  std::vector<uint16_t> offsets;
+  size_t i = 0;
+  while (i < rows.size()) {
+    const uint32_t key = rows[i] >> kBlockBits;
+    offsets.clear();
+    while (i < rows.size() && (rows[i] >> kBlockBits) == key) {
+      CORRMINE_CHECK(rows[i] < num_rows)
+          << "row " << rows[i] << " out of range " << num_rows;
+      CORRMINE_CHECK(offsets.empty() ||
+                     static_cast<uint16_t>(rows[i]) > offsets.back())
+          << "rows must be strictly increasing";
+      offsets.push_back(static_cast<uint16_t>(rows[i] & (kBlockSize - 1)));
+      ++i;
+    }
+    containers_.push_back(MakeContainer(key, offsets));
+  }
+}
+
+CountingColumn CountingColumn::FromBitmap(const Bitmap& bitmap) {
+  std::vector<uint32_t> rows;
+  const std::vector<uint64_t>& words = bitmap.words();
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      rows.push_back(static_cast<uint32_t>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
+  return CountingColumn(bitmap.size(), rows);
+}
+
+CountingColumn CountingColumn::FromContainerViews(
+    size_t num_rows, std::span<const ContainerView> views) {
+  CountingColumn col;
+  col.num_rows_ = num_rows;
+  col.containers_.reserve(views.size());
+  for (const ContainerView& v : views) {
+    Container c;
+    c.key = v.key;
+    c.kind = v.kind;
+    c.count = v.count;
+    if (v.kind == ContainerKind::kDense) {
+      CORRMINE_CHECK(v.words.size() == kWordsPerDense)
+          << "dense container payload must be " << kWordsPerDense << " words";
+      c.view_words = v.words.data();
+    } else {
+      c.view_u16 = v.u16.data();
+      c.view_u16_len = v.u16.size();
+    }
+    col.total_count_ += v.count;
+    col.containers_.push_back(std::move(c));
+  }
+  return col;
+}
+
+bool CountingColumn::Test(uint32_t row) const {
+  const uint32_t key = row >> kBlockBits;
+  const auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint32_t k) { return c.key < k; });
+  if (it == containers_.end() || it->key != key) return false;
+  const uint16_t off = static_cast<uint16_t>(row & (kBlockSize - 1));
+  switch (it->kind) {
+    case ContainerKind::kArray: {
+      const auto u16 = it->u16();
+      return std::binary_search(u16.begin(), u16.end(), off);
+    }
+    case ContainerKind::kDense:
+      return (it->words()[off >> 6] >> (off & 63)) & 1;
+    case ContainerKind::kRun: {
+      const auto runs = it->u16();
+      // Last run whose start <= off.
+      size_t lo = 0;
+      size_t hi = runs.size() / 2;
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (runs[2 * mid] <= off) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == 0) return false;
+      const uint32_t start = runs[2 * (lo - 1)];
+      return off <= start + runs[2 * (lo - 1) + 1];
+    }
+  }
+  return false;
+}
+
+uint64_t CountingColumn::AndCountContainers(const Container& a,
+                                            const Container& b,
+                                            ColumnOpStats* stats) {
+  // Canonicalize so the pair dispatch below sees kind(x) <= kind(y) in the
+  // order array < dense < run.
+  const Container* x = &a;
+  const Container* y = &b;
+  if (static_cast<int>(x->kind) > static_cast<int>(y->kind)) std::swap(x, y);
+  const CountingKernels& kernels = ActiveKernels();
+  switch (x->kind) {
+    case ContainerKind::kArray:
+      switch (y->kind) {
+        case ContainerKind::kArray: {
+          const auto ax = x->u16();
+          const auto ay = y->u16();
+          if (stats != nullptr) stats->array_elems += ax.size() + ay.size();
+          return kernels.array_intersect_count(ax.data(), ax.size(),
+                                               ay.data(), ay.size());
+        }
+        case ContainerKind::kDense: {
+          const auto ax = x->u16();
+          if (stats != nullptr) stats->probe_elems += ax.size();
+          return kernels.array_dense_count(ax.data(), ax.size(), y->words());
+        }
+        case ContainerKind::kRun: {
+          const auto ax = x->u16();
+          const auto runs = y->u16();
+          if (stats != nullptr) {
+            stats->array_elems += ax.size();
+            stats->run_elems += runs.size() / 2;
+          }
+          uint64_t count = 0;
+          size_t r = 0;
+          for (const uint16_t v : ax) {
+            while (r * 2 < runs.size() &&
+                   static_cast<uint32_t>(runs[r * 2]) + runs[r * 2 + 1] < v) {
+              ++r;
+            }
+            if (r * 2 < runs.size() && runs[r * 2] <= v) ++count;
+          }
+          return count;
+        }
+      }
+      break;
+    case ContainerKind::kDense:
+      switch (y->kind) {
+        case ContainerKind::kDense:
+          if (stats != nullptr) stats->dense_words += kWordsPerDense;
+          return kernels.and_count(x->words(), y->words(), kWordsPerDense);
+        case ContainerKind::kRun: {
+          const auto runs = y->u16();
+          uint64_t count = 0;
+          for (size_t r = 0; r + 1 < runs.size(); r += 2) {
+            const uint32_t start = runs[r];
+            const uint32_t end = start + runs[r + 1];
+            count += CountDenseRange(x->words(), start, end);
+            if (stats != nullptr) {
+              stats->dense_words += DenseRangeWords(start, end);
+            }
+          }
+          if (stats != nullptr) stats->run_elems += runs.size() / 2;
+          return count;
+        }
+        default:
+          break;
+      }
+      break;
+    case ContainerKind::kRun: {
+      // run x run: two-pointer overlap-length sum.
+      const auto ra = x->u16();
+      const auto rb = y->u16();
+      if (stats != nullptr) stats->run_elems += ra.size() / 2 + rb.size() / 2;
+      uint64_t count = 0;
+      size_t i = 0;
+      size_t j = 0;
+      while (i * 2 < ra.size() && j * 2 < rb.size()) {
+        const uint32_t sa = ra[2 * i];
+        const uint32_t ea = sa + ra[2 * i + 1];
+        const uint32_t sb = rb[2 * j];
+        const uint32_t eb = sb + rb[2 * j + 1];
+        const uint32_t lo = std::max(sa, sb);
+        const uint32_t hi = std::min(ea, eb);
+        if (lo <= hi) count += hi - lo + 1;
+        if (ea < eb) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      return count;
+    }
+  }
+  CORRMINE_CHECK(false) << "unreachable container pair";
+  return 0;
+}
+
+CountingColumn::Container CountingColumn::AndContainers(const Container& a,
+                                                        const Container& b,
+                                                        ColumnOpStats* stats) {
+  const Container* x = &a;
+  const Container* y = &b;
+  if (static_cast<int>(x->kind) > static_cast<int>(y->kind)) std::swap(x, y);
+  const CountingKernels& kernels = ActiveKernels();
+  std::vector<uint16_t> offsets;
+  // dense x dense and dense x run materialize words; everything else
+  // materializes sorted offsets and re-optimizes via MakeContainer.
+  if (x->kind == ContainerKind::kDense && y->kind == ContainerKind::kDense) {
+    Container out;
+    out.key = a.key;
+    out.kind = ContainerKind::kDense;
+    out.owned_words.resize(kWordsPerDense);
+    out.count = static_cast<uint32_t>(kernels.and_count_into(
+        out.owned_words.data(), x->words(), y->words(), kWordsPerDense));
+    if (stats != nullptr) stats->dense_words += kWordsPerDense;
+    if (out.count == 0) return out;
+    if (out.count >= kDenseThreshold) {
+      out.kind = ContainerKind::kDense;
+      return out;
+    }
+    ContainerOffsets(out, &offsets);  // demote: decode then re-pick
+    return MakeContainer(a.key, offsets);
+  }
+  if (x->kind == ContainerKind::kDense && y->kind == ContainerKind::kRun) {
+    Container out;
+    out.key = a.key;
+    out.kind = ContainerKind::kDense;
+    out.owned_words.assign(kWordsPerDense, 0);
+    const auto runs = y->u16();
+    uint64_t count = 0;
+    for (size_t r = 0; r + 1 < runs.size(); r += 2) {
+      const uint32_t start = runs[r];
+      const uint32_t end = start + runs[r + 1];
+      const uint32_t first_word = start >> 6;
+      const uint32_t last_word = end >> 6;
+      const uint64_t head_mask = ~uint64_t{0} << (start & 63);
+      const uint64_t tail_mask = ~uint64_t{0} >> (63 - (end & 63));
+      for (uint32_t w = first_word; w <= last_word; ++w) {
+        uint64_t mask = ~uint64_t{0};
+        if (w == first_word) mask &= head_mask;
+        if (w == last_word) mask &= tail_mask;
+        const uint64_t bits = x->words()[w] & mask;
+        out.owned_words[w] |= bits;
+        count += std::popcount(bits);
+      }
+      if (stats != nullptr) stats->dense_words += DenseRangeWords(start, end);
+    }
+    if (stats != nullptr) stats->run_elems += runs.size() / 2;
+    out.count = static_cast<uint32_t>(count);
+    if (out.count == 0) return out;
+    if (out.count >= kDenseThreshold) {
+      out.kind = ContainerKind::kDense;
+      return out;
+    }
+    ContainerOffsets(out, &offsets);
+    return MakeContainer(a.key, offsets);
+  }
+  if (x->kind == ContainerKind::kRun && y->kind == ContainerKind::kRun) {
+    // Intersection of two run lists is a run list: emit overlap segments.
+    Container out;
+    out.key = a.key;
+    out.kind = ContainerKind::kRun;
+    const auto ra = x->u16();
+    const auto rb = y->u16();
+    if (stats != nullptr) stats->run_elems += ra.size() / 2 + rb.size() / 2;
+    uint64_t count = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i * 2 < ra.size() && j * 2 < rb.size()) {
+      const uint32_t sa = ra[2 * i];
+      const uint32_t ea = sa + ra[2 * i + 1];
+      const uint32_t sb = rb[2 * j];
+      const uint32_t eb = sb + rb[2 * j + 1];
+      const uint32_t lo = std::max(sa, sb);
+      const uint32_t hi = std::min(ea, eb);
+      if (lo <= hi) {
+        out.owned_u16.push_back(static_cast<uint16_t>(lo));
+        out.owned_u16.push_back(static_cast<uint16_t>(hi - lo));
+        count += hi - lo + 1;
+      }
+      if (ea < eb) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    out.count = static_cast<uint32_t>(count);
+    return out;
+  }
+  // Array x {array, dense, run}: the result is at most the array's size
+  // (< kDenseThreshold), so materialize offsets directly.
+  CORRMINE_CHECK(x->kind == ContainerKind::kArray);
+  const auto ax = x->u16();
+  if (y->kind == ContainerKind::kArray) {
+    const auto ay = y->u16();
+    if (stats != nullptr) stats->array_elems += ax.size() + ay.size();
+    offsets.reserve(std::min(ax.size(), ay.size()));
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ax.size() && j < ay.size()) {
+      if (ax[i] == ay[j]) {
+        offsets.push_back(ax[i]);
+        ++i;
+        ++j;
+      } else if (ax[i] < ay[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  } else if (y->kind == ContainerKind::kDense) {
+    if (stats != nullptr) stats->probe_elems += ax.size();
+    const uint64_t* words = y->words();
+    for (const uint16_t off : ax) {
+      if ((words[off >> 6] >> (off & 63)) & 1) offsets.push_back(off);
+    }
+  } else {  // array x run
+    const auto runs = y->u16();
+    if (stats != nullptr) {
+      stats->array_elems += ax.size();
+      stats->run_elems += runs.size() / 2;
+    }
+    size_t r = 0;
+    for (const uint16_t v : ax) {
+      while (r * 2 < runs.size() &&
+             static_cast<uint32_t>(runs[r * 2]) + runs[r * 2 + 1] < v) {
+        ++r;
+      }
+      if (r * 2 < runs.size() && runs[r * 2] <= v) offsets.push_back(v);
+    }
+  }
+  return MakeContainer(a.key, offsets);
+}
+
+uint64_t CountingColumn::AndCount(const CountingColumn& other,
+                                  ColumnOpStats* stats) const {
+  CORRMINE_CHECK(num_rows_ == other.num_rows_)
+      << "AndCount over mismatched row spaces: " << num_rows_
+      << " != " << other.num_rows_;
+  uint64_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < containers_.size() && j < other.containers_.size()) {
+    const uint32_t ka = containers_[i].key;
+    const uint32_t kb = other.containers_[j].key;
+    if (ka == kb) {
+      count += AndCountContainers(containers_[i], other.containers_[j], stats);
+      ++i;
+      ++j;
+    } else if (ka < kb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+CountingColumn CountingColumn::And(const CountingColumn& other,
+                                   ColumnOpStats* stats) const {
+  CORRMINE_CHECK(num_rows_ == other.num_rows_)
+      << "And over mismatched row spaces: " << num_rows_
+      << " != " << other.num_rows_;
+  CountingColumn out;
+  out.num_rows_ = num_rows_;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < containers_.size() && j < other.containers_.size()) {
+    const uint32_t ka = containers_[i].key;
+    const uint32_t kb = other.containers_[j].key;
+    if (ka == kb) {
+      Container c = AndContainers(containers_[i], other.containers_[j], stats);
+      if (c.count > 0) {
+        out.total_count_ += c.count;
+        out.containers_.push_back(std::move(c));
+      }
+      ++i;
+      ++j;
+    } else if (ka < kb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+uint64_t CountingColumn::AndCountInto(const CountingColumn& a,
+                                      const CountingColumn& b,
+                                      CountingColumn* dst,
+                                      ColumnOpStats* stats) {
+  *dst = a.And(b, stats);
+  return dst->Count();
+}
+
+void CountingColumn::AppendRows(const std::vector<uint32_t>& rows,
+                                size_t new_num_rows) {
+  CORRMINE_CHECK(new_num_rows >= num_rows_) << "row space cannot shrink";
+  if (rows.empty()) {
+    num_rows_ = new_num_rows;
+    return;
+  }
+  CORRMINE_CHECK(rows.front() >= num_rows_)
+      << "AppendRows may only add rows past the existing row space";
+  std::vector<uint16_t> offsets;
+  size_t i = 0;
+  while (i < rows.size()) {
+    const uint32_t key = rows[i] >> kBlockBits;
+    offsets.clear();
+    // Merge into the existing tail container when the first appended rows
+    // land in its block (decoding materializes view payloads).
+    if (!containers_.empty() && containers_.back().key == key) {
+      ContainerOffsets(containers_.back(), &offsets);
+      containers_.pop_back();
+    }
+    while (i < rows.size() && (rows[i] >> kBlockBits) == key) {
+      CORRMINE_CHECK(rows[i] < new_num_rows)
+          << "row " << rows[i] << " out of range " << new_num_rows;
+      const uint16_t off =
+          static_cast<uint16_t>(rows[i] & (kBlockSize - 1));
+      CORRMINE_CHECK(offsets.empty() || off > offsets.back())
+          << "appended rows must be strictly increasing";
+      offsets.push_back(off);
+      ++i;
+    }
+    containers_.push_back(MakeContainer(key, offsets));
+  }
+  total_count_ += rows.size();
+  num_rows_ = new_num_rows;
+}
+
+size_t CountingColumn::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + containers_.capacity() * sizeof(Container);
+  for (const Container& c : containers_) {
+    bytes += c.owned_u16.capacity() * sizeof(uint16_t) +
+             c.owned_words.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+size_t CountingColumn::PayloadBytes() const {
+  size_t bytes = 0;
+  for (const Container& c : containers_) {
+    bytes += (c.kind == ContainerKind::kDense)
+                 ? kWordsPerDense * sizeof(uint64_t)
+                 : c.u16().size() * sizeof(uint16_t);
+  }
+  return bytes;
+}
+
+std::vector<uint32_t> CountingColumn::ToRows() const {
+  std::vector<uint32_t> rows;
+  rows.reserve(total_count_);
+  std::vector<uint16_t> offsets;
+  for (const Container& c : containers_) {
+    const uint32_t base = c.key << kBlockBits;
+    ContainerOffsets(c, &offsets);
+    for (const uint16_t off : offsets) {
+      rows.push_back(base | off);
+    }
+  }
+  return rows;
+}
+
+CountingColumn::ContainerView CountingColumn::container_view(size_t i) const {
+  const Container& c = containers_[i];
+  ContainerView view;
+  view.key = c.key;
+  view.kind = c.kind;
+  view.count = c.count;
+  if (c.kind == ContainerKind::kDense) {
+    view.words = std::span<const uint64_t>(c.words(), kWordsPerDense);
+  } else {
+    view.u16 = c.u16();
+  }
+  return view;
+}
+
+ColumnStorageStats ComputeColumnStorageStats(const ColumnSource& source) {
+  ColumnStorageStats stats;
+  for (ItemId item = 0; item < source.num_columns(); ++item) {
+    const CountingColumn& col = source.column(item);
+    stats.payload_bytes += col.PayloadBytes();
+    for (size_t i = 0; i < col.num_containers(); ++i) {
+      switch (col.container_view(i).kind) {
+        case CountingColumn::ContainerKind::kArray:
+          ++stats.array_containers;
+          break;
+        case CountingColumn::ContainerKind::kDense:
+          ++stats.dense_containers;
+          break;
+        case CountingColumn::ContainerKind::kRun:
+          ++stats.run_containers;
+          break;
+      }
+    }
+  }
+  return stats;
+}
+
+uint64_t CountAllPresentColumns(const ColumnSource& source, const Itemset& s,
+                                ColumnOpStats* stats) {
+  CORRMINE_CHECK(!s.empty()) << "CountAllPresent requires a non-empty set";
+  if (s.size() == 1) return source.column(s.item(0)).Count();
+  // Fold rarest-first so the intermediate intersections stay small. The
+  // order changes cost only — intersection counts are exact either way —
+  // and is itself deterministic (count, then item id).
+  std::vector<ItemId> items(s.items().begin(), s.items().end());
+  std::sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
+    const uint64_t ca = source.column(a).Count();
+    const uint64_t cb = source.column(b).Count();
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  if (items.size() == 2) {
+    return source.column(items[0]).AndCount(source.column(items[1]), stats);
+  }
+  CountingColumn acc =
+      source.column(items[0]).And(source.column(items[1]), stats);
+  for (size_t i = 2; i + 1 < items.size(); ++i) {
+    acc = acc.And(source.column(items[i]), stats);
+  }
+  return acc.AndCount(source.column(items.back()), stats);
+}
+
+void ExecuteBlockedGroupsColumns(const BlockedCountPlan& plan,
+                                 size_t group_begin, size_t group_end,
+                                 const ColumnSource& source,
+                                 std::span<uint64_t> counts,
+                                 ColumnOpStats* stats) {
+  CORRMINE_CHECK(counts.size() == plan.num_queries)
+      << "counts span does not match the plan";
+  for (size_t g = group_begin; g < group_end; ++g) {
+    const BlockedCountPlan::Group& group = plan.groups[g];
+    if (stats != nullptr) {
+      ++stats->groups;
+      stats->queries += group.self_queries.size() + group.ext_queries.size();
+    }
+    // Size-1 prefixes alias the item column; larger prefixes fold into a
+    // materialized intersection once per group.
+    const CountingColumn* block = &source.column(group.prefix.item(0));
+    CountingColumn materialized;
+    for (size_t i = 1; i < group.prefix.size(); ++i) {
+      materialized = block->And(source.column(group.prefix.item(i)), stats);
+      block = &materialized;
+    }
+    const uint64_t self_count = block->Count();
+    for (const uint32_t slot : group.self_queries) {
+      counts[slot] = self_count;
+    }
+    for (size_t i = 0; i < group.ext_items.size(); ++i) {
+      counts[group.ext_queries[i]] =
+          block->AndCount(source.column(group.ext_items[i]), stats);
+    }
+  }
+}
+
+CompressedVerticalIndex::CompressedVerticalIndex(const TransactionDatabase& db)
+    : num_baskets_(db.num_baskets()) {
+  std::vector<std::vector<uint32_t>> rows(db.num_items());
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    rows[item].reserve(db.ItemCount(item));
+  }
+  for (size_t b = 0; b < db.num_baskets(); ++b) {
+    for (const ItemId item : db.basket(b)) {
+      rows[item].push_back(static_cast<uint32_t>(b));
+    }
+  }
+  columns_.reserve(rows.size());
+  for (const std::vector<uint32_t>& item_rows : rows) {
+    columns_.emplace_back(num_baskets_, item_rows);
+  }
+  empty_ = CountingColumn(num_baskets_, {});
+}
+
+CompressedVerticalIndex::CompressedVerticalIndex(
+    size_t num_baskets, std::vector<std::vector<uint32_t>> item_rows)
+    : num_baskets_(num_baskets) {
+  columns_.reserve(item_rows.size());
+  for (std::vector<uint32_t>& rows : item_rows) {
+    columns_.emplace_back(num_baskets_, rows);
+    // Release each row list as soon as its column is built: the spill pass
+    // hands over partition-sized row data and sizes its transient around
+    // this incremental handback.
+    rows = {};
+  }
+  empty_ = CountingColumn(num_baskets_, {});
+}
+
+void CompressedVerticalIndex::AppendFrom(const TransactionDatabase& db,
+                                         size_t from_row) {
+  CORRMINE_CHECK(from_row == num_baskets_)
+      << "AppendFrom must continue from the current row count";
+  const size_t new_num_rows = db.num_baskets();
+  std::vector<std::vector<uint32_t>> new_rows(db.num_items());
+  for (size_t b = from_row; b < new_num_rows; ++b) {
+    for (const ItemId item : db.basket(b)) {
+      new_rows[item].push_back(static_cast<uint32_t>(b));
+    }
+  }
+  // Grow the column space first (new items existed in no prior row), then
+  // fold every column forward so row counts stay uniform.
+  while (columns_.size() < new_rows.size()) {
+    columns_.emplace_back(num_baskets_, std::vector<uint32_t>{});
+  }
+  for (size_t item = 0; item < columns_.size(); ++item) {
+    columns_[item].AppendRows(
+        item < new_rows.size() ? new_rows[item] : std::vector<uint32_t>{},
+        new_num_rows);
+  }
+  num_baskets_ = new_num_rows;
+  empty_ = CountingColumn(num_baskets_, {});
+}
+
+uint64_t CompressedVerticalIndex::CountAllPresent(const Itemset& s) const {
+  return CountAllPresentColumns(*this, s);
+}
+
+size_t CompressedVerticalIndex::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const CountingColumn& col : columns_) {
+    bytes += col.MemoryBytes();
+  }
+  return bytes;
+}
+
+const CountingColumn& CompressedVerticalIndex::column(ItemId item) const {
+  if (static_cast<size_t>(item) < columns_.size()) return columns_[item];
+  return empty_;
+}
+
+CompressedCountProvider::CompressedCountProvider(const TransactionDatabase& db)
+    : num_rows_total_(db.num_baskets()) {
+  owned_.emplace_back(db);
+  sources_.push_back(&owned_.front());
+}
+
+CompressedCountProvider::CompressedCountProvider(
+    const ShardedTransactionDatabase& db)
+    : num_rows_total_(db.num_baskets()) {
+  owned_.reserve(db.num_shards());
+  for (size_t k = 0; k < db.num_shards(); ++k) {
+    owned_.emplace_back(db.shard(k));
+  }
+  sources_.reserve(owned_.size());
+  for (const CompressedVerticalIndex& index : owned_) {
+    sources_.push_back(&index);
+  }
+}
+
+CompressedCountProvider::CompressedCountProvider(
+    std::vector<const ColumnSource*> sources)
+    : sources_(std::move(sources)) {
+  for (const ColumnSource* source : sources_) {
+    num_rows_total_ += source->num_rows();
+  }
+}
+
+void CompressedCountProvider::AppendFrom(const ShardedTransactionDatabase& db) {
+  CORRMINE_CHECK(!owned_.empty())
+      << "AppendFrom is unavailable for externally owned column sources";
+  CORRMINE_CHECK(db.num_shards() == owned_.size())
+      << "AppendFrom across a different shard layout";
+  for (size_t k = 0; k < owned_.size(); ++k) {
+    owned_[k].AppendFrom(db.shard(k), owned_[k].num_baskets());
+  }
+  num_rows_total_ = db.num_baskets();
+}
+
+uint64_t CompressedCountProvider::IndexMemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const CompressedVerticalIndex& index : owned_) {
+    bytes += index.MemoryBytes();
+  }
+  return bytes;
+}
+
+ColumnStorageStats CompressedCountProvider::StorageStats() const {
+  ColumnStorageStats total;
+  for (const ColumnSource* source : sources_) {
+    const ColumnStorageStats s = ComputeColumnStorageStats(*source);
+    total.array_containers += s.array_containers;
+    total.dense_containers += s.dense_containers;
+    total.run_containers += s.run_containers;
+    total.payload_bytes += s.payload_bytes;
+  }
+  return total;
+}
+
+uint64_t CompressedCountProvider::CountAllPresentImpl(const Itemset& s) const {
+  ColumnOpStats stats;
+  uint64_t total = 0;
+  for (const ColumnSource* source : sources_) {
+    total += CountAllPresentColumns(*source, s, &stats);
+  }
+  BumpColumnKernelCounters(stats);
+  return total;
+}
+
+void CompressedCountProvider::CountAllPresentBatchImpl(
+    std::span<const Itemset> queries, std::span<uint64_t> counts,
+    ThreadPool* pool) const {
+  const size_t num_queries = queries.size();
+  const size_t num_shards = sources_.size();
+  // Prefix-blocked column execution mirroring ShardedCountProvider: one
+  // plan from the query stream, (shard x group-block) morsels on the pool,
+  // per-shard partial sums fanned in shard order — exact integers for any
+  // thread count or morsel schedule, so K-invariance holds by construction.
+  const BlockedCountPlan plan = BlockedCountPlan::Build(queries);
+  const size_t blocks =
+      (plan.groups.size() + kColumnGroupBlock - 1) / kColumnGroupBlock;
+  std::vector<std::vector<uint64_t>> partial(
+      num_shards, std::vector<uint64_t>(num_queries, 0));
+  Status status = ParallelForSlots(
+      pool, num_shards * blocks, 1,
+      [&](size_t /*slot*/, size_t begin, size_t end) -> Status {
+        for (size_t task = begin; task < end; ++task) {
+          const size_t shard = task / blocks;
+          const size_t block = task % blocks;
+          const size_t g_begin = block * kColumnGroupBlock;
+          const size_t g_end =
+              std::min(g_begin + kColumnGroupBlock, plan.groups.size());
+          TraceScope block_span("column.count_block", -1,
+                                static_cast<int64_t>(shard),
+                                static_cast<int64_t>(g_end - g_begin));
+          ColumnOpStats op_stats;
+          ExecuteBlockedGroupsColumns(plan, g_begin, g_end, *sources_[shard],
+                                      partial[shard], &op_stats);
+          BumpColumnKernelCounters(op_stats);
+        }
+        return Status::OK();
+      });
+  CORRMINE_CHECK(status.ok()) << status.ToString();
+  std::fill(counts.begin(), counts.end(), 0);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      counts[q] += partial[shard][q];
+    }
+  }
+}
+
+}  // namespace corrmine

@@ -1,0 +1,311 @@
+#ifndef CORRMINE_ITEMSET_COUNTING_COLUMN_H_
+#define CORRMINE_ITEMSET_COUNTING_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "itemset/bitmap.h"
+#include "itemset/count_provider.h"
+#include "itemset/itemset.h"
+#include "itemset/kernels.h"
+#include "itemset/sharded_database.h"
+#include "itemset/transaction_database.h"
+
+namespace corrmine {
+
+/// The unified compressed counting column (DESIGN.md §12): one basket set
+/// stored Roaring-style. The row space is chunked into 2^16-row blocks and
+/// each non-empty block keeps whichever container representation is
+/// smallest for its cardinality and clustering:
+///
+///   array  — sorted 16-bit offsets            (2 bytes/row; sparse)
+///   dense  — 8 KiB bitset, 1024 words         (fixed; popular blocks)
+///   run    — (start, length-1) 16-bit pairs   (4 bytes/run; clustered)
+///
+/// Promotion and demotion are cardinality-driven: construction, append and
+/// intersection all re-pick the minimum-byte representation, so a column
+/// never silently stays in a shape the data outgrew. Market-basket item
+/// columns are typically 0.1–5% dense, where arrays cut memory an order of
+/// magnitude; generated/sorted corpora collapse further into runs.
+///
+/// All counting loops route through the active CountingKernels table
+/// (kernels.h): dense x dense words via and_count/and_count_into, array x
+/// array via array_intersect_count galloping, array x dense via
+/// array_dense_count probes. Run-container paths are shared scalar code
+/// (identical in every TU). Work accounting — ColumnOpStats, in logical
+/// data units derived from container shapes only — is ISA-invariant, so
+/// the "kernel.column_*" counters diff clean between forced-scalar and
+/// dispatched runs.
+///
+/// Payloads are either owned (built in memory) or *views* into externally
+/// owned bytes — the mmap-backed shard files of io/column_store.h hand out
+/// view-backed columns whose payload pages fault in lazily. View-backed
+/// columns are immutable; AppendRows materializes on first touch.
+class CountingColumn {
+ public:
+  enum class ContainerKind : uint8_t { kArray = 0, kDense = 1, kRun = 2 };
+
+  /// Rows per container block and the dense payload geometry.
+  static constexpr int kBlockBits = 16;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;  // 65536
+  static constexpr size_t kWordsPerDense = kBlockSize / 64;      // 1024
+  /// Cardinality where a sorted array (2 bytes/row) stops beating the
+  /// fixed 8 KiB dense bitset.
+  static constexpr uint32_t kDenseThreshold = 4096;
+
+  /// One container, exposed for serialization (io/column_store.h) and
+  /// white-box tests. `u16` holds array offsets or run pairs; `words` the
+  /// dense payload; exactly one of the two is non-empty (except for kind
+  /// kDense where `u16` is empty and vice versa).
+  struct ContainerView {
+    uint32_t key = 0;  // block index: rows [key << 16, (key+1) << 16)
+    ContainerKind kind = ContainerKind::kArray;
+    uint32_t count = 0;  // set rows in this block
+    std::span<const uint16_t> u16;
+    std::span<const uint64_t> words;
+  };
+
+  /// Empty column over zero rows.
+  CountingColumn() = default;
+
+  /// Rows must be strictly increasing and below `num_rows`.
+  CountingColumn(size_t num_rows, const std::vector<uint32_t>& rows);
+
+  /// Conversion from a plain bitmap (used by tests and adapters).
+  static CountingColumn FromBitmap(const Bitmap& bitmap);
+
+  /// Rebuilds a column over externally owned container payloads (the mmap
+  /// path). The backing bytes must outlive the column; payload spans must
+  /// match each view's kind and count.
+  static CountingColumn FromContainerViews(size_t num_rows,
+                                           std::span<const ContainerView> views);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Membership test for one row (binary search within the row's block).
+  bool Test(uint32_t row) const;
+
+  /// Number of set rows (precomputed; O(1)).
+  uint64_t Count() const { return total_count_; }
+
+  /// Popcount of (this AND other) without materializing the intersection.
+  /// The columns must cover the same row count. `stats` (optional)
+  /// accumulates ISA-invariant work units.
+  uint64_t AndCount(const CountingColumn& other,
+                    ColumnOpStats* stats = nullptr) const;
+
+  /// Materialized intersection, re-optimized container by container
+  /// (dense results below kDenseThreshold demote to arrays; run x run
+  /// stays a run list). The prefix-blocked column executor folds group
+  /// prefixes through this.
+  CountingColumn And(const CountingColumn& other,
+                     ColumnOpStats* stats = nullptr) const;
+
+  /// Fused form mirroring Bitmap::AndCountInto: *dst = a AND b, returning
+  /// dst->Count() — one call site shape for both storage layers.
+  static uint64_t AndCountInto(const CountingColumn& a,
+                               const CountingColumn& b, CountingColumn* dst,
+                               ColumnOpStats* stats = nullptr);
+
+  /// Appends rows past every existing row (each in [num_rows(),
+  /// new_num_rows), strictly increasing) and grows the row space to
+  /// `new_num_rows`. The touched tail container is decoded, merged and
+  /// re-optimized; view-backed tails materialize first. Delta ingestion
+  /// only ever appends — shrinking is not supported.
+  void AppendRows(const std::vector<uint32_t>& rows, size_t new_num_rows);
+
+  /// Resident heap bytes (owned payloads + container bookkeeping). View
+  /// payloads are not counted — they live in the mapped file.
+  size_t MemoryBytes() const;
+
+  /// Logical payload bytes regardless of ownership (what serialization
+  /// writes; feeds the column.* storage gauges).
+  size_t PayloadBytes() const;
+
+  /// Decompresses back to sorted row ids (tests, adapters, spill).
+  std::vector<uint32_t> ToRows() const;
+
+  size_t num_containers() const { return containers_.size(); }
+  ContainerView container_view(size_t i) const;
+
+ private:
+  struct Container {
+    uint32_t key = 0;
+    ContainerKind kind = ContainerKind::kArray;
+    uint32_t count = 0;
+    // Exactly one payload source: owned vectors, or a borrowed view into
+    // externally owned bytes (mmap). Accessors below pick whichever is
+    // populated, so copies of view-backed columns never re-anchor.
+    std::vector<uint16_t> owned_u16;
+    std::vector<uint64_t> owned_words;
+    const uint16_t* view_u16 = nullptr;
+    size_t view_u16_len = 0;
+    const uint64_t* view_words = nullptr;
+
+    std::span<const uint16_t> u16() const {
+      if (view_u16 != nullptr) {
+        return std::span<const uint16_t>(view_u16, view_u16_len);
+      }
+      return std::span<const uint16_t>(owned_u16);
+    }
+    const uint64_t* words() const {
+      return view_words != nullptr ? view_words : owned_words.data();
+    }
+  };
+
+  /// Builds the minimum-byte container for one block's sorted offsets.
+  static Container MakeContainer(uint32_t key,
+                                 std::span<const uint16_t> offsets);
+  /// Intersection count of one aligned container pair.
+  static uint64_t AndCountContainers(const Container& a, const Container& b,
+                                     ColumnOpStats* stats);
+  /// Materialized intersection of one aligned container pair; returns a
+  /// container with count == 0 when the blocks are disjoint.
+  static Container AndContainers(const Container& a, const Container& b,
+                                 ColumnOpStats* stats);
+  /// Decodes one container into sorted in-block offsets.
+  static void ContainerOffsets(const Container& c,
+                               std::vector<uint16_t>* out);
+
+  std::vector<Container> containers_;  // sorted by key
+  size_t num_rows_ = 0;
+  uint64_t total_count_ = 0;
+};
+
+/// Legacy name: the side-car CompressedBitmap grew into the first-class
+/// column above; existing call sites and tests keep compiling unchanged.
+using CompressedBitmap = CountingColumn;
+
+/// A set of counting columns over one row space — the abstraction the
+/// prefix-blocked column executor and CompressedCountProvider count
+/// against. Implemented by the in-memory CompressedVerticalIndex below and
+/// by io/column_store.h's mmap-backed MappedColumnShard.
+class ColumnSource {
+ public:
+  virtual ~ColumnSource() = default;
+
+  virtual size_t num_rows() const = 0;
+  virtual ItemId num_columns() const = 0;
+
+  /// Column of `item`. Items at or past num_columns() resolve to a shared
+  /// empty column over num_rows() rows (partition shards may have seen a
+  /// smaller item space than the whole dataset).
+  virtual const CountingColumn& column(ItemId item) const = 0;
+};
+
+/// Storage census of a column source (feeds the "column.*" gauges).
+struct ColumnStorageStats {
+  uint64_t array_containers = 0;
+  uint64_t dense_containers = 0;
+  uint64_t run_containers = 0;
+  uint64_t payload_bytes = 0;
+};
+ColumnStorageStats ComputeColumnStorageStats(const ColumnSource& source);
+
+/// Scalar fallback shared by the providers: fold the itemset's columns
+/// with And/AndCount (k == 1 is a stored count; k == 2 a fused AndCount).
+uint64_t CountAllPresentColumns(const ColumnSource& source, const Itemset& s,
+                                ColumnOpStats* stats = nullptr);
+
+/// The compressed peer of ExecuteBlockedGroups (kernels.h): executes
+/// plan.groups[group_begin..group_end) against a column source, writing
+/// each answered query's count into `counts` (indexed by query slot;
+/// counts.size() == plan.num_queries). Size-1 prefixes alias the item
+/// column; larger prefixes materialize the prefix intersection once per
+/// group and stream every extension column against it. Exact integers for
+/// any group partition, so callers parallelize over disjoint ranges.
+void ExecuteBlockedGroupsColumns(const BlockedCountPlan& plan,
+                                 size_t group_begin, size_t group_end,
+                                 const ColumnSource& source,
+                                 std::span<uint64_t> counts,
+                                 ColumnOpStats* stats);
+
+/// Per-item counting columns for a transaction database (the compressed
+/// analogue of VerticalIndex).
+class CompressedVerticalIndex : public ColumnSource {
+ public:
+  explicit CompressedVerticalIndex(const TransactionDatabase& db);
+
+  /// Builds directly from per-item sorted row lists (the out-of-core spill
+  /// pass constructs partitions this way, without a TransactionDatabase).
+  CompressedVerticalIndex(size_t num_baskets,
+                          std::vector<std::vector<uint32_t>> item_rows);
+
+  /// Folds rows [from_row, db.num_baskets()) of `db` into the columns
+  /// (delta ingestion; mirrors VerticalIndex::AppendFrom).
+  void AppendFrom(const TransactionDatabase& db, size_t from_row);
+
+  size_t num_baskets() const { return num_baskets_; }
+  const CountingColumn& item_bitmap(ItemId item) const {
+    return columns_[item];
+  }
+
+  /// Baskets containing all items of `s` (kernel-dispatched column folds).
+  uint64_t CountAllPresent(const Itemset& s) const;
+
+  size_t MemoryBytes() const;
+
+  // ColumnSource:
+  size_t num_rows() const override { return num_baskets_; }
+  ItemId num_columns() const override {
+    return static_cast<ItemId>(columns_.size());
+  }
+  const CountingColumn& column(ItemId item) const override;
+
+ private:
+  std::vector<CountingColumn> columns_;
+  CountingColumn empty_;  // for items past the stored column range
+  size_t num_baskets_ = 0;
+};
+
+/// Strategy B-compressed: a drop-in, K-invariant, morsel-parallel peer of
+/// BitmapCountProvider over hybrid columns. Owns one
+/// CompressedVerticalIndex per shard (round-robin rows, exact per-shard
+/// sums fanned in shard order — byte-identical for any shard count), or
+/// borrows externally owned column sources (mmap-backed partition shards).
+/// Batches run through the prefix-blocked column executor as shard x
+/// group-block morsels on the caller's pool.
+class CompressedCountProvider : public CountProvider {
+ public:
+  /// Single-shard index over a flat database. `db` must outlive this.
+  explicit CompressedCountProvider(const TransactionDatabase& db);
+
+  /// One index per shard. `db` must outlive this.
+  explicit CompressedCountProvider(const ShardedTransactionDatabase& db);
+
+  /// Borrows externally owned sources (each must outlive this provider);
+  /// AppendFrom is unavailable in this mode.
+  explicit CompressedCountProvider(std::vector<const ColumnSource*> sources);
+
+  uint64_t num_baskets() const override { return num_rows_total_; }
+  size_t num_shards() const { return sources_.size(); }
+
+  /// First shard's index (legacy accessor; single-shard construction).
+  const CompressedVerticalIndex& index() const { return owned_.front(); }
+
+  /// Folds the database's appended tail into the per-shard indexes.
+  void AppendFrom(const ShardedTransactionDatabase& db);
+
+  /// Sum of per-shard index MemoryBytes (feeds mem.shard_index_bytes).
+  uint64_t IndexMemoryBytes() const;
+
+  /// Aggregated container census across every shard.
+  ColumnStorageStats StorageStats() const;
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override;
+  void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                std::span<uint64_t> counts,
+                                ThreadPool* pool) const override;
+
+ private:
+  std::vector<CompressedVerticalIndex> owned_;   // built before sources_
+  std::vector<const ColumnSource*> sources_;     // into owned_ or external
+  uint64_t num_rows_total_ = 0;
+};
+
+}  // namespace corrmine
+
+#endif  // CORRMINE_ITEMSET_COUNTING_COLUMN_H_

@@ -285,4 +285,30 @@ void BumpKernelCounters(const BlockedExecStats& stats) {
   handles.popcount_words->Add(stats.popcount_words);
 }
 
+void BumpColumnKernelCounters(const ColumnOpStats& stats) {
+  struct Handles {
+    Counter* groups;
+    Counter* queries;
+    Counter* dense_words;
+    Counter* array_elems;
+    Counter* probe_elems;
+    Counter* run_elems;
+  };
+  static const Handles handles = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return Handles{registry.GetCounter("kernel.column_groups"),
+                   registry.GetCounter("kernel.column_queries"),
+                   registry.GetCounter("kernel.column_dense_words"),
+                   registry.GetCounter("kernel.column_array_elems"),
+                   registry.GetCounter("kernel.column_probe_elems"),
+                   registry.GetCounter("kernel.column_run_elems")};
+  }();
+  handles.groups->Add(stats.groups);
+  handles.queries->Add(stats.queries);
+  handles.dense_words->Add(stats.dense_words);
+  handles.array_elems->Add(stats.array_elems);
+  handles.probe_elems->Add(stats.probe_elems);
+  handles.run_elems->Add(stats.run_elems);
+}
+
 }  // namespace corrmine

@@ -58,6 +58,15 @@ struct CountingKernels {
   /// dst distinct from every operand.
   void (*and_block)(uint64_t* dst, const uint64_t* const* ops, size_t k,
                     size_t n);
+  /// |a ∩ b| for two sorted uint16 offset arrays (sparse column
+  /// containers): galloping merge — binary-search jumps when one side is
+  /// much longer, linear merge otherwise. Either array may be empty.
+  uint64_t (*array_intersect_count)(const uint16_t* a, size_t na,
+                                    const uint16_t* b, size_t nb);
+  /// Members of sorted offset array `a` whose bit is set in the 1024-word
+  /// dense container `words` (one 2^16-row block).
+  uint64_t (*array_dense_count)(const uint16_t* a, size_t na,
+                                const uint64_t* words);
 };
 
 /// Per-ISA factories. Each lives in its own translation unit compiled with
@@ -174,6 +183,39 @@ void ExecuteBlockedGroups(const BlockedCountPlan& plan, size_t group_begin,
 /// blocked_queries / and_words / block_and_words / popcount_words"
 /// counters. Thread-safe; a no-op under CORRMINE_METRICS=OFF.
 void BumpKernelCounters(const BlockedExecStats& stats);
+
+/// Work accounting for hybrid-column intersections (CountingColumn), in
+/// *logical* data units computed at the call sites from container shapes
+/// only — never from what a kernel's inner loop happened to touch — so the
+/// "kernel.column_*" counters these feed are identical for every ISA.
+struct ColumnOpStats {
+  /// Groups / queries answered by the column executor.
+  uint64_t groups = 0;
+  uint64_t queries = 0;
+  /// 64-bit words ANDed in dense x dense container pairs.
+  uint64_t dense_words = 0;
+  /// Sorted-array elements fed to galloping array x array intersections.
+  uint64_t array_elems = 0;
+  /// Array elements probed against dense containers.
+  uint64_t probe_elems = 0;
+  /// Run-list entries walked (run x run / run x array / run x dense).
+  uint64_t run_elems = 0;
+
+  void Add(const ColumnOpStats& other) {
+    groups += other.groups;
+    queries += other.queries;
+    dense_words += other.dense_words;
+    array_elems += other.array_elems;
+    probe_elems += other.probe_elems;
+    run_elems += other.run_elems;
+  }
+};
+
+/// Adds one execution's accounting to the global "kernel.column_groups /
+/// column_queries / column_dense_words / column_array_elems /
+/// column_probe_elems / column_run_elems" counters. Thread-safe; a no-op
+/// under CORRMINE_METRICS=OFF.
+void BumpColumnKernelCounters(const ColumnOpStats& stats);
 
 }  // namespace corrmine
 

@@ -23,6 +23,8 @@ namespace corrmine {
 
 namespace {
 
+#include "itemset/kernels_sparse_inl.h"
+
 constexpr size_t kLaneWords = 4;  // 256 bits.
 
 /// Per-64-bit-lane popcount of v (Muła): nibble LUT via PSHUFB, then
@@ -150,6 +152,7 @@ constexpr CountingKernels kAvx2Kernels = {
     KernelIsa::kAvx2, "avx2",           Avx2Popcount,
     Avx2AndCount,     Avx2MultiAndCount, Avx2AndInplace,
     Avx2AndCountInto, Avx2AndBlock,
+    SparseArrayIntersectCount, SparseArrayDenseCount,
 };
 
 }  // namespace

@@ -20,6 +20,8 @@ namespace corrmine {
 
 namespace {
 
+#include "itemset/kernels_sparse_inl.h"
+
 constexpr size_t kLaneWords = 8;  // 512 bits.
 
 uint64_t Avx512Popcount(const uint64_t* words, size_t n) {
@@ -119,6 +121,7 @@ constexpr CountingKernels kAvx512Kernels = {
     KernelIsa::kAvx512, "avx512",            Avx512Popcount,
     Avx512AndCount,     Avx512MultiAndCount, Avx512AndInplace,
     Avx512AndCountInto, Avx512AndBlock,
+    SparseArrayIntersectCount, SparseArrayDenseCount,
 };
 
 }  // namespace

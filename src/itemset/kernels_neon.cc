@@ -19,6 +19,8 @@ namespace corrmine {
 
 namespace {
 
+#include "itemset/kernels_sparse_inl.h"
+
 constexpr size_t kLaneWords = 2;  // 128 bits.
 
 /// Per-64-bit-lane popcount: byte counts (VCNT) widened pairwise
@@ -122,6 +124,7 @@ constexpr CountingKernels kNeonKernels = {
     KernelIsa::kNeon, "neon",           NeonPopcount,
     NeonAndCount,     NeonMultiAndCount, NeonAndInplace,
     NeonAndCountInto, NeonAndBlock,
+    SparseArrayIntersectCount, SparseArrayDenseCount,
 };
 
 }  // namespace

@@ -13,6 +13,8 @@ namespace corrmine {
 
 namespace {
 
+#include "itemset/kernels_sparse_inl.h"
+
 uint64_t ScalarPopcount(const uint64_t* words, size_t n) {
   uint64_t total = 0;
   for (size_t i = 0; i < n; ++i) total += std::popcount(words[i]);
@@ -64,6 +66,7 @@ constexpr CountingKernels kScalarKernels = {
     KernelIsa::kScalar, "scalar",        ScalarPopcount,
     ScalarAndCount,     ScalarMultiAndCount, ScalarAndInplace,
     ScalarAndCountInto, ScalarAndBlock,
+    SparseArrayIntersectCount, SparseArrayDenseCount,
 };
 
 }  // namespace

@@ -2,9 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/border_repair.h"
+#include "io/column_store.h"
+#include "io/stream_reader.h"
 #include "itemset/count_provider.h"
+#include "itemset/counting_column.h"
 
 namespace corrmine {
 
@@ -74,6 +87,291 @@ StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsPartition(
               }
               return a.itemset < b.itemset;
             });
+  return result;
+}
+
+namespace {
+
+/// Decorator for the pass-1 partition mines: records every count query the
+/// level-wise walk issues (the candidate border union) while delegating to
+/// the partition's provider. Uses the uncounted inner entry points so the
+/// count_provider.* counters reflect the miner's own call pattern, not the
+/// decoration.
+class RecordingCountProvider : public CountProvider {
+ public:
+  /// `cap` bounds the recorded set: once reached, further queries are
+  /// simply not recorded (they become memo misses, answered exactly by the
+  /// final walk's streaming fallback) so the warm-up structures cannot
+  /// outgrow the memory budget on candidate-explosion workloads.
+  RecordingCountProvider(const CountProvider& inner,
+                         std::unordered_set<Itemset, ItemsetHasher>* recorded,
+                         size_t cap)
+      : inner_(inner), recorded_(recorded), cap_(cap) {}
+
+  uint64_t num_baskets() const override { return inner_.num_baskets(); }
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override {
+    if (recorded_->size() < cap_) recorded_->insert(s);
+    uint64_t count = 0;
+    inner_.CountAllPresentBatchUncounted(std::span<const Itemset>(&s, 1),
+                                         std::span<uint64_t>(&count, 1),
+                                         nullptr);
+    return count;
+  }
+
+  void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                std::span<uint64_t> counts,
+                                ThreadPool* pool) const override {
+    for (const Itemset& q : queries) {
+      if (recorded_->size() >= cap_) break;
+      recorded_->insert(q);
+    }
+    inner_.CountAllPresentBatchUncounted(queries, counts, pool);
+  }
+
+ private:
+  const CountProvider& inner_;
+  std::unordered_set<Itemset, ItemsetHasher>* recorded_;
+  const size_t cap_;
+};
+
+/// Exact global counts by streaming the CCS1 partition files: each batch
+/// maps one partition at a time, counts against it with the compressed
+/// provider, and unmaps before the next — resident cost stays near one
+/// partition. This is the MemoCountProvider fallback in the final walk, so
+/// even queries the pass-1 warm-up never saw are answered exactly (at the
+/// price of one extra streaming sweep per missed batch).
+class PartitionStreamCountProvider : public CountProvider {
+ public:
+  PartitionStreamCountProvider(const std::vector<std::string>* paths,
+                               uint64_t num_baskets)
+      : paths_(paths), num_baskets_(num_baskets) {}
+
+  uint64_t num_baskets() const override { return num_baskets_; }
+
+ protected:
+  uint64_t CountAllPresentImpl(const Itemset& s) const override {
+    uint64_t count = 0;
+    CountAllPresentBatchImpl(std::span<const Itemset>(&s, 1),
+                             std::span<uint64_t>(&count, 1), nullptr);
+    return count;
+  }
+
+  void CountAllPresentBatchImpl(std::span<const Itemset> queries,
+                                std::span<uint64_t> counts,
+                                ThreadPool* pool) const override {
+    std::fill(counts.begin(), counts.end(), uint64_t{0});
+    std::vector<uint64_t> partial(queries.size());
+    for (const std::string& path : *paths_) {
+      StatusOr<std::unique_ptr<io::MappedColumnShard>> shard =
+          io::MappedColumnShard::Open(path);
+      CORRMINE_CHECK(shard.ok())
+          << "out-of-core spill file vanished mid-mine: "
+          << shard.status().message();
+      CompressedCountProvider provider(
+          std::vector<const ColumnSource*>{shard.value().get()});
+      provider.CountAllPresentBatchUncounted(queries, partial, pool);
+      for (size_t i = 0; i < counts.size(); ++i) counts[i] += partial[i];
+    }
+  }
+
+ private:
+  const std::vector<std::string>* paths_;
+  uint64_t num_baskets_;
+};
+
+}  // namespace
+
+StatusOr<MiningResult> MineCorrelationsOutOfCore(
+    const std::string& path, const OutOfCoreMinerOptions& options,
+    OutOfCoreStats* stats) {
+  if (options.memory_budget_bytes == 0) {
+    return Status::InvalidArgument("memory budget must be positive");
+  }
+  // getrusage peak RSS is process-monotone; snapshot it so the budget
+  // warning below only fires when THIS mine raised the peak (an earlier,
+  // bigger run in the same process would otherwise trip it forever).
+  const uint64_t peak_on_entry = PeakRssBytes();
+  const std::string spill_dir =
+      options.spill_dir.empty() ? path + ".spill" : options.spill_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill dir " + spill_dir + ": " +
+                           ec.message());
+  }
+
+  MetricsRegistry& registry = options.miner.metrics != nullptr
+                                  ? *options.miner.metrics
+                                  : MetricsRegistry::Global();
+  registry.GetGauge("mem.memory_budget_bytes")
+      ->Set(static_cast<int64_t>(options.memory_budget_bytes));
+
+  // Size partitions so the close-time transient stays inside the budget:
+  // closing a partition briefly holds the row vectors (~R bytes of
+  // uint32), the built columns (<= R payload), and the serialized file
+  // string (~payload) at once — about 3x the accumulated row bytes — and
+  // the budget must also cover the base process. budget/6 per partition
+  // leaves half the budget for everything else.
+  const uint64_t partition_row_bytes =
+      std::max<uint64_t>(options.memory_budget_bytes / 6, uint64_t{1} << 20);
+
+  // --- Spill: one streaming pass over the input -> CCS1 partition files.
+  std::vector<std::string> part_paths;
+  std::vector<uint64_t> part_rows;
+  std::vector<std::vector<uint32_t>> rows_by_item;
+  uint64_t local_rows = 0;
+  uint64_t local_bytes = 0;
+  uint64_t total_rows = 0;
+  uint64_t spilled_payload = 0;
+
+  const auto close_partition = [&]() -> Status {
+    if (local_rows == 0) return Status::OK();
+    TraceScope span("outofcore.spill_partition", -1,
+                    static_cast<int>(part_paths.size()),
+                    static_cast<int>(local_rows));
+    CompressedVerticalIndex index(local_rows, std::move(rows_by_item));
+    rows_by_item = {};
+    std::string part_path =
+        spill_dir + "/part-" + std::to_string(part_paths.size()) + ".ccs";
+    CORRMINE_RETURN_NOT_OK(io::WriteColumnShardFile(index, part_path));
+    spilled_payload += ComputeColumnStorageStats(index).payload_bytes;
+    part_paths.push_back(std::move(part_path));
+    part_rows.push_back(local_rows);
+    local_rows = 0;
+    local_bytes = 0;
+    return Status::OK();
+  };
+
+  ItemId num_items = 0;
+  CORRMINE_RETURN_NOT_OK(io::StreamTransactionFile(
+      path, &num_items, [&](std::vector<ItemId> basket) -> Status {
+        for (const ItemId item : basket) {
+          if (item >= rows_by_item.size()) {
+            rows_by_item.resize(static_cast<size_t>(item) + 1);
+          }
+          rows_by_item[item].push_back(static_cast<uint32_t>(local_rows));
+        }
+        local_bytes += basket.size() * sizeof(uint32_t);
+        ++local_rows;
+        ++total_rows;
+        return local_bytes >= partition_row_bytes ? close_partition()
+                                                  : Status::OK();
+      }));
+  CORRMINE_RETURN_NOT_OK(close_partition());
+  if (total_rows == 0) {
+    return Status::FailedPrecondition("mining an empty database");
+  }
+
+  // Thread plumbing mirrors MineCorrelations: one pool spans all passes so
+  // thread-count semantics (0 = hardware) resolve exactly once.
+  const int threads = ThreadPool::ResolveThreadCount(options.miner.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.miner.pool;
+  if (pool == nullptr && threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(threads - 1);
+    pool = owned_pool.get();
+  }
+  MinerOptions base = options.miner;
+  base.num_threads = threads;
+  base.pool = pool;
+
+  // --- Pass 1: mine each mapped partition at proportionally scaled
+  // support, recording the union of count queries. The scaled threshold is
+  // a pure warm-up heuristic — the final walk is exact either way.
+  // A recorded query costs ~300 bytes across the warm-up structures (set
+  // node, sorted candidate copy, count slots, memo node); cap the union so
+  // they stay a bounded fraction of the budget. Queries past the cap fall
+  // back to exact streaming counts in the final walk.
+  const size_t query_cap = std::max<uint64_t>(
+      4096, options.memory_budget_bytes / 512);
+  std::unordered_set<Itemset, ItemsetHasher> recorded;
+  for (size_t p = 0; p < part_paths.size(); ++p) {
+    TraceScope span("outofcore.mine_partition", -1, static_cast<int>(p),
+                    static_cast<int>(part_rows[p]));
+    CORRMINE_ASSIGN_OR_RETURN(std::unique_ptr<io::MappedColumnShard> shard,
+                              io::MappedColumnShard::Open(part_paths[p]));
+    CompressedCountProvider provider(
+        std::vector<const ColumnSource*>{shard.get()});
+    RecordingCountProvider recording(provider, &recorded, query_cap);
+    MinerOptions local = base;
+    local.keep_frontier = false;
+    local.progress = nullptr;
+    local.support.min_count = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::floor(
+               static_cast<double>(base.support.min_count) *
+               static_cast<double>(part_rows[p]) /
+               static_cast<double>(total_rows))));
+    CORRMINE_RETURN_NOT_OK(
+        MineCorrelations(recording, num_items, local).status());
+  }
+
+  // --- Pass 2: stream the partitions once, answering the whole candidate
+  // union with exact global counts into the memo. Sorted order makes the
+  // pass deterministic (and the memo content independent of hash order).
+  std::vector<Itemset> candidates(recorded.begin(), recorded.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Itemset& a, const Itemset& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  std::vector<uint64_t> totals(candidates.size(), 0);
+  std::vector<uint64_t> partial(candidates.size());
+  for (size_t p = 0; p < part_paths.size(); ++p) {
+    TraceScope span("outofcore.count_partition", -1, static_cast<int>(p),
+                    static_cast<int>(candidates.size()));
+    CORRMINE_ASSIGN_OR_RETURN(std::unique_ptr<io::MappedColumnShard> shard,
+                              io::MappedColumnShard::Open(part_paths[p]));
+    CompressedCountProvider provider(
+        std::vector<const ColumnSource*>{shard.get()});
+    provider.CountAllPresentBatchUncounted(candidates, partial, pool);
+    for (size_t i = 0; i < totals.size(); ++i) totals[i] += partial[i];
+  }
+  std::unordered_map<Itemset, uint64_t, ItemsetHasher> memo;
+  memo.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    memo.emplace(candidates[i], totals[i]);
+  }
+
+  // --- Final: the real walk, over memoized exact counts with a streaming
+  // fallback, under the caller's unmodified mining options.
+  PartitionStreamCountProvider fallback(&part_paths, total_rows);
+  MemoCountProvider memo_provider(&memo, fallback);
+  StatusOr<MiningResult> result = MineCorrelations(memo_provider, num_items,
+                                                   base);
+
+  registry.GetCounter("outofcore.partitions")->Add(part_paths.size());
+  registry.GetCounter("outofcore.candidate_queries")->Add(candidates.size());
+  registry.GetCounter("outofcore.memo_misses")
+      ->Add(memo_provider.memo_misses());
+  registry.GetGauge("mem.spilled_payload_bytes")
+      ->Set(static_cast<int64_t>(spilled_payload));
+  if (stats != nullptr) {
+    stats->num_baskets = total_rows;
+    stats->num_items = num_items;
+    stats->partitions = part_paths.size();
+    stats->spilled_payload_bytes = spilled_payload;
+    stats->candidate_queries = candidates.size();
+    stats->memo_hits = memo_provider.memo_hits();
+    stats->memo_misses = memo_provider.memo_misses();
+  }
+
+  if (!options.keep_spill) {
+    for (const std::string& part_path : part_paths) {
+      std::filesystem::remove(part_path, ec);
+    }
+    std::filesystem::remove(spill_dir, ec);  // only succeeds when empty
+  }
+
+  const uint64_t peak = PeakRssBytes();
+  if (result.ok() && peak > peak_on_entry &&
+      peak > options.memory_budget_bytes +
+                 options.memory_budget_bytes / 10) {
+    CORRMINE_LOG(kWarning) << "out-of-core peak RSS " << peak
+                           << " exceeded memory budget "
+                           << options.memory_budget_bytes << " by more than 10%";
+  }
   return result;
 }
 

@@ -2,8 +2,10 @@
 #define CORRMINE_MINING_PARTITION_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status_or.h"
+#include "core/chi_squared_miner.h"
 #include "itemset/transaction_database.h"
 #include "mining/apriori.h"
 
@@ -36,6 +38,68 @@ struct PartitionStats {
 StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsPartition(
     const TransactionDatabase& db, const PartitionOptions& options = {},
     PartitionStats* stats = nullptr);
+
+/// Options of the out-of-core correlation miner (DESIGN.md §12).
+struct OutOfCoreMinerOptions {
+  /// The mining configuration the final walk runs under — the result is
+  /// byte-identical to MineCorrelations(in-memory provider, miner) on any
+  /// size where both run.
+  MinerOptions miner;
+
+  /// Target resident-set budget. Partitions are sized so the spill pass,
+  /// the per-partition mines, and the streaming count pass each stay well
+  /// inside it; enforced observationally against mem.peak_rss_bytes
+  /// (benchgate: peak <= 1.1x budget).
+  uint64_t memory_budget_bytes = uint64_t{256} << 20;
+
+  /// Directory for the CCS1 partition shard files (created if missing).
+  /// Empty derives "<input>.spill" next to the input file.
+  std::string spill_dir;
+
+  /// Leave the partition files on disk for inspection.
+  bool keep_spill = false;
+};
+
+/// Accounting of one out-of-core run (also published as "outofcore.*"
+/// counters and the mem.memory_budget_bytes gauge).
+struct OutOfCoreStats {
+  uint64_t num_baskets = 0;
+  ItemId num_items = 0;
+  /// RAM-sized CCS1 partitions spilled (and mined) in pass one.
+  uint64_t partitions = 0;
+  /// Total CCS1 payload bytes written across partitions.
+  uint64_t spilled_payload_bytes = 0;
+  /// Distinct count queries the partition mines touched (the memo
+  /// warm-up verified in the streaming pass).
+  uint64_t candidate_queries = 0;
+  /// Memo traffic of the final walk: misses are the queries that cost an
+  /// extra streaming pass batch.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+};
+
+/// Two-pass partition correlation mining over a dataset that need not fit
+/// in memory (SON-style, composed with the border machinery):
+///
+///   spill   — stream `path` once, building hybrid counting columns for
+///             RAM-sized horizontal partitions and writing each as an
+///             mmap-backed CCS1 shard file;
+///   pass 1  — mine each mapped partition at proportionally scaled
+///             support, recording every count query the level-wise walk
+///             issues (the candidate border union);
+///   pass 2  — stream the partitions once more, answering the whole
+///             candidate union with exact global counts into a memo;
+///   final   — re-walk MineCorrelations over a MemoCountProvider whose
+///             fallback batch-counts against the mapped partitions, so
+///             even queries the warm-up missed are answered exactly.
+///
+/// The final walk sees exact counts for every query, so rules, level
+/// stats and the frontier are byte-identical to the in-memory miner by
+/// construction. Partitions are mapped, counted and unmapped strictly one
+/// at a time — the high-water mark stays near base + one partition.
+StatusOr<MiningResult> MineCorrelationsOutOfCore(
+    const std::string& path, const OutOfCoreMinerOptions& options,
+    OutOfCoreStats* stats = nullptr);
 
 }  // namespace corrmine
 

@@ -213,23 +213,111 @@ TEST(MiningSessionTest, AppendBatchMatchesFromScratchSession) {
 TEST(MiningSessionTest, LevelWiseMinerStaysOnBatchPath) {
   if constexpr (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
   TransactionDatabase db = SeededQuest(1997);
-  SessionOptions options;
-  options.num_shards = 2;
-  auto session = MiningSession::FromDatabase(db, options);
-  ASSERT_TRUE(session.ok());
 
-  MetricsRegistry& registry = MetricsRegistry::Global();
-  registry.Reset();
-  auto result = session->Mine(TestMinerOptions());
-  ASSERT_TRUE(result.ok());
+  // The batch-per-level contract (DESIGN.md §7) holds for EVERY provider
+  // strategy: no per-candidate scalar counts, and exactly one batch per
+  // level — the singleton marginals batch plus one per mined level. A
+  // provider without batch overrides would fall back to scalar counting
+  // and fail the scalar_calls == 0 pin.
+  for (const SessionProvider provider :
+       {SessionProvider::kBitmap, SessionProvider::kCompressed,
+        SessionProvider::kScan}) {
+    SessionOptions options;
+    options.num_shards = 2;
+    options.provider = provider;
+    auto session = MiningSession::FromDatabase(db, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_EQ(session->provider_kind(), provider);
 
-  // The batch-per-level contract (DESIGN.md §7): the hot path issues no
-  // per-candidate scalar counts, and exactly one batch per level — the
-  // singleton marginals batch plus one per mined level.
-  EXPECT_EQ(registry.GetCounter("count_provider.scalar_calls")->Value(), 0u);
-  EXPECT_EQ(registry.GetCounter("count_provider.batch_calls")->Value(),
-            result->levels.size() + 1);
-  EXPECT_GT(registry.GetCounter("count_provider.batch_queries")->Value(), 0u);
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.Reset();
+    auto result = session->Mine(TestMinerOptions());
+    ASSERT_TRUE(result.ok());
+
+    EXPECT_EQ(registry.GetCounter("count_provider.scalar_calls")->Value(),
+              0u)
+        << "provider " << static_cast<int>(provider);
+    EXPECT_EQ(registry.GetCounter("count_provider.batch_calls")->Value(),
+              result->levels.size() + 1)
+        << "provider " << static_cast<int>(provider);
+    EXPECT_GT(registry.GetCounter("count_provider.batch_queries")->Value(),
+              0u);
+  }
+}
+
+TEST(MiningSessionTest, AllProvidersAgreeAcrossShardsAndThreads) {
+  TransactionDatabase db = SeededQuest(1997);
+  BitmapCountProvider reference(db);
+  auto baseline =
+      MineCorrelations(reference, db.num_items(), TestMinerOptions());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string fingerprint = Fingerprint(*baseline);
+  ASSERT_FALSE(baseline->significant.empty()) << "degenerate fixture";
+
+  for (const SessionProvider provider :
+       {SessionProvider::kBitmap, SessionProvider::kCompressed,
+        SessionProvider::kScan}) {
+    for (int shards : {1, 3}) {
+      for (int threads : {1, 4}) {
+        SessionOptions options;
+        options.provider = provider;
+        options.num_shards = shards;
+        options.num_threads = threads;
+        auto session = MiningSession::FromDatabase(db, options);
+        ASSERT_TRUE(session.ok()) << session.status().ToString();
+        auto result = session->Mine(TestMinerOptions());
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_EQ(Fingerprint(*result), fingerprint)
+            << "provider " << static_cast<int>(provider) << " shards "
+            << shards << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(MiningSessionTest, AppendBatchWorksForEveryProvider) {
+  TransactionDatabase base = SeededQuest(1997);
+  TransactionDatabase delta = SeededQuest(4711);
+  TransactionDatabase combined = SeededQuest(1997);
+  for (size_t row = 0; row < delta.num_baskets(); ++row) {
+    ASSERT_TRUE(combined.AddBasket(delta.basket(row)).ok());
+  }
+
+  for (const SessionProvider provider :
+       {SessionProvider::kBitmap, SessionProvider::kCompressed,
+        SessionProvider::kScan}) {
+    SessionOptions options;
+    options.provider = provider;
+    options.num_shards = 2;
+    auto session = MiningSession::FromDatabase(base, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    ASSERT_TRUE(session->Mine(TestMinerOptions()).ok());
+    ASSERT_TRUE(session->AppendBatch(delta).ok());
+
+    auto scratch = MiningSession::FromDatabase(combined, options);
+    ASSERT_TRUE(scratch.ok());
+    auto appended = session->Mine(TestMinerOptions());
+    ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+    auto rebuilt = scratch->Mine(TestMinerOptions());
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(Fingerprint(*appended), Fingerprint(*rebuilt))
+        << "provider " << static_cast<int>(provider);
+  }
+}
+
+TEST(MiningSessionTest, PrefixCacheRequiresBitmapProvider) {
+  TransactionDatabase db = SeededQuest(7);
+  for (const SessionProvider provider :
+       {SessionProvider::kCompressed, SessionProvider::kScan}) {
+    SessionOptions options;
+    options.prefix_cache = true;
+    options.num_shards = 1;
+    options.provider = provider;
+    auto session = MiningSession::FromDatabase(db, options);
+    ASSERT_FALSE(session.ok())
+        << "prefix cache must require the bitmap provider";
+    EXPECT_TRUE(session.status().IsInvalidArgument());
+  }
 }
 
 }  // namespace

@@ -56,6 +56,14 @@ struct IncrementalRun {
   double speedup = 0.0;
 };
 
+struct OutOfCoreRun {
+  double budget_bytes = 0.0;
+  double dataset_bytes = 0.0;
+  double peak_rss_bytes = 0.0;
+  double partitions = 0.0;
+  double seconds = 0.0;
+};
+
 struct Gate {
   std::string name;
   double required = 0.0;  // threshold in the gate's own unit
@@ -143,6 +151,7 @@ int main(int argc, char** argv) {
   std::vector<ParallelRun> parallel_runs;
   std::vector<ShardedRun> sharded_runs;
   std::vector<IncrementalRun> incremental_runs;
+  std::vector<OutOfCoreRun> outofcore_runs;
   for (const std::string& path : inputs) {
     auto docs = ReadBenchLines(path);
     if (!docs.ok()) {
@@ -178,16 +187,29 @@ int main(int argc, char** argv) {
                              GetNumber(run, "repair_seconds"),
                              GetNumber(run, "speedup")});
         }
+      } else if (bench->string_value == "bench_outofcore") {
+        for (const io::JsonValue& run : runs->array) {
+          outofcore_runs.push_back(
+              OutOfCoreRun{GetNumber(run, "budget_bytes"),
+                           GetNumber(run, "dataset_bytes"),
+                           GetNumber(run, "peak_rss_bytes"),
+                           GetNumber(run, "partitions"),
+                           GetNumber(run, "seconds")});
+        }
       }
     }
   }
 
   std::vector<Gate> gates;
-  // Incremental-only invocations skip the scheduler contract (and vice
+  // Single-bench invocations skip the scheduler contract (and vice
   // versa): each verify stage feeds benchgate the outputs it owns.
+  const bool outofcore_mode =
+      !outofcore_runs.empty() && parallel_runs.empty() &&
+      sharded_runs.empty() && incremental_runs.empty();
   const bool incremental_mode =
       !incremental_runs.empty() && parallel_runs.empty() &&
-      sharded_runs.empty();
+      sharded_runs.empty() && outofcore_runs.empty();
+  const bool scheduler_required = !incremental_mode && !outofcore_mode;
 
   // Gate 1: end-to-end miner speedup at the widest measured thread count.
   if (!parallel_runs.empty()) {
@@ -201,7 +223,7 @@ int main(int argc, char** argv) {
     gate.actual = widest->speedup;
     gate.pass = gate.actual >= gate.required;
     gates.push_back(gate);
-  } else if (!incremental_mode) {
+  } else if (scheduler_required) {
     std::cerr << "benchgate: no bench_parallel runs found\n";
     return 2;
   }
@@ -225,7 +247,7 @@ int main(int argc, char** argv) {
     gate.enforced = run.shards <= usable;
     gates.push_back(gate);
   }
-  if (sharded_runs.empty() && !incremental_mode) {
+  if (sharded_runs.empty() && scheduler_required) {
     std::cerr << "benchgate: no bench_sharded runs found\n";
     return 2;
   }
@@ -246,6 +268,31 @@ int main(int argc, char** argv) {
     gates.push_back(gate);
   }
 
+  // Gates 4+5: the out-of-core memory contract (DESIGN.md §12). Unlike
+  // the speedup gates these are NOT core-scaled — a byte budget is a
+  // machine-independent promise (RSS does not grow with parallelism the
+  // way wall-clock shrinks), so a 1-core container enforces the same
+  // 1.1x ceiling as a 64-core box. The companion gate pins the scenario
+  // itself: the dataset's in-memory footprint must be >= 10x the budget,
+  // or the RSS ceiling would be trivially satisfiable by loading
+  // everything.
+  for (size_t i = 0; i < outofcore_runs.size(); ++i) {
+    const OutOfCoreRun& run = outofcore_runs[i];
+    if (run.budget_bytes <= 0.0) continue;
+    Gate rss;
+    rss.name = "outofcore_rss_b" + std::to_string(i);
+    rss.required = 1.10;  // max allowed peak-RSS / budget ratio
+    rss.actual = run.peak_rss_bytes / run.budget_bytes;
+    rss.pass = rss.actual <= rss.required;
+    gates.push_back(rss);
+    Gate overhang;
+    overhang.name = "outofcore_dataset_b" + std::to_string(i);
+    overhang.required = 10.0;  // min dataset / budget ratio
+    overhang.actual = run.dataset_bytes / run.budget_bytes;
+    overhang.pass = overhang.actual >= overhang.required;
+    gates.push_back(overhang);
+  }
+
   bool all_pass = true;
   for (const Gate& gate : gates) {
     if (gate.enforced && !gate.pass) all_pass = false;
@@ -256,13 +303,18 @@ int main(int argc, char** argv) {
   // verdict, and the raw runs the verdicts came from.
   std::ostringstream json;
   json << "{\"bench\":\""
-       << (incremental_mode ? "bench_incremental" : "bench_scheduler")
+       << (outofcore_mode
+               ? "bench_outofcore"
+               : (incremental_mode ? "bench_incremental" : "bench_scheduler"))
        << "\",\"usable_cores\":" << usable;
-  if (!incremental_mode) {
+  if (scheduler_required) {
     json << ",\"required_speedup\":" << RequiredSpeedup(usable);
   }
   if (!incremental_runs.empty()) {
     json << ",\"required_repair_speedup\":" << RequiredRepairSpeedup(usable);
+  }
+  if (!outofcore_runs.empty()) {
+    json << ",\"required_rss_ratio\":1.1,\"required_dataset_ratio\":10";
   }
   json << ",\"pass\":" << (all_pass ? "true" : "false") << ",\"gates\":[";
   for (size_t i = 0; i < gates.size(); ++i) {
@@ -274,7 +326,7 @@ int main(int argc, char** argv) {
          << ",\"enforced\":" << (gate.enforced ? "true" : "false") << '}';
   }
   json << "]";
-  if (!incremental_mode) {
+  if (scheduler_required) {
     json << ",\"parallel_runs\":[";
     for (size_t i = 0; i < parallel_runs.size(); ++i) {
       if (i > 0) json << ',';
@@ -303,6 +355,19 @@ int main(int argc, char** argv) {
     }
     json << "]";
   }
+  if (!outofcore_runs.empty()) {
+    json << ",\"outofcore_runs\":[";
+    for (size_t i = 0; i < outofcore_runs.size(); ++i) {
+      const OutOfCoreRun& run = outofcore_runs[i];
+      if (i > 0) json << ',';
+      json << "{\"budget_bytes\":" << run.budget_bytes
+           << ",\"dataset_bytes\":" << run.dataset_bytes
+           << ",\"peak_rss_bytes\":" << run.peak_rss_bytes
+           << ",\"partitions\":" << run.partitions
+           << ",\"seconds\":" << run.seconds << '}';
+    }
+    json << "]";
+  }
   json << "}";
 
   if (!out_path.empty()) {
@@ -314,10 +379,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "benchgate: " << usable << " usable core(s), required "
-            << FormatRatio(incremental_mode ? RequiredRepairSpeedup(usable)
-                                            : RequiredSpeedup(usable))
-            << "x speedup\n";
+  if (outofcore_mode) {
+    std::cout << "benchgate: " << usable
+              << " usable core(s); memory gates are core-independent "
+                 "(peak RSS <= 1.1x budget, dataset >= 10x budget)\n";
+  } else {
+    std::cout << "benchgate: " << usable << " usable core(s), required "
+              << FormatRatio(incremental_mode ? RequiredRepairSpeedup(usable)
+                                              : RequiredSpeedup(usable))
+              << "x speedup\n";
+  }
   for (const Gate& gate : gates) {
     std::cout << "  [" << (gate.pass ? "PASS" : (gate.enforced ? "FAIL"
                                                                : "info"))

@@ -45,6 +45,7 @@
 #include "io/transaction_io.h"
 #include "mining/association_rules.h"
 #include "mining/categorical_miner.h"
+#include "mining/partition.h"
 #include "stats/permutation_test.h"
 
 namespace corrmine {
@@ -70,7 +71,32 @@ constexpr char kUsage[] =
     "                             any K — see DESIGN.md §7)\n"
     "      --prefix-cache         memoize prefix bitmap intersections\n"
     "                             (same counts, fewer AND operations;\n"
-    "                             requires --shards 1)\n"
+    "                             requires --shards 1 and the bitmap\n"
+    "                             provider)\n"
+    "      --provider NAME        counting strategy: bitmap (default,\n"
+    "                             per-shard uncompressed bitmap indexes),\n"
+    "                             compressed (hybrid array/bitmap/run\n"
+    "                             counting columns — memory tracks\n"
+    "                             occupancy, not the item x basket\n"
+    "                             rectangle), or scan (no index; re-scan\n"
+    "                             the row store per level). Mined output\n"
+    "                             is byte-identical for every provider\n"
+    "      --out-of-core          never load the dataset: stream it into\n"
+    "                             RAM-sized CCS1 spill partitions, mine\n"
+    "                             partitions to a candidate border, then\n"
+    "                             verify exact counts in one streaming\n"
+    "                             pass (DESIGN.md §12). Output is\n"
+    "                             byte-identical to the in-memory mine;\n"
+    "                             honors --threads and the mining flags,\n"
+    "                             excludes --provider/--shards/--names/\n"
+    "                             --prefix-cache/--resume-from/--append\n"
+    "      --memory-budget B      out-of-core resident-set target in bytes\n"
+    "                             (default 268435456); partitions are\n"
+    "                             sized so peak RSS stays near it\n"
+    "      --spill-dir DIR        out-of-core partition directory\n"
+    "                             (default <file>.spill, removed after\n"
+    "                             the run unless --keep-spill)\n"
+    "      --keep-spill           leave the CCS1 partition files on disk\n"
     "      --kernel NAME          counting kernel: auto (default), scalar,\n"
     "                             avx2, avx512, or neon. auto picks the\n"
     "                             fastest kernel this CPU supports; a forced\n"
@@ -154,7 +180,105 @@ StatusOr<SessionOptions> SessionOptionsFromFlags(const FlagParser& flags) {
   options.num_shards = static_cast<int>(shards);
   options.prefix_cache = flags.GetBool("prefix-cache", false);
   options.named_items = flags.GetBool("names", false);
+  const std::string provider = flags.GetString("provider", "bitmap");
+  if (provider == "bitmap") {
+    options.provider = SessionProvider::kBitmap;
+  } else if (provider == "compressed") {
+    options.provider = SessionProvider::kCompressed;
+  } else if (provider == "scan") {
+    options.provider = SessionProvider::kScan;
+  } else {
+    return Status::InvalidArgument(
+        "unknown --provider: " + provider +
+        " (expected bitmap, compressed, or scan)");
+  }
   return options;
+}
+
+/// Mining knobs shared by the in-memory and out-of-core mine paths.
+StatusOr<MinerOptions> MinerOptionsFromFlags(const FlagParser& flags) {
+  MinerOptions options;
+  CORRMINE_ASSIGN_OR_RETURN(options.support.min_count,
+                            flags.GetUint64("support-count", 3));
+  CORRMINE_ASSIGN_OR_RETURN(options.support.cell_fraction,
+                            flags.GetDouble("cell-fraction", 0.26));
+  CORRMINE_ASSIGN_OR_RETURN(options.confidence_level,
+                            flags.GetDouble("confidence-level", 0.95));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t max_level,
+                            flags.GetUint64("max-level", 0));
+  options.max_level = static_cast<int>(max_level);
+  CORRMINE_ASSIGN_OR_RETURN(options.chi2.min_expected_cell,
+                            flags.GetDouble("min-expected", 0.0));
+  if (flags.GetBool("progress", false)) {
+    // Heartbeat on the coordinating thread after each completed level; goes
+    // to stderr so piped stdout (tables, reports) stays clean.
+    options.progress = [](const MinerProgress& p) {
+      std::cerr << "[progress] level " << p.level << ": candidates "
+                << p.candidates << ", frontier " << p.frontier
+                << ", significant " << p.significant_total << ", elapsed "
+                << io::FormatDouble(p.elapsed_seconds, 2) << "s\n";
+    };
+  }
+  return options;
+}
+
+/// Renders a mining result — the report or the rule table plus per-level
+/// lines — and honors --out. `dict` may be null (out-of-core runs have no
+/// session to borrow a dictionary from).
+Status PrintMineResult(const FlagParser& flags, const MiningResult& result,
+                       const ItemDictionary* dict) {
+  if (flags.GetBool("report", false)) {
+    ReportOptions report_options;
+    CORRMINE_ASSIGN_OR_RETURN(report_options.fdr_level,
+                              flags.GetDouble("fdr", 0.0));
+    std::cout << RenderReport(result, dict, report_options);
+  } else {
+    io::TablePrinter table({"itemset", "chi2", "p-value",
+                            "major dependence", "interest"});
+    for (const CorrelationRule& rule : result.significant) {
+      table.AddRow({rule.itemset.ToString(),
+                    io::FormatDouble(rule.chi2.statistic, 3),
+                    io::FormatDouble(rule.chi2.p_value, 6),
+                    FormatCellPattern(rule.itemset,
+                                      rule.major_dependence.mask, dict),
+                    io::FormatDouble(rule.major_dependence.interest, 3)});
+    }
+    table.Print(std::cout);
+    for (const LevelStats& level : result.levels) {
+      std::cout << "level " << level.level << ": |CAND| "
+                << level.candidates << ", discards " << level.discards
+                << ", |SIG| " << level.significant << ", |NOTSIG| "
+                << level.not_significant << "\n";
+    }
+  }
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    CORRMINE_RETURN_NOT_OK(io::WriteMiningResult(result, out));
+    std::cout << "result written to " << out << "\n";
+  }
+  return Status::OK();
+}
+
+/// Honors --stats-json/--stats against `registry`. `cached` may be null.
+Status EmitMineStats(const FlagParser& flags, const MiningResult& result,
+                     const CachedCountProvider* cached,
+                     MetricsRegistry& registry) {
+  std::string stats_path = flags.GetString("stats-json", "");
+  bool print_stats = flags.GetBool("stats", false);
+  if (stats_path.empty() && !print_stats) return Status::OK();
+  CachedCountProvider::CacheStats cache_stats;
+  if (cached) {
+    cache_stats = cached->stats();
+    cached->PublishMetrics(&registry);
+  }
+  if (!stats_path.empty()) {
+    CORRMINE_RETURN_NOT_OK(WriteStatsJson(
+        stats_path,
+        RenderStatsJson(result, cached ? &cache_stats : nullptr, registry)));
+    std::cout << "stats written to " << stats_path << "\n";
+  }
+  if (print_stats) std::cerr << registry.DumpMetrics();
+  return Status::OK();
 }
 
 /// Starts the tracer when --trace-out was given; the returned guard stops
@@ -184,9 +308,53 @@ class TraceOutGuard {
   std::string path_;
 };
 
+/// The --out-of-core mine path: never loads the dataset; streams it into
+/// CCS1 spill partitions under the --memory-budget and runs the two-pass
+/// partition miner (mining/partition.h). Output is byte-identical to the
+/// in-memory mine of the same file with the same mining flags.
+Status RunMineOutOfCore(const FlagParser& flags) {
+  TraceOutGuard trace_guard(flags.GetString("trace-out", ""));
+  for (const char* incompatible :
+       {"names", "prefix-cache", "resume-from", "append", "border-out",
+        "provider", "shards"}) {
+    if (flags.HasFlag(incompatible)) {
+      return Status::InvalidArgument(
+          std::string("--out-of-core cannot be combined with --") +
+          incompatible);
+    }
+  }
+  if (flags.GetString("algo", "levelwise") != "levelwise") {
+    return Status::InvalidArgument("--out-of-core requires --algo levelwise");
+  }
+  OutOfCoreMinerOptions options;
+  CORRMINE_ASSIGN_OR_RETURN(options.miner, MinerOptionsFromFlags(flags));
+  CORRMINE_ASSIGN_OR_RETURN(uint64_t threads, flags.GetUint64("threads", 1));
+  options.miner.num_threads = static_cast<int>(threads);
+  CORRMINE_ASSIGN_OR_RETURN(
+      options.memory_budget_bytes,
+      flags.GetUint64("memory-budget", uint64_t{256} << 20));
+  options.spill_dir = flags.GetString("spill-dir", "");
+  options.keep_spill = flags.GetBool("keep-spill", false);
+
+  OutOfCoreStats stats;
+  CORRMINE_ASSIGN_OR_RETURN(
+      MiningResult result,
+      MineCorrelationsOutOfCore(flags.positional()[1], options, &stats));
+  std::cerr << "[out-of-core] " << stats.num_baskets << " baskets, "
+            << stats.num_items << " items, " << stats.partitions
+            << " partitions, " << stats.candidate_queries
+            << " candidate queries, " << stats.memo_misses
+            << " memo misses\n";
+  CORRMINE_RETURN_NOT_OK(PrintMineResult(flags, result, nullptr));
+  return EmitMineStats(flags, result, nullptr, MetricsRegistry::Global());
+}
+
 Status RunMine(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     return Status::InvalidArgument("mine: missing transaction file");
+  }
+  if (flags.GetBool("out-of-core", false)) {
+    return RunMineOutOfCore(flags);
   }
   TraceOutGuard trace_guard(flags.GetString("trace-out", ""));
   CORRMINE_ASSIGN_OR_RETURN(SessionOptions session_options,
@@ -198,28 +366,8 @@ Status RunMine(const FlagParser& flags) {
     return Status::InvalidArgument("no baskets in input");
   }
 
-  MinerOptions options;
-  CORRMINE_ASSIGN_OR_RETURN(options.support.min_count,
-                            flags.GetUint64("support-count", 3));
-  CORRMINE_ASSIGN_OR_RETURN(options.support.cell_fraction,
-                            flags.GetDouble("cell-fraction", 0.26));
-  CORRMINE_ASSIGN_OR_RETURN(options.confidence_level,
-                            flags.GetDouble("confidence-level", 0.95));
-  CORRMINE_ASSIGN_OR_RETURN(uint64_t max_level,
-                            flags.GetUint64("max-level", 0));
-  options.max_level = static_cast<int>(max_level);
-  CORRMINE_ASSIGN_OR_RETURN(options.chi2.min_expected_cell,
-                            flags.GetDouble("min-expected", 0.0));
-  if (flags.GetBool("progress", false)) {
-    // Heartbeat on the coordinating thread after each completed level; goes
-    // to stderr so piped stdout (tables, reports) stays clean.
-    options.progress = [](const MinerProgress& p) {
-      std::cerr << "[progress] level " << p.level << ": candidates "
-                << p.candidates << ", frontier " << p.frontier
-                << ", significant " << p.significant_total << ", elapsed "
-                << io::FormatDouble(p.elapsed_seconds, 2) << "s\n";
-    };
-  }
+  CORRMINE_ASSIGN_OR_RETURN(MinerOptions options,
+                            MinerOptionsFromFlags(flags));
 
   const std::string resume_path = flags.GetString("resume-from", "");
   const std::string append_path = flags.GetString("append", "");
@@ -296,62 +444,15 @@ Status RunMine(const FlagParser& flags) {
     return Status::InvalidArgument("unknown --algo: " + algo);
   }
 
-  if (flags.GetBool("report", false)) {
-    ReportOptions report_options;
-    CORRMINE_ASSIGN_OR_RETURN(report_options.fdr_level,
-                              flags.GetDouble("fdr", 0.0));
-    std::cout << RenderReport(result, &session.dictionary(), report_options);
-  } else {
-    io::TablePrinter table({"itemset", "chi2", "p-value",
-                            "major dependence", "interest"});
-    for (const CorrelationRule& rule : result.significant) {
-      table.AddRow({rule.itemset.ToString(),
-                    io::FormatDouble(rule.chi2.statistic, 3),
-                    io::FormatDouble(rule.chi2.p_value, 6),
-                    FormatCellPattern(rule.itemset,
-                                      rule.major_dependence.mask,
-                                      &session.dictionary()),
-                    io::FormatDouble(rule.major_dependence.interest, 3)});
-    }
-    table.Print(std::cout);
-    for (const LevelStats& level : result.levels) {
-      std::cout << "level " << level.level << ": |CAND| "
-                << level.candidates << ", discards " << level.discards
-                << ", |SIG| " << level.significant << ", |NOTSIG| "
-                << level.not_significant << "\n";
-    }
-  }
-  std::string out = flags.GetString("out", "");
-  if (!out.empty()) {
-    CORRMINE_RETURN_NOT_OK(io::WriteMiningResult(result, out));
-    std::cout << "result written to " << out << "\n";
-  }
+  CORRMINE_RETURN_NOT_OK(
+      PrintMineResult(flags, result, &session.dictionary()));
   if (!border_out.empty()) {
     CORRMINE_RETURN_NOT_OK(SaveBorderState(*state, border_out));
     std::cout << "border snapshot written to " << border_out << " ("
               << state->counts.size() << " memoized counts)\n";
   }
 
-  std::string stats_path = flags.GetString("stats-json", "");
-  bool print_stats = flags.GetBool("stats", false);
-  if (!stats_path.empty() || print_stats) {
-    MetricsRegistry& registry = session.metrics();
-    CachedCountProvider::CacheStats cache_stats;
-    const CachedCountProvider* cached = session.cache();
-    if (cached) {
-      cache_stats = cached->stats();
-      cached->PublishMetrics(&registry);
-    }
-    if (!stats_path.empty()) {
-      CORRMINE_RETURN_NOT_OK(WriteStatsJson(
-          stats_path,
-          RenderStatsJson(result, cached ? &cache_stats : nullptr,
-                          registry)));
-      std::cout << "stats written to " << stats_path << "\n";
-    }
-    if (print_stats) std::cerr << registry.DumpMetrics();
-  }
-  return Status::OK();
+  return EmitMineStats(flags, result, session.cache(), session.metrics());
 }
 
 Status RunDependencies(const FlagParser& flags) {
