@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/pmu.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 #include "core/chi_squared_miner.h"
 #include "datagen/quest_generator.h"
@@ -152,6 +154,43 @@ int main() {
   }
   double trace_overhead = SafeRatio(traced_seconds, untraced_seconds);
 
+  // Profiling overhead, same protocol: interleaved profiled/unprofiled
+  // repeats with both collectors on (PMU if this machine grants it, plus
+  // SIGPROF sampling at a deliberately coarse 10 ms so the bench measures
+  // steady-state cost, not signal storms). Pure-observer is re-proven on
+  // every rep via the fingerprint.
+  double profiled_seconds = 0.0;
+  double unprofiled_seconds = 0.0;
+  uint64_t profile_samples = 0;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    auto unprofiled_start = std::chrono::steady_clock::now();
+    auto unprofiled_result =
+        MineCorrelations(provider, db->num_items(), options);
+    double seconds = SecondsSince(unprofiled_start);
+    CORRMINE_CHECK(unprofiled_result.ok());
+    if (rep == 0 || seconds < unprofiled_seconds) unprofiled_seconds = seconds;
+
+    ProfilerOptions profiler_options;
+    profiler_options.pmu = true;
+    profiler_options.sampling = true;
+    profiler_options.sample_interval_usec = 10000;
+    Profiler::Global().Start(profiler_options);
+    auto profiled_start = std::chrono::steady_clock::now();
+    auto profiled_result =
+        MineCorrelations(provider, db->num_items(), options);
+    seconds = SecondsSince(profiled_start);
+    Profiler::Global().Stop();
+    CORRMINE_CHECK(profiled_result.ok())
+        << profiled_result.status().ToString();
+    CORRMINE_CHECK(ResultFingerprint(*profiled_result) ==
+                   baseline_fingerprint)
+        << "profiling changed the mining result";
+    if (rep == 0 || seconds < profiled_seconds) profiled_seconds = seconds;
+    profile_samples = Profiler::Global().samples_recorded();
+  }
+  double profile_overhead = SafeRatio(profiled_seconds, unprofiled_seconds);
+  const bool pmu_available = ProbePmu().available;
+
   // Machine-readable line first (the BENCH_*.json seed), table second.
   std::ostringstream json;
   json << "\"workload\":\"quest\""
@@ -176,7 +215,13 @@ int main() {
        << ",\"untraced_seconds\":" << untraced_seconds
        << ",\"overhead_ratio\":" << trace_overhead
        << ",\"events\":" << trace_events
-       << ",\"dropped\":" << trace_dropped << "}";
+       << ",\"dropped\":" << trace_dropped << "}"
+       << ",\"profile\":{\"threads\":" << headline.threads
+       << ",\"seconds\":" << profiled_seconds
+       << ",\"unprofiled_seconds\":" << unprofiled_seconds
+       << ",\"overhead_ratio\":" << profile_overhead
+       << ",\"samples\":" << profile_samples
+       << ",\"pmu_available\":" << (pmu_available ? "true" : "false") << "}";
   bench::EmitBenchJsonLine("bench_parallel", json.str());
 
   io::TablePrinter table({"threads", "mine s", "speedup"});
@@ -206,6 +251,14 @@ int main() {
             << "s untraced (best of " << kOverheadReps << ", ratio "
             << io::FormatDouble(trace_overhead, 3) << "), " << trace_events
             << " events recorded, " << trace_dropped << " dropped.\n";
+  std::cout << "\n== Profiling overhead (" << headline.threads
+            << " threads, PMU " << (pmu_available ? "on" : "unavailable")
+            << " + 10ms sampling) ==\n\nprofiled "
+            << io::FormatDouble(profiled_seconds, 3) << "s vs "
+            << io::FormatDouble(unprofiled_seconds, 3)
+            << "s unprofiled (best of " << kOverheadReps << ", ratio "
+            << io::FormatDouble(profile_overhead, 3) << "), "
+            << profile_samples << " samples captured.\n";
   cached.PublishMetrics(&MetricsRegistry::Global());
   corrmine::bench::EmitMetricsLine("bench_parallel");
   return 0;

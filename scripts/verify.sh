@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus hardening passes: the stats regression sentinel
-# across a threads x shards matrix, a trace-validation stage, the full test
-# suite with the metrics layer compiled out (CORRMINE_METRICS=OFF must stay
-# a working configuration), and a ThreadSanitizer run over the
-# concurrency-sensitive suites (the parallel mining engine, its pool, and
-# the cached count provider). Run from the repository root:
+# across a threads x shards matrix, a trace-validation stage, a profiling
+# stage (the pure-observer sentinel across off/sampling/PMU/both plus
+# collapsed-stack validation), the full test suite with the metrics layer
+# compiled out (CORRMINE_METRICS=OFF must stay a working configuration),
+# and a ThreadSanitizer run over the concurrency-sensitive suites (the
+# parallel mining engine, its pool, and the cached count provider). Run
+# from the repository root:
 #
 #   scripts/verify.sh                  # everything
 #   SKIP_TSAN=1 scripts/verify.sh      # skip the TSan stage
 #   SKIP_METRICS_OFF=1 scripts/verify.sh  # skip the metrics-off stage
 #   SKIP_STATSDIFF=1 scripts/verify.sh    # skip the statsdiff/trace stages
+#   SKIP_PROFILE=1 scripts/verify.sh      # skip the profiling stage (the
+#                                         # pure-observer sentinel plus
+#                                         # collapsed-stack validation)
 #   SKIP_BENCH=1 scripts/verify.sh        # skip the bench stages (kernel
 #                                         # throughput + scheduler and
 #                                         # incremental gates)
@@ -109,6 +114,47 @@ if [[ "${SKIP_STATSDIFF:-0}" != "1" ]]; then
     --support-count 100 --cell-fraction 0.26 --max-level 3 \
     --threads 8 --shards 4 --trace-out "$SDIR/run.trace.json" >/dev/null
   build/tools/statsdiff --validate-trace "$SDIR/run.trace.json"
+fi
+
+if [[ "${SKIP_PROFILE:-0}" != "1" ]]; then
+  echo "== profile stage: pure-observer sentinel + collapsed stacks =="
+  # The profiler's acceptance contract (DESIGN.md §13): turning on either
+  # collector — SIGPROF sampling (--profile-out), the PMU phase counters
+  # (--pmu), or both at once — must leave the deterministic stats section
+  # and the schedule-independent counter families byte-identical to an
+  # unprofiled run. statsdiff pins that; the validators then check the
+  # non-deterministic artifacts structurally: the stats "profile" section,
+  # the collapsed-stack file (flamegraph.pl input), and a Chrome trace
+  # recorded WITH sampling folded in. On machines where perf_event_open is
+  # denied the --pmu runs exercise the degradation path instead — the
+  # sentinel holds either way, which is exactly the point.
+  PDIR=build/profile-out
+  rm -rf "$PDIR" && mkdir -p "$PDIR"
+  PFLAGS=(--support-count 100 --cell-fraction 0.26 --max-level 3
+          --threads 8 --shards 4)
+  build/tools/corrmine_cli generate quest --baskets 2000 \
+    --out "$PDIR/fixture.txt" >/dev/null
+  build/tools/corrmine_cli mine "$PDIR/fixture.txt" "${PFLAGS[@]}" \
+    --stats-json "$PDIR/stats_off.json" >/dev/null
+  build/tools/corrmine_cli mine "$PDIR/fixture.txt" "${PFLAGS[@]}" \
+    --profile-out "$PDIR/sampling.folded" \
+    --stats-json "$PDIR/stats_sampling.json" >/dev/null 2>/dev/null
+  build/tools/corrmine_cli mine "$PDIR/fixture.txt" "${PFLAGS[@]}" \
+    --pmu \
+    --stats-json "$PDIR/stats_pmu.json" >/dev/null 2>/dev/null
+  build/tools/corrmine_cli mine "$PDIR/fixture.txt" "${PFLAGS[@]}" \
+    --pmu --profile-out "$PDIR/both.folded" \
+    --trace-out "$PDIR/profiled.trace.json" \
+    --stats-json "$PDIR/stats_both.json" >/dev/null 2>/dev/null
+  for mode in sampling pmu both; do
+    build/tools/statsdiff "$PDIR/stats_off.json" \
+      "$PDIR/stats_${mode}.json" --counters miner.,count_provider.
+  done
+  build/tools/statsdiff --validate-profile "$PDIR/stats_off.json"
+  build/tools/statsdiff --validate-profile "$PDIR/stats_both.json"
+  build/tools/statsdiff --validate-collapsed "$PDIR/sampling.folded"
+  build/tools/statsdiff --validate-collapsed "$PDIR/both.folded"
+  build/tools/statsdiff --validate-trace "$PDIR/profiled.trace.json"
 fi
 
 if [[ "${SKIP_INCREMENTAL:-0}" != "1" ]]; then
@@ -244,12 +290,12 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build build-tsan -j \
     --target thread_pool_test miner_test batch_tables_test \
     count_provider_cache_test sharded_database_test trace_test \
-    kernel_differential_test scheduler_determinism_test \
+    profiler_test kernel_differential_test scheduler_determinism_test \
     incremental_differential_test border_state_test \
     differential_miners_test counting_column_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|kernel_differential_test|scheduler_determinism_test|incremental_differential_test|border_state_test|differential_miners_test|counting_column_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|profiler_test|kernel_differential_test|scheduler_determinism_test|incremental_differential_test|border_state_test|differential_miners_test|counting_column_test)$')
 fi
 
 echo "verify: OK"

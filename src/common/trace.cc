@@ -116,19 +116,50 @@ uint64_t Tracer::NowNanos() const {
   return SteadyNowNanos() - epoch_ns_;
 }
 
+namespace {
+
+/// Shared between ThreadRing() (registers, may lock/allocate) and
+/// ThreadRingIfCached() (async-signal-safe read-only lookup). File-scope so
+/// both members see the same thread-local slot. Rings live until the next
+/// Start(), so a cached pointer validated against the session is never
+/// dangling.
+struct CachedThreadRing {
+  TraceRing* ring = nullptr;
+  uint64_t session = 0;
+};
+thread_local CachedThreadRing t_cached_ring;
+
+}  // namespace
+
 TraceRing* Tracer::ThreadRing() {
-  struct Cached {
-    TraceRing* ring = nullptr;
-    uint64_t session = 0;
-  };
-  thread_local Cached cached;
   const uint64_t session = session_.load(std::memory_order_relaxed);
-  if (cached.ring != nullptr && cached.session == session) return cached.ring;
+  if (t_cached_ring.ring != nullptr && t_cached_ring.session == session) {
+    return t_cached_ring.ring;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   rings_.push_back(std::make_unique<TraceRing>(events_per_thread_));
-  cached.ring = rings_.back().get();
-  cached.session = session;
-  return cached.ring;
+  t_cached_ring.ring = rings_.back().get();
+  t_cached_ring.session = session;
+  return t_cached_ring.ring;
+}
+
+TraceRing* Tracer::ThreadRingIfCached() {
+  if (!active_.load(std::memory_order_acquire)) return nullptr;
+  const uint64_t session = session_.load(std::memory_order_relaxed);
+  if (t_cached_ring.ring == nullptr || t_cached_ring.session != session) {
+    return nullptr;
+  }
+  return t_cached_ring.ring;
+}
+
+uint64_t Tracer::DroppedEvents() const {
+  if constexpr (!kMetricsEnabled) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const std::unique_ptr<TraceRing>& ring : rings_) {
+    dropped += ring->Dropped();
+  }
+  return dropped;
 }
 
 std::vector<Tracer::ThreadTrace> Tracer::Collect() const {
@@ -195,6 +226,14 @@ std::string Tracer::ToChromeJson() const {
 }
 
 Status Tracer::WriteChromeJson(const std::string& path) const {
+  const uint64_t dropped = DroppedEvents();
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "[trace] warning: %" PRIu64
+                 " events overwritten (ring full); oldest spans are missing "
+                 "from %s — re-run with a larger ring if they matter\n",
+                 dropped, path.c_str());
+  }
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   if (!out) {
     return Status::Internal("cannot open trace file for writing: " + path);

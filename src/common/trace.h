@@ -72,6 +72,13 @@ class TraceRing {
     return cursor_.load(std::memory_order_acquire);
   }
 
+  /// Events overwritten so far (total appended minus capacity, floored at
+  /// zero). Same value Snapshot() reports, without copying the events.
+  uint64_t Dropped() const {
+    const uint64_t end = cursor_.load(std::memory_order_acquire);
+    return end > slots_.size() ? end - slots_.size() : 0;
+  }
+
  private:
   std::vector<TraceEvent> slots_;
   size_t mask_;
@@ -114,6 +121,17 @@ class Tracer {
   /// The calling thread's ring for the current session (registering the
   /// thread on first use). Only meaningful while active.
   TraceRing* ThreadRing();
+
+  /// Async-signal-safe variant for the sampling profiler's SIGPROF
+  /// handler: returns the calling thread's ring only if this thread
+  /// already registered it for the current session, else nullptr. Never
+  /// locks, allocates, or registers — just thread-local and atomic reads.
+  TraceRing* ThreadRingIfCached();
+
+  /// Total events overwritten across all rings of the current session.
+  /// Surfaces in stats-JSON as trace.dropped_events and as a stderr
+  /// warning at export (the cue to re-run with a larger ring).
+  uint64_t DroppedEvents() const;
 
   /// Everything collected, one entry per registered thread in registration
   /// order; tid 0 is the first thread that traced (normally the main

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 
 namespace corrmine {
@@ -148,6 +149,7 @@ StatusOr<MiningResult> RepairBorder(const MiningSession& session,
   TraceScope span("repair.mine", -1,
                   static_cast<int64_t>(state->num_baskets),
                   static_cast<int64_t>(state->counts.size()));
+  ProfileScope profile("repair.mine");
   MinerOptions options = state->config.ToMinerOptions();
   options.num_threads = session.num_threads();
   options.pool = session.pool();

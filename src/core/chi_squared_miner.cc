@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "hash/itemset_set.h"
@@ -400,6 +401,7 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
   PhaseTimer run_timer(&registry, "miner.mine");
   TraceScope run_span("miner.mine", -1, -1,
                       static_cast<int64_t>(num_items));
+  ProfileScope run_profile("miner.mine");
   // Which counting kernel served this run, as a trace marker (value =
   // KernelIsa). Deliberately kept out of the deterministic stats — the
   // kernel is machine-dependent while the counts it produces are not.
@@ -481,6 +483,7 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
     PhaseTimer level_timer(&registry, "miner.level");
     TraceScope level_span("miner.level", level, -1,
                           static_cast<int64_t>(cand.size()));
+    ProfileScope level_profile("miner.level");
     LevelStats stats;
     stats.level = level;
     stats.possible_itemsets = BinomialCount(num_items, level);
@@ -517,6 +520,7 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
         PhaseTimer plan_timer(&registry, "miner.plan");
         TraceScope plan_span("miner.plan", level, -1,
                              static_cast<int64_t>(cand.size()));
+        ProfileScope plan_profile("miner.plan");
         return LevelQueryPlan::Build(cand, level, pool);
       }();
       std::vector<uint64_t> query_counts(plan.queries.size());
@@ -524,12 +528,14 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
         PhaseTimer count_timer(&registry, "miner.count_batch");
         TraceScope count_span("miner.count_batch", level, -1,
                               static_cast<int64_t>(plan.queries.size()));
+        ProfileScope count_profile("miner.count_batch");
         provider.CountAllPresentBatch(plan.queries, query_counts, pool);
       }
 
       std::vector<EvalSlot> slots(cand.size());
       TraceScope eval_span("miner.evaluate", level, -1,
                            static_cast<int64_t>(cand.size()));
+      ProfileScope eval_profile("miner.evaluate");
       // The fan-in appends NOTSIG members in candidate order; runs of a
       // shared (k-1)-prefix close as soon as the next member's prefix
       // differs, and each closed run's raw joins are enumerated as pool
@@ -629,6 +635,7 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
         joiner.CloseRun(pool, next_not_sig.size());
         joiner.Drain(pool);
         PhaseTimer gen_timer(&registry, "miner.generate");
+        ProfileScope gen_profile("miner.generate");
         CORRMINE_RETURN_NOT_OK(ParallelFor(
             pool, joiner.joins.size(), 1,
             [&](size_t begin, size_t end) -> Status {
@@ -659,6 +666,11 @@ StatusOr<MiningResult> MineCorrelations(const CountProvider& provider,
       result.levels.push_back(stats);
       counters.AddLevel(stats);
     }
+    // Level-boundary peak-RSS sample: the gauge is last-write-wins and
+    // ru_maxrss is monotone, so this tracks *when* the peak grew (visible
+    // per level in --trace-out via the dump, not just at session end).
+    registry.GetGauge("mem.peak_rss_bytes")
+        ->Set(static_cast<int64_t>(PeakRssBytes()));
 
     if (options.progress && !exhausted) {
       MinerProgress heartbeat;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "io/sharded_loader.h"
@@ -51,6 +52,7 @@ MiningSession::MiningSession(ShardedTransactionDatabase db,
   TraceScope span("session.open", -1,
                   static_cast<int64_t>(db_.num_shards()),
                   static_cast<int64_t>(db_.num_baskets()));
+  ProfileScope profile("io.load");
   switch (provider_kind_) {
     case SessionProvider::kBitmap:
       sharded_provider_ = std::make_unique<ShardedCountProvider>(db_);

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/metrics.h"
+#include "common/profiler.h"
+#include "common/trace.h"
 #include "itemset/kernels.h"
 
 namespace corrmine {
@@ -58,6 +60,16 @@ std::string RenderStatsJson(const MiningResult& result,
   // rejects any document where kernel info leaks into it.
   out << "  \"kernel\": {\"name\": \"" << ActiveKernelName()
       << "\", \"requested\": \"" << RequestedKernelName() << "\"},\n";
+  // Profiling attribution (DESIGN.md §13): hardware-counter phase
+  // breakdown + sampling-profiler accounting. Machine- and run-dependent
+  // like "kernel", so also outside "deterministic" and report-only for
+  // statsdiff (structural checks via --validate-profile).
+  out << "  \"profile\": " << Profiler::Global().RenderProfileJson()
+      << ",\n";
+  // Trace-ring health: events overwritten because a per-thread ring
+  // filled. Non-zero means the Chrome trace is missing its oldest spans.
+  out << "  \"trace\": {\"dropped_events\": "
+      << Tracer::Global().DroppedEvents() << "},\n";
   out << "  \"runtime\": " << registry.ToJson() << "\n";
   out << "}";
   return out.str();

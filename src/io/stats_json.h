@@ -29,6 +29,15 @@ class MetricsRegistry;
 /// as report-only and rejects documents where kernel info appears inside
 /// the deterministic section.
 ///
+/// Two more non-deterministic top-level sections follow the same contract
+/// (present in every document, report-only for statsdiff, rejected inside
+/// "deterministic"):
+///  - "profile": the profiler's PMU availability + per-phase counter
+///    attribution + sampling accounting (DESIGN.md §13), structurally
+///    checked by `statsdiff --validate-profile`.
+///  - "trace": {"dropped_events": N} — trace-ring overwrite count, the
+///    signal that a Chrome trace export is missing its oldest spans.
+///
 /// The deterministic object is rendered onto a single line so a script (or
 /// a CMake test) can `grep '"deterministic"'` two reports and compare with
 /// string equality.
@@ -48,6 +57,9 @@ std::string RenderDeterministicStats(
 ///   {
 ///     "schema": "corrmine-stats-v1",
 ///     "deterministic": {...one line...},
+///     "kernel": {...},
+///     "profile": {...one line, profiler snapshot...},
+///     "trace": {"dropped_events": N},
 ///     "runtime": {...one line, registry snapshot...}
 ///   }
 /// When metrics are compiled out (CORRMINE_METRICS=OFF) the runtime section

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/border_repair.h"
@@ -245,21 +246,29 @@ StatusOr<MiningResult> MineCorrelationsOutOfCore(
   };
 
   ItemId num_items = 0;
-  CORRMINE_RETURN_NOT_OK(io::StreamTransactionFile(
-      path, &num_items, [&](std::vector<ItemId> basket) -> Status {
-        for (const ItemId item : basket) {
-          if (item >= rows_by_item.size()) {
-            rows_by_item.resize(static_cast<size_t>(item) + 1);
+  {
+    ProfileScope spill_profile("partition.spill");
+    CORRMINE_RETURN_NOT_OK(io::StreamTransactionFile(
+        path, &num_items, [&](std::vector<ItemId> basket) -> Status {
+          for (const ItemId item : basket) {
+            if (item >= rows_by_item.size()) {
+              rows_by_item.resize(static_cast<size_t>(item) + 1);
+            }
+            rows_by_item[item].push_back(static_cast<uint32_t>(local_rows));
           }
-          rows_by_item[item].push_back(static_cast<uint32_t>(local_rows));
-        }
-        local_bytes += basket.size() * sizeof(uint32_t);
-        ++local_rows;
-        ++total_rows;
-        return local_bytes >= partition_row_bytes ? close_partition()
-                                                  : Status::OK();
-      }));
-  CORRMINE_RETURN_NOT_OK(close_partition());
+          local_bytes += basket.size() * sizeof(uint32_t);
+          ++local_rows;
+          ++total_rows;
+          return local_bytes >= partition_row_bytes ? close_partition()
+                                                    : Status::OK();
+        }));
+    CORRMINE_RETURN_NOT_OK(close_partition());
+  }
+  // Pass-boundary peak-RSS samples (here and after each pass below): the
+  // budget gate in bench_outofcore cares *when* the high-water mark
+  // happened, not just its final value.
+  registry.GetGauge("mem.peak_rss_spill_bytes")
+      ->Set(static_cast<int64_t>(PeakRssBytes()));
   if (total_rows == 0) {
     return Status::FailedPrecondition("mining an empty database");
   }
@@ -287,25 +296,30 @@ StatusOr<MiningResult> MineCorrelationsOutOfCore(
   const size_t query_cap = std::max<uint64_t>(
       4096, options.memory_budget_bytes / 512);
   std::unordered_set<Itemset, ItemsetHasher> recorded;
-  for (size_t p = 0; p < part_paths.size(); ++p) {
-    TraceScope span("outofcore.mine_partition", -1, static_cast<int>(p),
-                    static_cast<int>(part_rows[p]));
-    CORRMINE_ASSIGN_OR_RETURN(std::unique_ptr<io::MappedColumnShard> shard,
-                              io::MappedColumnShard::Open(part_paths[p]));
-    CompressedCountProvider provider(
-        std::vector<const ColumnSource*>{shard.get()});
-    RecordingCountProvider recording(provider, &recorded, query_cap);
-    MinerOptions local = base;
-    local.keep_frontier = false;
-    local.progress = nullptr;
-    local.support.min_count = std::max<uint64_t>(
-        1, static_cast<uint64_t>(std::floor(
-               static_cast<double>(base.support.min_count) *
-               static_cast<double>(part_rows[p]) /
-               static_cast<double>(total_rows))));
-    CORRMINE_RETURN_NOT_OK(
-        MineCorrelations(recording, num_items, local).status());
+  {
+    ProfileScope pass1_profile("partition.pass1");
+    for (size_t p = 0; p < part_paths.size(); ++p) {
+      TraceScope span("outofcore.mine_partition", -1, static_cast<int>(p),
+                      static_cast<int>(part_rows[p]));
+      CORRMINE_ASSIGN_OR_RETURN(std::unique_ptr<io::MappedColumnShard> shard,
+                                io::MappedColumnShard::Open(part_paths[p]));
+      CompressedCountProvider provider(
+          std::vector<const ColumnSource*>{shard.get()});
+      RecordingCountProvider recording(provider, &recorded, query_cap);
+      MinerOptions local = base;
+      local.keep_frontier = false;
+      local.progress = nullptr;
+      local.support.min_count = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::floor(
+                 static_cast<double>(base.support.min_count) *
+                 static_cast<double>(part_rows[p]) /
+                 static_cast<double>(total_rows))));
+      CORRMINE_RETURN_NOT_OK(
+          MineCorrelations(recording, num_items, local).status());
+    }
   }
+  registry.GetGauge("mem.peak_rss_pass1_bytes")
+      ->Set(static_cast<int64_t>(PeakRssBytes()));
 
   // --- Pass 2: stream the partitions once, answering the whole candidate
   // union with exact global counts into the memo. Sorted order makes the
@@ -318,16 +332,21 @@ StatusOr<MiningResult> MineCorrelationsOutOfCore(
             });
   std::vector<uint64_t> totals(candidates.size(), 0);
   std::vector<uint64_t> partial(candidates.size());
-  for (size_t p = 0; p < part_paths.size(); ++p) {
-    TraceScope span("outofcore.count_partition", -1, static_cast<int>(p),
-                    static_cast<int>(candidates.size()));
-    CORRMINE_ASSIGN_OR_RETURN(std::unique_ptr<io::MappedColumnShard> shard,
-                              io::MappedColumnShard::Open(part_paths[p]));
-    CompressedCountProvider provider(
-        std::vector<const ColumnSource*>{shard.get()});
-    provider.CountAllPresentBatchUncounted(candidates, partial, pool);
-    for (size_t i = 0; i < totals.size(); ++i) totals[i] += partial[i];
+  {
+    ProfileScope pass2_profile("partition.pass2");
+    for (size_t p = 0; p < part_paths.size(); ++p) {
+      TraceScope span("outofcore.count_partition", -1, static_cast<int>(p),
+                      static_cast<int>(candidates.size()));
+      CORRMINE_ASSIGN_OR_RETURN(std::unique_ptr<io::MappedColumnShard> shard,
+                                io::MappedColumnShard::Open(part_paths[p]));
+      CompressedCountProvider provider(
+          std::vector<const ColumnSource*>{shard.get()});
+      provider.CountAllPresentBatchUncounted(candidates, partial, pool);
+      for (size_t i = 0; i < totals.size(); ++i) totals[i] += partial[i];
+    }
   }
+  registry.GetGauge("mem.peak_rss_pass2_bytes")
+      ->Set(static_cast<int64_t>(PeakRssBytes()));
   std::unordered_map<Itemset, uint64_t, ItemsetHasher> memo;
   memo.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {

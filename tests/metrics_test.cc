@@ -201,6 +201,10 @@ TEST(MinerMetricsTest, RegistryCountersMatchLevelStats) {
   EXPECT_EQ(snap.counters.at("miner.levels"), result->levels.size());
   EXPECT_GE(snap.histograms.at("miner.level.ns").count,
             result->levels.size());
+  // The level-boundary peak-RSS gauge: set after every completed level, so
+  // a finished run always carries the process high-water mark.
+  ASSERT_EQ(snap.gauges.count("mem.peak_rss_bytes"), 1u);
+  EXPECT_GT(snap.gauges.at("mem.peak_rss_bytes"), 0);
 }
 
 // --- §3.3 low-expectation masking accounting ---------------------------

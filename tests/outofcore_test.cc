@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/session.h"
 #include "datagen/quest_generator.h"
 #include "io/binary_io.h"
@@ -141,6 +142,8 @@ TEST_F(OutOfCoreTest, MultiplePartitionsStayExact) {
   OutOfCoreMinerOptions options;
   options.miner = miner;
   options.miner.num_threads = 2;
+  MetricsRegistry registry;
+  options.miner.metrics = &registry;
   options.memory_budget_bytes = uint64_t{8} << 20;
   options.spill_dir = (dir_ / "spill").string();
   options.keep_spill = true;
@@ -150,6 +153,19 @@ TEST_F(OutOfCoreTest, MultiplePartitionsStayExact) {
   EXPECT_EQ(Fingerprint(*result_or), Fingerprint(*expected_or));
   EXPECT_GE(stats.partitions, 2u) << "dataset did not force partitioning";
   EXPECT_GT(stats.spilled_payload_bytes, 0u);
+  // Peak-RSS gauges land at every pass boundary so an operator can see
+  // which phase of a spilling run owned the memory high-water mark.
+  if (kMetricsEnabled) {
+    EXPECT_GT(registry.GetGauge("mem.peak_rss_spill_bytes")->Value(), 0);
+    EXPECT_GT(registry.GetGauge("mem.peak_rss_pass1_bytes")->Value(), 0);
+    EXPECT_GT(registry.GetGauge("mem.peak_rss_pass2_bytes")->Value(), 0);
+    // RSS is monotone over the run, so each boundary reading dominates
+    // the one before it.
+    EXPECT_GE(registry.GetGauge("mem.peak_rss_pass1_bytes")->Value(),
+              registry.GetGauge("mem.peak_rss_spill_bytes")->Value());
+    EXPECT_GE(registry.GetGauge("mem.peak_rss_pass2_bytes")->Value(),
+              registry.GetGauge("mem.peak_rss_pass1_bytes")->Value());
+  }
   // keep_spill leaves the CCS1 partitions on disk.
   size_t spill_files = 0;
   for (const auto& entry :

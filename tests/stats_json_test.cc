@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/chi_squared_miner.h"
 #include "datagen/quest_generator.h"
 #include "itemset/count_provider.h"
+#include "io/json_reader.h"
 
 namespace corrmine {
 namespace {
@@ -89,6 +91,60 @@ TEST(StatsJsonTest, FullDocumentHasBothSections) {
     }
   }
   EXPECT_EQ(deterministic_lines, 1);
+}
+
+TEST(StatsJsonTest, FullDocumentCarriesProfileAndTraceSections) {
+  MiningResult result;
+  MetricsRegistry registry;
+  std::string json = RenderStatsJson(result, nullptr, registry);
+  // Present in every configuration — profiling off, PMU denied, metrics
+  // compiled out — because statsdiff --validate-profile checks structure
+  // unconditionally.
+  EXPECT_NE(json.find("\"profile\": {\"pmu\":{\"available\":"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"trace\": {\"dropped_events\": "), std::string::npos)
+      << json;
+  auto doc = io::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const io::JsonValue* profile = doc->Find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_NE(profile->Find("pmu"), nullptr);
+  EXPECT_NE(profile->Find("phases"), nullptr);
+  EXPECT_NE(profile->Find("sampling"), nullptr);
+  // Never inside the deterministic section (the statsdiff hygiene check).
+  const io::JsonValue* det = doc->Find("deterministic");
+  ASSERT_NE(det, nullptr);
+  EXPECT_EQ(det->Find("profile"), nullptr);
+  EXPECT_EQ(det->Find("kernel"), nullptr);
+}
+
+// Satellite regression: drops in the trace rings must surface in the
+// stats document, not just inside the Chrome export.
+TEST(StatsJsonTest, TraceRingOverflowIsReportedInStatsJson) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(/*events_per_thread=*/8);
+  for (int i = 0; i < 200; ++i) TraceInstant("overflow.spam", -1, -1, i);
+  tracer.Stop();
+
+  MiningResult result;
+  MetricsRegistry registry;
+  std::string json = RenderStatsJson(result, nullptr, registry);
+  auto doc = io::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const io::JsonValue* trace = doc->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  const io::JsonValue* dropped = trace->Find("dropped_events");
+  ASSERT_NE(dropped, nullptr);
+  ASSERT_TRUE(dropped->is_number());
+  if (kMetricsEnabled) {
+    EXPECT_EQ(static_cast<uint64_t>(dropped->number_value), 200u - 8u);
+  } else {
+    EXPECT_EQ(dropped->number_value, 0);
+  }
+  // Reset so later suites in this process start drop-free.
+  tracer.Start();
+  tracer.Stop();
 }
 
 TEST(StatsJsonTest, WriteStatsJsonRoundTrips) {

@@ -302,6 +302,60 @@ TEST_F(TracerTest, WriteChromeJsonProducesALoadableFile) {
   ValidateChromeTrace(content.str(), nullptr);
 }
 
+TEST(TraceRingTest, DroppedAccessorMatchesSnapshot) {
+  TraceRing ring(8);
+  EXPECT_EQ(ring.Dropped(), 0u);
+  for (uint64_t i = 0; i < 8; ++i) {
+    ring.Append(MakeEvent("e", i, TraceEventPhase::kInstant));
+  }
+  EXPECT_EQ(ring.Dropped(), 0u);  // Exactly full: nothing overwritten yet.
+  for (uint64_t i = 0; i < 5; ++i) {
+    ring.Append(MakeEvent("e", 8 + i, TraceEventPhase::kInstant));
+  }
+  EXPECT_EQ(ring.Dropped(), 5u);
+  EXPECT_EQ(ring.Snapshot().dropped, 5u);
+}
+
+TEST_F(TracerTest, DroppedEventsSumsAcrossRingsAndResetsOnStart) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(/*events_per_thread=*/8);
+  for (int i = 0; i < 100; ++i) TraceInstant("spam", -1, -1, i);
+  tracer.Stop();
+  if (kMetricsEnabled) {
+    EXPECT_EQ(tracer.DroppedEvents(), 100u - 8u);
+  } else {
+    EXPECT_EQ(tracer.DroppedEvents(), 0u);
+  }
+  // A fresh session drops the old rings — and their drop counts.
+  tracer.Start();
+  { TraceScope scope("calm"); }
+  tracer.Stop();
+  EXPECT_EQ(tracer.DroppedEvents(), 0u);
+}
+
+TEST_F(TracerTest, ThreadRingIfCachedRequiresRegistrationAndSession) {
+  Tracer& tracer = Tracer::Global();
+  // Inactive tracer: never returns a ring.
+  EXPECT_EQ(tracer.ThreadRingIfCached(), nullptr);
+  tracer.Start();
+  if (!kMetricsEnabled) {
+    EXPECT_EQ(tracer.ThreadRingIfCached(), nullptr);
+    return;
+  }
+  // Active but this thread has not traced yet this session: still nullptr
+  // (the async-signal-safe path must never register).
+  EXPECT_EQ(tracer.ThreadRingIfCached(), nullptr);
+  TraceRing* ring = tracer.ThreadRing();
+  EXPECT_EQ(tracer.ThreadRingIfCached(), ring);
+  tracer.Stop();
+  EXPECT_EQ(tracer.ThreadRingIfCached(), nullptr);
+  // A new session invalidates the old cached ring until re-registration.
+  tracer.Start();
+  EXPECT_EQ(tracer.ThreadRingIfCached(), nullptr);
+  EXPECT_EQ(tracer.ThreadRingIfCached(), tracer.ThreadRingIfCached());
+  tracer.Stop();
+}
+
 TEST(PeakRssTest, ReportsAPlausiblyPositiveValue) {
 #if defined(__unix__) || defined(__APPLE__)
   // Any live process has resident pages; exact value is machine state.

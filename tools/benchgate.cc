@@ -81,6 +81,17 @@ double RequiredSpeedup(int usable_cores) {
   return std::max(0.85, 3.0 * static_cast<double>(usable_cores) / 8.0);
 }
 
+/// Ceiling on the observer-overhead ratios (traced/untraced and
+/// profiled/unprofiled wall clock, each best-of-3 interleaved). The 1.05x
+/// contract assumes enough cores that the collectors' bookkeeping hides in
+/// idle cycles; on narrow machines (< 4 usable cores — e.g. a 1-core
+/// container) every observer instruction competes with the miner for the
+/// same core and scheduler jitter is proportionally larger, so the ceiling
+/// relaxes to 1.15x rather than reporting noise as a regression.
+double RequiredObserverOverhead(int usable_cores) {
+  return usable_cores >= 4 ? 1.05 : 1.15;
+}
+
 /// Repair-speedup floor for <= 1% deltas. The advantage is memoized
 /// counting, not parallelism, so it survives on one core — but a 1-core
 /// box runs both sides serially and absorbs every fixed cost (plan build,
@@ -148,6 +159,8 @@ int main(int argc, char** argv) {
   }
 
   const int usable = ThreadPool::UsableHardwareConcurrency();
+  // name -> best-of-3 overhead ratio from bench_parallel's observer blocks.
+  std::map<std::string, double> observer_ratios;
   std::vector<ParallelRun> parallel_runs;
   std::vector<ShardedRun> sharded_runs;
   std::vector<IncrementalRun> incremental_runs;
@@ -171,6 +184,13 @@ int main(int argc, char** argv) {
               ParallelRun{static_cast<int>(GetNumber(run, "threads")),
                           GetNumber(run, "seconds"),
                           GetNumber(run, "speedup")});
+        }
+        // The observer-overhead blocks ride on the same BENCH_JSON line.
+        for (const char* observer : {"trace", "profile"}) {
+          const io::JsonValue* block = doc.Find(observer);
+          if (block == nullptr || !block->is_object()) continue;
+          double ratio = GetNumber(*block, "overhead_ratio");
+          if (ratio > 0.0) observer_ratios[observer] = ratio;
         }
       } else if (bench->string_value == "bench_sharded") {
         for (const io::JsonValue& run : runs->array) {
@@ -225,6 +245,24 @@ int main(int argc, char** argv) {
     gates.push_back(gate);
   } else if (scheduler_required) {
     std::cerr << "benchgate: no bench_parallel runs found\n";
+    return 2;
+  }
+
+  // Gate 1b: the observer contract — tracing and profiling are pure
+  // observers, so turning them on must cost almost nothing. Enforced on
+  // the same best-of-3 interleaved measurements bench_parallel already
+  // takes; the ceiling is core-scaled (see RequiredObserverOverhead).
+  for (const auto& [observer, ratio] : observer_ratios) {
+    Gate gate;
+    gate.name = observer + std::string("_overhead");
+    gate.required = RequiredObserverOverhead(usable);
+    gate.actual = ratio;
+    gate.pass = gate.actual <= gate.required;
+    gates.push_back(gate);
+  }
+  if (observer_ratios.empty() && scheduler_required) {
+    std::cerr << "benchgate: no observer-overhead blocks in bench_parallel "
+                 "output\n";
     return 2;
   }
 
@@ -309,6 +347,10 @@ int main(int argc, char** argv) {
        << "\",\"usable_cores\":" << usable;
   if (scheduler_required) {
     json << ",\"required_speedup\":" << RequiredSpeedup(usable);
+  }
+  if (!observer_ratios.empty()) {
+    json << ",\"required_observer_overhead\":"
+         << RequiredObserverOverhead(usable);
   }
   if (!incremental_runs.empty()) {
     json << ",\"required_repair_speedup\":" << RequiredRepairSpeedup(usable);

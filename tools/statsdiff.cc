@@ -11,6 +11,8 @@
 //                                 "kernel." for the counting-kernel word
 //                                 counters, which are kernel-invariant)
 //   statsdiff --validate-trace <trace.json>
+//   statsdiff --validate-profile <stats.json>
+//   statsdiff --validate-collapsed <profile.folded>
 //
 // The deterministic section is compared exactly, using the raw number
 // literals from the file — never parsed doubles, so 64-bit counters compare
@@ -23,6 +25,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -249,6 +252,13 @@ int DiffStats(const std::string& baseline_path,
       report.Fail("deterministic.kernel",
                   "kernel info inside the deterministic section");
     }
+    // Same contract for profiling data: PMU counters and sample tallies
+    // are machine noise by definition and may never live where byte
+    // identity is promised.
+    if (det->is_object() && det->Find("profile") != nullptr) {
+      report.Fail("deterministic.profile",
+                  "profile info inside the deterministic section");
+    }
   }
   DiffExact("deterministic", *det_a, *det_b, &report);
 
@@ -419,6 +429,176 @@ int ValidateTrace(const std::string& path) {
   return 0;
 }
 
+/// Structural checks for the stats-JSON "profile" section
+/// (io/stats_json.h, DESIGN.md §13). Verifies shape, not values: the
+/// section is machine-dependent by design, but a malformed one means a
+/// broken writer. Passes on every configuration the writer supports —
+/// PMU denied, sampling off, metrics compiled out — because the writer
+/// must emit a structurally complete section in all of them.
+int ValidateProfile(const std::string& path) {
+  auto doc_or = LoadJsonFile(path);
+  if (!doc_or.ok()) {
+    std::cerr << doc_or.status().ToString() << "\n";
+    return 2;
+  }
+  const io::JsonValue& doc = *doc_or;
+  std::vector<std::string> errors;
+  const io::JsonValue* profile =
+      doc.is_object() ? doc.Find("profile") : nullptr;
+  if (profile == nullptr || !profile->is_object()) {
+    std::cerr << path << ": no \"profile\" object\n";
+    return 1;
+  }
+
+  auto require_number = [&errors](const io::JsonValue* obj,
+                                  const std::string& where,
+                                  const char* key) {
+    const io::JsonValue* v = obj->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      errors.push_back(where + "." + key + ": missing or not a number");
+      return;
+    }
+    if (v->number_value < 0 || !std::isfinite(v->number_value)) {
+      errors.push_back(where + "." + key + ": " + v->literal +
+                       " outside [0,inf)");
+    }
+  };
+
+  const io::JsonValue* pmu = profile->Find("pmu");
+  if (pmu == nullptr || !pmu->is_object()) {
+    errors.push_back("profile.pmu: missing object");
+  } else {
+    const io::JsonValue* available = pmu->Find("available");
+    if (available == nullptr || available->type != io::JsonValue::Type::kBool) {
+      errors.push_back("profile.pmu.available: missing or not a boolean");
+    }
+    const io::JsonValue* reason = pmu->Find("reason");
+    if (reason == nullptr || !reason->is_string()) {
+      errors.push_back("profile.pmu.reason: missing or not a string");
+    } else if (available != nullptr && available->type == io::JsonValue::Type::kBool &&
+               !available->bool_value && reason->string_value.empty()) {
+      errors.push_back(
+          "profile.pmu.reason: empty while pmu is unavailable — the "
+          "degradation contract requires an explanation");
+    }
+    const io::JsonValue* requested = pmu->Find("requested");
+    if (requested == nullptr || requested->type != io::JsonValue::Type::kBool) {
+      errors.push_back("profile.pmu.requested: missing or not a boolean");
+    }
+  }
+
+  const io::JsonValue* phases = profile->Find("phases");
+  size_t num_phases = 0;
+  if (phases == nullptr || !phases->is_object()) {
+    errors.push_back("profile.phases: missing object");
+  } else {
+    num_phases = phases->object.size();
+    for (const auto& [name, phase] : phases->object) {
+      const std::string where = "profile.phases." + name;
+      if (!phase.is_object()) {
+        errors.push_back(where + ": not an object");
+        continue;
+      }
+      for (const char* key :
+           {"scopes", "cycles", "instructions", "ipc", "llc_loads",
+            "llc_misses", "llc_miss_rate", "branch_misses",
+            "branch_miss_rate", "task_clock_ns"}) {
+        require_number(&phase, where, key);
+      }
+    }
+  }
+
+  const io::JsonValue* sampling = profile->Find("sampling");
+  if (sampling == nullptr || !sampling->is_object()) {
+    errors.push_back("profile.sampling: missing object");
+  } else {
+    const io::JsonValue* enabled = sampling->Find("enabled");
+    if (enabled == nullptr || enabled->type != io::JsonValue::Type::kBool) {
+      errors.push_back("profile.sampling.enabled: missing or not a boolean");
+    }
+    for (const char* key :
+         {"samples", "dropped", "unresolved", "interval_usec"}) {
+      require_number(sampling, "profile.sampling", key);
+    }
+  }
+
+  if (!errors.empty()) {
+    for (const std::string& error : errors) {
+      std::cerr << "INVALID " << error << "\n";
+    }
+    std::cerr << path << ": " << errors.size() << " profile violation(s)\n";
+    return 1;
+  }
+  std::cout << "profile valid: " << path << " (" << num_phases
+            << " phases)\n";
+  return 0;
+}
+
+/// Collapsed-stack format checks (flamegraph.pl input): every non-empty
+/// line is "frame[;frame...] count" — a space-separated trailing integer
+/// count >= 1 and a non-empty semicolon-separated frame list with no empty
+/// frames. An empty file is valid (no samples captured, e.g. a sub-tick
+/// run), but reported so CI can distinguish it.
+int ValidateCollapsed(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  std::vector<std::string> errors;
+  std::string line;
+  size_t line_no = 0;
+  size_t stacks = 0;
+  uint64_t samples = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = path + ":" + std::to_string(line_no);
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      errors.push_back(where + ": no \"frames count\" separator");
+      continue;
+    }
+    const std::string count_str = line.substr(space + 1);
+    bool digits = true;
+    for (char c : count_str) {
+      if (c < '0' || c > '9') digits = false;
+    }
+    if (!digits || count_str == "0") {
+      errors.push_back(where + ": count \"" + count_str +
+                       "\" is not a positive integer");
+      continue;
+    }
+    const std::string frames = line.substr(0, space);
+    bool empty_frame = frames.front() == ';' || frames.back() == ';';
+    for (size_t i = 0; i + 1 < frames.size(); ++i) {
+      if (frames[i] == ';' && frames[i + 1] == ';') empty_frame = true;
+    }
+    if (empty_frame) {
+      errors.push_back(where + ": empty frame in stack");
+      continue;
+    }
+    ++stacks;
+    samples += std::strtoull(count_str.c_str(), nullptr, 10);
+  }
+  if (in.bad()) {
+    std::cerr << "error reading " << path << "\n";
+    return 2;
+  }
+  if (!errors.empty()) {
+    for (const std::string& error : errors) {
+      std::cerr << "INVALID " << error << "\n";
+    }
+    std::cerr << path << ": " << errors.size()
+              << " collapsed-stack violation(s)\n";
+    return 1;
+  }
+  std::cout << "collapsed stacks valid: " << path << " (" << stacks
+            << " unique stacks, " << samples << " samples)\n";
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
   if (!flags_or.ok()) {
@@ -429,11 +609,17 @@ int Main(int argc, const char* const* argv) {
 
   std::string trace_path = flags.GetString("validate-trace", "");
   if (!trace_path.empty()) return ValidateTrace(trace_path);
+  std::string profile_path = flags.GetString("validate-profile", "");
+  if (!profile_path.empty()) return ValidateProfile(profile_path);
+  std::string collapsed_path = flags.GetString("validate-collapsed", "");
+  if (!collapsed_path.empty()) return ValidateCollapsed(collapsed_path);
 
   if (flags.GetBool("help", false) || flags.positional().size() != 2) {
     std::cerr << "usage: statsdiff <baseline.json> <candidate.json>\n"
                  "           [--timing-tolerance R] [--counters P1,P2,...]\n"
-                 "       statsdiff --validate-trace <trace.json>\n";
+                 "       statsdiff --validate-trace <trace.json>\n"
+                 "       statsdiff --validate-profile <stats.json>\n"
+                 "       statsdiff --validate-collapsed <profile.folded>\n";
     return flags.GetBool("help", false) ? 0 : 2;
   }
 
