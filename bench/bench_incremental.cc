@@ -164,17 +164,20 @@ int Main() {
     runs.push_back(MeasureDelta(base, fraction));
   }
 
+  // Doubles go through FormatJsonNumber so the BENCH_incremental.json
+  // seed never holds scientific notation.
+  const auto num = [](double v) { return bench::FormatJsonNumber(v); };
   std::ostringstream fields;
   fields << "\"runs\":[";
   for (size_t i = 0; i < runs.size(); ++i) {
     const Run& run = runs[i];
     if (i > 0) fields << ',';
-    fields << "{\"delta_fraction\":" << run.delta_fraction
+    fields << "{\"delta_fraction\":" << num(run.delta_fraction)
            << ",\"base_baskets\":" << run.base_baskets
            << ",\"delta_baskets\":" << run.delta_baskets
-           << ",\"full_seconds\":" << run.full_seconds
-           << ",\"repair_seconds\":" << run.repair_seconds
-           << ",\"speedup\":" << run.speedup
+           << ",\"full_seconds\":" << num(run.full_seconds)
+           << ",\"repair_seconds\":" << num(run.repair_seconds)
+           << ",\"speedup\":" << num(run.speedup)
            << ",\"memo_misses\":" << run.memo_misses << '}';
   }
   fields << ']';

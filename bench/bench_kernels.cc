@@ -177,22 +177,26 @@ int main() {
         best_and_speedup, SafeRatio(r.and_words_per_sec, scalar_and));
   }
 
+  // Doubles go through FormatJsonNumber: word rates seeded as "2.1e+08"
+  // stop round-tripping the moment anyone diffs the trajectory file.
+  const auto num = [](double v) { return bench::FormatJsonNumber(v); };
   std::ostringstream json;
   json << "\"active\":\"" << ActiveKernelName() << "\""
        << ",\"words_per_operand\":" << kWords
-       << ",\"best_and_speedup\":" << best_and_speedup << ",\"kernels\":[";
+       << ",\"best_and_speedup\":" << num(best_and_speedup)
+       << ",\"kernels\":[";
   for (size_t i = 0; i < micro.size(); ++i) {
     if (i > 0) json << ',';
     json << "{\"name\":\"" << micro[i].name << "\""
-         << ",\"and_words_per_sec\":" << micro[i].and_words_per_sec
+         << ",\"and_words_per_sec\":" << num(micro[i].and_words_per_sec)
          << ",\"and_speedup\":"
-         << SafeRatio(micro[i].and_words_per_sec, scalar_and)
-         << ",\"multi4_words_per_sec\":" << micro[i].multi_words_per_sec
+         << num(SafeRatio(micro[i].and_words_per_sec, scalar_and))
+         << ",\"multi4_words_per_sec\":" << num(micro[i].multi_words_per_sec)
          << ",\"multi4_speedup\":"
-         << SafeRatio(micro[i].multi_words_per_sec, scalar_multi)
-         << ",\"mine_seconds\":" << mines[i].seconds
-         << ",\"mine_speedup\":" << SafeRatio(scalar_mine, mines[i].seconds)
-         << '}';
+         << num(SafeRatio(micro[i].multi_words_per_sec, scalar_multi))
+         << ",\"mine_seconds\":" << num(mines[i].seconds)
+         << ",\"mine_speedup\":"
+         << num(SafeRatio(scalar_mine, mines[i].seconds)) << '}';
   }
   json << "]";
   bench::EmitBenchJsonLine("bench_kernels", json.str());

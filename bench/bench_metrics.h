@@ -1,13 +1,34 @@
 #ifndef CORRMINE_BENCH_BENCH_METRICS_H_
 #define CORRMINE_BENCH_BENCH_METRICS_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/metrics.h"
 
 namespace corrmine {
 namespace bench {
+
+/// Formats one JSON number exactly. Integral values below 2^53 print as
+/// plain integers — never scientific notation, which loses bytes the
+/// moment a byte count or row count round-trips through a BENCH_*.json
+/// seed ("3.35544e+07" was once 33554432). Fractional values use the
+/// shortest decimal that parses back to the same double.
+inline std::string FormatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0 /* 2^53 */) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
 
 /// Prints the global metrics registry as one machine-greppable line:
 ///   BENCH_METRICS {"bench":"<name>", ...registry snapshot...}

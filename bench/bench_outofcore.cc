@@ -10,15 +10,19 @@
 //
 // getrusage peak RSS is process-monotone, so ordering is load-bearing:
 // the dataset is generated and written in small chunks (never holding the
-// whole database), the budgeted out-of-core mine runs FIRST and its peak
-// is read immediately after; only then does the (small, in-memory)
-// differential check run.
+// whole database), the budgeted PARALLEL out-of-core mine (threads=0,
+// admission-controlled — the configuration the RSS gate judges) runs
+// FIRST and its peak is read immediately after; only then do the serial
+// pass-1 baseline (for the outofcore_scaling gate) and the (small,
+// in-memory) differential check run.
 //
 // Emits one "BENCH_JSON" line (the BENCH_outofcore.json seed) consumed by
-// tools/benchgate, which enforces the RSS ceiling and the >= 10x
-// dataset-over-budget floor. The harness CHECK-fails if the out-of-core
-// result ever differs from the in-memory bytes — exactness is part of the
-// bench, not just the test suite.
+// tools/benchgate, which enforces the RSS ceiling, the >= 10x
+// dataset-over-budget floor, the v2 spill-compression ratio and —
+// on machines with enough cores — the pipelined pass-1 speedup. The
+// harness CHECK-fails if the out-of-core result ever differs from the
+// in-memory bytes, or if the parallel and forced-serial runs diverge —
+// exactness is part of the bench, not just the test suite.
 
 #include <chrono>
 #include <cstring>
@@ -31,6 +35,7 @@
 
 #include "bench_metrics.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/session.h"
 #include "datagen/quest_generator.h"
@@ -106,10 +111,18 @@ struct Run {
   uint64_t peak_rss_bytes = 0;
   uint64_t partitions = 0;
   uint64_t spilled_payload_bytes = 0;
+  uint64_t spilled_encoded_bytes = 0;
   uint64_t candidate_queries = 0;
   uint64_t memo_misses = 0;
   uint64_t significant = 0;
+  int admitted = 1;
+  int threads = 1;
+  int usable_cores = 1;
   double seconds = 0.0;
+  double pass1_parallel_seconds = 0.0;
+  double pass1_serial_seconds = 0.0;
+  double pass1_speedup = 0.0;
+  double spill_ratio = 1.0;
 };
 
 int Main() {
@@ -133,7 +146,11 @@ int Main() {
   options.miner.support.min_count = kRows / 20;  // 5% support
   options.miner.support.cell_fraction = 0.26;
   options.miner.max_level = 3;
-  options.miner.num_threads = 1;
+  // The RSS-gated configuration is the parallel one: threads=0 resolves
+  // to the usable core count and the admission controller decides how
+  // many partitions overlap. This run MUST be first — getrusage peak is
+  // monotone, so any later run inherits (and could mask) its ceiling.
+  options.miner.num_threads = 0;
   options.memory_budget_bytes = kBudget;
   options.spill_dir = (dir / "spill").string();
 
@@ -146,6 +163,20 @@ int Main() {
   const uint64_t peak_rss = PeakRssBytes();
   CORRMINE_CHECK(mined.ok()) << mined.status().ToString();
 
+  // Serial pass-1 baseline for the outofcore_scaling gate: one thread,
+  // no pool, admitted = 1, so spill and partition mines never overlap.
+  // Also the strongest determinism evidence the bench can give — the
+  // parallel and serial runs must produce identical result bytes.
+  OutOfCoreMinerOptions serial_options = options;
+  serial_options.miner.num_threads = 1;
+  serial_options.spill_dir = (dir / "spill_serial").string();
+  OutOfCoreStats serial_stats;
+  auto serial_mined = MineCorrelationsOutOfCore(big, serial_options,
+                                                &serial_stats);
+  CORRMINE_CHECK(serial_mined.ok()) << serial_mined.status().ToString();
+  CORRMINE_CHECK(Fingerprint(*mined) == Fingerprint(*serial_mined))
+      << "parallel out-of-core mine diverged from the serial run";
+
   Run run;
   run.budget_bytes = kBudget;
   run.dataset_bytes = dataset_bytes;
@@ -153,10 +184,25 @@ int Main() {
   run.peak_rss_bytes = peak_rss;
   run.partitions = stats.partitions;
   run.spilled_payload_bytes = stats.spilled_payload_bytes;
+  run.spilled_encoded_bytes = stats.spilled_encoded_bytes;
   run.candidate_queries = stats.candidate_queries;
   run.memo_misses = stats.memo_misses;
   run.significant = mined->significant.size();
+  run.admitted = stats.admitted;
+  run.threads = ThreadPool::ResolveThreadCount(0);
+  run.usable_cores = ThreadPool::UsableHardwareConcurrency();
   run.seconds = seconds;
+  run.pass1_parallel_seconds = stats.spill_pass1_seconds;
+  run.pass1_serial_seconds = serial_stats.spill_pass1_seconds;
+  run.pass1_speedup = stats.spill_pass1_seconds > 0.0
+                          ? serial_stats.spill_pass1_seconds /
+                                stats.spill_pass1_seconds
+                          : 0.0;
+  run.spill_ratio =
+      run.spilled_payload_bytes > 0
+          ? static_cast<double>(run.spilled_encoded_bytes) /
+                static_cast<double>(run.spilled_payload_bytes)
+          : 1.0;
 
   // Differential check on a dataset small enough to also mine in memory
   // (still multi-partition under its budget). Peak RSS was already
@@ -184,17 +230,29 @@ int Main() {
   CORRMINE_CHECK(small_stats.partitions >= 2)
       << "differential check did not exercise multi-partition spill";
 
+  // Every number routes through FormatJsonNumber: byte counts and row
+  // counts must seed BENCH_outofcore.json as exact integers, never
+  // scientific notation (a "3.35544e+07" budget is not 33554432 bytes).
+  const auto num = [](double v) { return bench::FormatJsonNumber(v); };
   std::ostringstream fields;
-  fields << "\"runs\":[{\"budget_bytes\":" << run.budget_bytes
-         << ",\"dataset_bytes\":" << run.dataset_bytes
-         << ",\"num_baskets\":" << run.num_baskets
-         << ",\"peak_rss_bytes\":" << run.peak_rss_bytes
-         << ",\"partitions\":" << run.partitions
-         << ",\"spilled_payload_bytes\":" << run.spilled_payload_bytes
-         << ",\"candidate_queries\":" << run.candidate_queries
-         << ",\"memo_misses\":" << run.memo_misses
-         << ",\"significant\":" << run.significant
-         << ",\"seconds\":" << run.seconds << "}]";
+  fields << "\"runs\":[{\"budget_bytes\":" << num(run.budget_bytes)
+         << ",\"dataset_bytes\":" << num(run.dataset_bytes)
+         << ",\"num_baskets\":" << num(run.num_baskets)
+         << ",\"peak_rss_bytes\":" << num(run.peak_rss_bytes)
+         << ",\"partitions\":" << num(run.partitions)
+         << ",\"spilled_payload_bytes\":" << num(run.spilled_payload_bytes)
+         << ",\"spilled_encoded_bytes\":" << num(run.spilled_encoded_bytes)
+         << ",\"spill_ratio\":" << num(run.spill_ratio)
+         << ",\"candidate_queries\":" << num(run.candidate_queries)
+         << ",\"memo_misses\":" << num(run.memo_misses)
+         << ",\"significant\":" << num(run.significant)
+         << ",\"admitted\":" << num(run.admitted)
+         << ",\"threads\":" << num(run.threads)
+         << ",\"usable_cores\":" << num(run.usable_cores)
+         << ",\"seconds\":" << num(run.seconds)
+         << ",\"pass1_parallel_seconds\":" << num(run.pass1_parallel_seconds)
+         << ",\"pass1_serial_seconds\":" << num(run.pass1_serial_seconds)
+         << ",\"pass1_speedup\":" << num(run.pass1_speedup) << "}]";
   bench::EmitBenchJsonLine("bench_outofcore", fields.str());
 
   std::cout << "out-of-core: " << run.num_baskets << " baskets, "
@@ -202,8 +260,15 @@ int Main() {
             << run.budget_bytes / (1 << 20) << " MiB budget ("
             << static_cast<double>(run.dataset_bytes) / run.budget_bytes
             << "x), peak RSS " << run.peak_rss_bytes / (1 << 20)
-            << " MiB, " << run.partitions << " partitions, "
-            << run.significant << " rules in " << run.seconds << " s\n";
+            << " MiB, " << run.partitions << " partitions (admitted "
+            << run.admitted << ", " << run.threads << " threads), spill "
+            << run.spilled_encoded_bytes / (1 << 20) << "/"
+            << run.spilled_payload_bytes / (1 << 20) << " MiB ("
+            << run.spill_ratio << "x), pass-1 "
+            << run.pass1_parallel_seconds << " s vs serial "
+            << run.pass1_serial_seconds << " s ("
+            << run.pass1_speedup << "x), " << run.significant
+            << " rules in " << run.seconds << " s\n";
 
   bench::EmitMetricsLine("bench_outofcore");
   std::error_code ec;

@@ -192,6 +192,9 @@ int main() {
   const bool pmu_available = ProbePmu().available;
 
   // Machine-readable line first (the BENCH_*.json seed), table second.
+  // Doubles go through FormatJsonNumber so the seed never holds
+  // scientific notation (exact integers stay exact).
+  const auto num = [](double v) { return bench::FormatJsonNumber(v); };
   std::ostringstream json;
   json << "\"workload\":\"quest\""
        << ",\"baskets\":" << db->num_baskets()
@@ -200,10 +203,10 @@ int main() {
   for (size_t i = 0; i < runs.size(); ++i) {
     if (i > 0) json << ',';
     json << "{\"threads\":" << runs[i].threads << ",\"seconds\":"
-         << runs[i].seconds << ",\"speedup\":"
-         << SafeRatio(runs[0].seconds, runs[i].seconds) << '}';
+         << num(runs[i].seconds) << ",\"speedup\":"
+         << num(SafeRatio(runs[0].seconds, runs[i].seconds)) << '}';
   }
-  json << "],\"cache\":{\"seconds\":" << cached_seconds
+  json << "],\"cache\":{\"seconds\":" << num(cached_seconds)
        << ",\"queries\":" << cache.queries << ",\"hits\":" << cache.hits
        << ",\"misses\":" << cache.misses
        << ",\"and_word_ops\":" << cache.and_word_ops
@@ -211,15 +214,15 @@ int main() {
        << ",\"and_word_ops_saved\":"
        << cache.uncached_and_word_ops - cache.and_word_ops << "}"
        << ",\"trace\":{\"threads\":" << headline.threads
-       << ",\"seconds\":" << traced_seconds
-       << ",\"untraced_seconds\":" << untraced_seconds
-       << ",\"overhead_ratio\":" << trace_overhead
+       << ",\"seconds\":" << num(traced_seconds)
+       << ",\"untraced_seconds\":" << num(untraced_seconds)
+       << ",\"overhead_ratio\":" << num(trace_overhead)
        << ",\"events\":" << trace_events
        << ",\"dropped\":" << trace_dropped << "}"
        << ",\"profile\":{\"threads\":" << headline.threads
-       << ",\"seconds\":" << profiled_seconds
-       << ",\"unprofiled_seconds\":" << unprofiled_seconds
-       << ",\"overhead_ratio\":" << profile_overhead
+       << ",\"seconds\":" << num(profiled_seconds)
+       << ",\"unprofiled_seconds\":" << num(unprofiled_seconds)
+       << ",\"overhead_ratio\":" << num(profile_overhead)
        << ",\"samples\":" << profile_samples
        << ",\"pmu_available\":" << (pmu_available ? "true" : "false") << "}";
   bench::EmitBenchJsonLine("bench_parallel", json.str());

@@ -185,6 +185,9 @@ int main() {
     }
   }
 
+  // Doubles go through FormatJsonNumber: a counts_per_sec seeded as
+  // "9.06e+07" loses the exact value the next statsdiff compares against.
+  const auto num = [](double v) { return bench::FormatJsonNumber(v); };
   std::ostringstream json;
   json << "\"workload\":\"quest\""
        << ",\"baskets\":" << db->num_baskets()
@@ -193,16 +196,18 @@ int main() {
        << ",\"logical_counts\":" << logical_counts
        << ",\"deduped_queries\":" << plan.queries.size()
        << ",\"baseline\":{\"shards\":1,\"threads\":1,\"scalar\":true"
-       << ",\"seconds\":" << baseline_seconds
-       << ",\"counts_per_sec\":" << baseline_throughput << "},\"runs\":[";
+       << ",\"seconds\":" << num(baseline_seconds)
+       << ",\"counts_per_sec\":" << num(baseline_throughput)
+       << "},\"runs\":[";
   for (size_t i = 0; i < runs.size(); ++i) {
     if (i > 0) json << ',';
     json << "{\"shards\":" << runs[i].shards
          << ",\"threads\":" << runs[i].threads
-         << ",\"seconds\":" << runs[i].seconds
-         << ",\"counts_per_sec\":" << runs[i].counts_per_sec
+         << ",\"seconds\":" << num(runs[i].seconds)
+         << ",\"counts_per_sec\":" << num(runs[i].counts_per_sec)
          << ",\"speedup\":"
-         << SafeRatio(runs[i].counts_per_sec, baseline_throughput) << '}';
+         << num(SafeRatio(runs[i].counts_per_sec, baseline_throughput))
+         << '}';
   }
   json << "]";
   bench::EmitBenchJsonLine("bench_sharded", json.str());

@@ -224,6 +224,33 @@ if [[ "${SKIP_OUTOFCORE:-0}" != "1" ]]; then
     build/tools/statsdiff "$ODIR/stats_mem.json" \
       "$ODIR/stats_ooc_t${threads}.json"
   done
+
+  echo "== out-of-core sentinel: serial vs parallel admission =="
+  # The admission controller must be invisible in the answer AND in the
+  # deterministic pipeline stats. Two probes:
+  #
+  # 1. threads=1 (admitted=1 by construction, identical partitioning) vs
+  #    threads=8 (default admission): the schedule-independent out-of-core
+  #    counters — partition count, candidate union, memo traffic — must
+  #    match exactly. The outofcore.admitted_partitions gauge legitimately
+  #    differs, so the prefixes name the invariant families rather than
+  #    "outofcore.".
+  build/tools/statsdiff "$ODIR/stats_ooc_t1.json" \
+    "$ODIR/stats_ooc_t8.json" \
+    --counters outofcore.partitions,outofcore.candidate_queries,outofcore.memo
+  #
+  # 2. The forced-serial knob: --partition-budget equal to the memory
+  #    budget degrades an 8-thread run to admitted=1. Partition sizing
+  #    changes with the knob (it is the same budget that closes
+  #    partitions), so only the rule bytes and the deterministic section
+  #    are compared — which is the point: the answer must not move.
+  build/tools/corrmine_cli mine "$ODIR/fixture.cmb" "${OFLAGS[@]}" \
+    --out-of-core --memory-budget $((8 * 1024 * 1024)) \
+    --partition-budget $((8 * 1024 * 1024)) --threads 8 \
+    --out "$ODIR/rules_ooc_serial.txt" \
+    --stats-json "$ODIR/stats_ooc_serial.json" >/dev/null
+  cmp "$ODIR/rules_mem.txt" "$ODIR/rules_ooc_serial.txt"
+  build/tools/statsdiff "$ODIR/stats_mem.json" "$ODIR/stats_ooc_serial.json"
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
@@ -266,9 +293,12 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "== bench stage: out-of-core memory gate =="
     # The §12 budget contract: bench_outofcore streams a dataset >= 10x
     # its --memory-budget through the spill pipeline (CHECKing exactness
-    # against an in-memory mine internally); benchgate then enforces peak
-    # RSS <= 1.1x budget — core-independent, a byte budget is the same
-    # promise on every machine — and refreshes BENCH_outofcore.json.
+    # against an in-memory mine AND against a forced-serial run
+    # internally); benchgate then enforces peak RSS <= 1.1x budget and
+    # the v2 spill-compression ratio <= 0.7x raw — both core-independent
+    # — plus, on machines with >= 4 usable cores, the pipelined pass-1
+    # speedup floor (report-only below) — and refreshes
+    # BENCH_outofcore.json.
     cmake --build build -j --target bench_outofcore benchgate >/dev/null
     build/bench/bench_outofcore | tee "$BDIR/outofcore.txt" \
       | grep -v BENCH_
@@ -292,10 +322,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     count_provider_cache_test sharded_database_test trace_test \
     profiler_test kernel_differential_test scheduler_determinism_test \
     incremental_differential_test border_state_test \
-    differential_miners_test counting_column_test >/dev/null
+    differential_miners_test counting_column_test outofcore_test >/dev/null
   (cd build-tsan &&
    ctest --output-on-failure \
-     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|profiler_test|kernel_differential_test|scheduler_determinism_test|incremental_differential_test|border_state_test|differential_miners_test|counting_column_test)$')
+     -R '^(thread_pool_test|miner_test|batch_tables_test|count_provider_cache_test|sharded_database_test|trace_test|profiler_test|kernel_differential_test|scheduler_determinism_test|incremental_differential_test|border_state_test|differential_miners_test|counting_column_test|outofcore_test)$')
 fi
 
 echo "verify: OK"

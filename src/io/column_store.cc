@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "io/binary_io.h"
 
 namespace corrmine::io {
@@ -32,10 +33,10 @@ StatusOr<uint64_t> ReadVarintMem(const uint8_t* data, size_t len,
     if ((byte & 0x80) == 0) return value;
     shift += 7;
   }
-  return Status::Corruption("CCS1: truncated varint in directory");
+  return Status::Corruption("CCS: truncated varint in directory");
 }
 
-size_t ContainerPayloadBytes(const CountingColumn::ContainerView& view) {
+size_t RawPayloadBytes(const CountingColumn::ContainerView& view) {
   return view.kind == CountingColumn::ContainerKind::kDense
              ? CountingColumn::kWordsPerDense * sizeof(uint64_t)
              : view.u16.size() * sizeof(uint16_t);
@@ -44,26 +45,54 @@ size_t ContainerPayloadBytes(const CountingColumn::ContainerView& view) {
 }  // namespace
 
 Status WriteColumnShardFile(const ColumnSource& source,
-                            const std::string& path) {
-  // Pass 1: assign 8-aligned payload offsets (relative to payload_base, so
-  // they are known before the directory — whose size sets the base — is
-  // built).
+                            const std::string& path,
+                            const ColumnShardWriteOptions& options,
+                            ColumnShardWriteStats* stats) {
+  if (options.format_version != 1 && options.format_version != 2) {
+    return Status::InvalidArgument("unsupported column shard version");
+  }
+  const bool v2 = options.format_version == 2;
+
+  // Pass 1: pick the min-byte encoding per container (v2) and assign
+  // 8-aligned payload offsets (relative to payload_base, so they are known
+  // before the directory — whose size sets the base — is built).
   struct Entry {
     CountingColumn::ContainerView view;
+    uint8_t encoding = kColumnShardEncodingRaw;
     uint64_t rel_offset = 0;
+    uint64_t bytes = 0;       // encoded payload bytes
+    size_t varint_index = 0;  // into `varint_payloads` when encoding == 1
   };
   std::vector<std::vector<Entry>> columns(source.num_columns());
+  std::vector<std::string> varint_payloads;
   uint64_t payload_bytes = 0;
+  uint64_t raw_bytes_total = 0;
+  uint64_t encoded_bytes_total = 0;
+  std::string scratch;
   for (ItemId item = 0; item < source.num_columns(); ++item) {
     const CountingColumn& col = source.column(item);
     columns[item].reserve(col.num_containers());
     for (size_t i = 0; i < col.num_containers(); ++i) {
       Entry entry;
       entry.view = col.container_view(i);
+      const size_t raw_bytes = RawPayloadBytes(entry.view);
+      entry.bytes = raw_bytes;
+      raw_bytes_total += raw_bytes;
+      if (v2 && entry.view.kind != CountingColumn::ContainerKind::kDense) {
+        scratch.clear();
+        EncodeU16DeltaVarint(entry.view.kind, entry.view.u16, &scratch);
+        if (scratch.size() < raw_bytes) {
+          entry.encoding = kColumnShardEncodingDeltaVarint;
+          entry.bytes = scratch.size();
+          entry.varint_index = varint_payloads.size();
+          varint_payloads.push_back(scratch);
+        }
+      }
+      encoded_bytes_total += entry.bytes;
       payload_bytes = AlignUp(payload_bytes, kColumnShardPayloadAlign);
       entry.rel_offset = payload_bytes;
-      payload_bytes += ContainerPayloadBytes(entry.view);
-      columns[item].push_back(entry);
+      payload_bytes += entry.bytes;
+      columns[item].push_back(std::move(entry));
     }
   }
 
@@ -75,19 +104,21 @@ Status WriteColumnShardFile(const ColumnSource& source,
     for (const Entry& entry : column) {
       AppendVarint(&directory, entry.view.key);
       directory.push_back(static_cast<char>(entry.view.kind));
+      if (v2) directory.push_back(static_cast<char>(entry.encoding));
       AppendVarint(&directory, entry.view.count);
       AppendVarint(&directory, entry.rel_offset);
-      AppendVarint(&directory, ContainerPayloadBytes(entry.view));
+      AppendVarint(&directory, entry.bytes);
     }
   }
 
-  const size_t header_bytes =
-      sizeof(kColumnShardMagic) + sizeof(uint64_t) + directory.size();
+  const size_t header_bytes = sizeof(kColumnShardMagic) + sizeof(uint64_t) +
+                              directory.size();
   const uint64_t payload_base = AlignUp(header_bytes, kColumnShardPageAlign);
 
   std::string bytes;
   bytes.reserve(payload_base + payload_bytes);
-  bytes.append(kColumnShardMagic, sizeof(kColumnShardMagic));
+  bytes.append(v2 ? kColumnShardMagicV2 : kColumnShardMagic,
+               sizeof(kColumnShardMagic));
   for (int i = 0; i < 8; ++i) {
     bytes.push_back(static_cast<char>((payload_base >> (8 * i)) & 0xff));
   }
@@ -96,7 +127,9 @@ Status WriteColumnShardFile(const ColumnSource& source,
   for (const std::vector<Entry>& column : columns) {
     for (const Entry& entry : column) {
       bytes.resize(payload_base + entry.rel_offset, '\0');
-      if (entry.view.kind == CountingColumn::ContainerKind::kDense) {
+      if (entry.encoding == kColumnShardEncodingDeltaVarint) {
+        bytes += varint_payloads[entry.varint_index];
+      } else if (entry.view.kind == CountingColumn::ContainerKind::kDense) {
         bytes.append(reinterpret_cast<const char*>(entry.view.words.data()),
                      entry.view.words.size() * sizeof(uint64_t));
       } else {
@@ -104,6 +137,11 @@ Status WriteColumnShardFile(const ColumnSource& source,
                      entry.view.u16.size() * sizeof(uint16_t));
       }
     }
+  }
+  if (stats != nullptr) {
+    stats->file_bytes = bytes.size();
+    stats->payload_bytes = encoded_bytes_total;
+    stats->raw_payload_bytes = raw_bytes_total;
   }
   return WriteStringToFile(bytes, path);
 }
@@ -131,9 +169,12 @@ StatusOr<std::unique_ptr<MappedColumnShard>> MappedColumnShard::Open(
 
   const uint8_t* data = static_cast<const uint8_t*>(map);
   if (len < sizeof(kColumnShardMagic) + sizeof(uint64_t) ||
-      std::memcmp(data, kColumnShardMagic, sizeof(kColumnShardMagic)) != 0) {
-    return Status::Corruption("not a CCS1 column shard: " + path);
+      std::memcmp(data, kColumnShardMagic, 3) != 0 ||
+      (data[3] != '1' && data[3] != '2')) {
+    return Status::Corruption("not a CCS column shard: " + path);
   }
+  const bool v2 = data[3] == '2';
+  shard->format_version_ = v2 ? 2 : 1;
   size_t pos = sizeof(kColumnShardMagic);
   uint64_t payload_base = 0;
   for (int i = 0; i < 8; ++i) {
@@ -141,7 +182,7 @@ StatusOr<std::unique_ptr<MappedColumnShard>> MappedColumnShard::Open(
   }
   pos += 8;
   if (payload_base > len) {
-    return Status::Corruption("CCS1: payload base past end of file");
+    return Status::Corruption("CCS: payload base past end of file");
   }
   CORRMINE_ASSIGN_OR_RETURN(const uint64_t num_rows,
                             ReadVarintMem(data, payload_base, &pos));
@@ -149,21 +190,30 @@ StatusOr<std::unique_ptr<MappedColumnShard>> MappedColumnShard::Open(
                             ReadVarintMem(data, payload_base, &pos));
   shard->num_rows_ = num_rows;
   shard->columns_.reserve(num_columns);
-  std::vector<CountingColumn::ContainerView> views;
   for (uint64_t item = 0; item < num_columns; ++item) {
     CORRMINE_ASSIGN_OR_RETURN(const uint64_t num_containers,
                               ReadVarintMem(data, payload_base, &pos));
-    views.clear();
-    views.reserve(num_containers);
+    auto lazy = std::make_unique<LazyColumn>();
+    lazy->entries.reserve(num_containers);
     for (uint64_t c = 0; c < num_containers; ++c) {
       CORRMINE_ASSIGN_OR_RETURN(const uint64_t key,
                                 ReadVarintMem(data, payload_base, &pos));
       if (pos >= payload_base) {
-        return Status::Corruption("CCS1: truncated container record");
+        return Status::Corruption("CCS: truncated container record");
       }
       const uint8_t kind_byte = data[pos++];
       if (kind_byte > 2) {
-        return Status::Corruption("CCS1: unknown container kind");
+        return Status::Corruption("CCS: unknown container kind");
+      }
+      uint8_t encoding = kColumnShardEncodingRaw;
+      if (v2) {
+        if (pos >= payload_base) {
+          return Status::Corruption("CCS: truncated container record");
+        }
+        encoding = data[pos++];
+        if (encoding > kColumnShardEncodingDeltaVarint) {
+          return Status::Corruption("CCS: unknown payload encoding");
+        }
       }
       CORRMINE_ASSIGN_OR_RETURN(const uint64_t count,
                                 ReadVarintMem(data, payload_base, &pos));
@@ -173,36 +223,34 @@ StatusOr<std::unique_ptr<MappedColumnShard>> MappedColumnShard::Open(
                                 ReadVarintMem(data, payload_base, &pos));
       if (rel_offset % kColumnShardPayloadAlign != 0 ||
           payload_base + rel_offset + bytes > len) {
-        return Status::Corruption("CCS1: payload out of bounds");
+        return Status::Corruption("CCS: payload out of bounds");
       }
-      CountingColumn::ContainerView view;
-      view.key = static_cast<uint32_t>(key);
-      view.kind = static_cast<CountingColumn::ContainerKind>(kind_byte);
-      view.count = static_cast<uint32_t>(count);
-      const uint8_t* payload = data + payload_base + rel_offset;
-      if (view.kind == CountingColumn::ContainerKind::kDense) {
+      ContainerEntry entry;
+      entry.key = static_cast<uint32_t>(key);
+      entry.kind = static_cast<CountingColumn::ContainerKind>(kind_byte);
+      entry.encoding = encoding;
+      entry.count = static_cast<uint32_t>(count);
+      entry.payload = data + payload_base + rel_offset;
+      entry.payload_bytes = bytes;
+      if (entry.kind == CountingColumn::ContainerKind::kDense) {
+        if (encoding != kColumnShardEncodingRaw) {
+          return Status::Corruption("CCS: dense payload must be raw");
+        }
         if (bytes != CountingColumn::kWordsPerDense * sizeof(uint64_t)) {
-          return Status::Corruption("CCS1: dense payload size mismatch");
+          return Status::Corruption("CCS: dense payload size mismatch");
         }
-        view.words = std::span<const uint64_t>(
-            reinterpret_cast<const uint64_t*>(payload),
-            CountingColumn::kWordsPerDense);
-      } else {
+      } else if (encoding == kColumnShardEncodingRaw) {
         if (bytes % sizeof(uint16_t) != 0) {
-          return Status::Corruption("CCS1: odd u16 payload size");
+          return Status::Corruption("CCS: odd u16 payload size");
         }
-        if (view.kind == CountingColumn::ContainerKind::kArray &&
+        if (entry.kind == CountingColumn::ContainerKind::kArray &&
             bytes != count * sizeof(uint16_t)) {
-          return Status::Corruption("CCS1: array payload size mismatch");
+          return Status::Corruption("CCS: array payload size mismatch");
         }
-        view.u16 = std::span<const uint16_t>(
-            reinterpret_cast<const uint16_t*>(payload),
-            bytes / sizeof(uint16_t));
       }
-      views.push_back(view);
+      lazy->entries.push_back(entry);
     }
-    shard->columns_.push_back(
-        CountingColumn::FromContainerViews(num_rows, views));
+    shard->columns_.push_back(std::move(lazy));
   }
   shard->empty_ = CountingColumn(num_rows, {});
   return shard;
@@ -215,8 +263,45 @@ MappedColumnShard::~MappedColumnShard() {
 }
 
 const CountingColumn& MappedColumnShard::column(ItemId item) const {
-  if (static_cast<size_t>(item) < columns_.size()) return columns_[item];
-  return empty_;
+  if (static_cast<size_t>(item) >= columns_.size()) return empty_;
+  LazyColumn& lazy = *columns_[item];
+  std::call_once(lazy.once, [this, &lazy]() {
+    std::vector<CountingColumn::ContainerView> views;
+    views.reserve(lazy.entries.size());
+    // Reserve so pushes never reallocate: earlier views alias `decoded`
+    // buffers and must stay anchored until FromContainerViews copies them.
+    lazy.decoded.reserve(lazy.entries.size());
+    for (const ContainerEntry& entry : lazy.entries) {
+      CountingColumn::ContainerView view;
+      view.key = entry.key;
+      view.kind = entry.kind;
+      view.count = entry.count;
+      if (entry.kind == CountingColumn::ContainerKind::kDense) {
+        view.words = std::span<const uint64_t>(
+            reinterpret_cast<const uint64_t*>(entry.payload),
+            CountingColumn::kWordsPerDense);
+      } else if (entry.encoding == kColumnShardEncodingRaw) {
+        view.u16 = std::span<const uint16_t>(
+            reinterpret_cast<const uint16_t*>(entry.payload),
+            entry.payload_bytes / sizeof(uint16_t));
+      } else {
+        // Bounds were validated at open; a decode failure here means the
+        // payload bytes themselves are corrupt — fail fast rather than
+        // count against garbage.
+        std::vector<uint16_t> buf;
+        const Status st =
+            DecodeU16DeltaVarint(entry.kind, entry.payload,
+                                 entry.payload_bytes, entry.count, &buf);
+        CORRMINE_CHECK(st.ok())
+            << "column shard payload decode failed: " << st.ToString();
+        lazy.decoded.push_back(std::move(buf));
+        view.u16 = std::span<const uint16_t>(lazy.decoded.back());
+      }
+      views.push_back(view);
+    }
+    lazy.column = CountingColumn::FromContainerViews(num_rows_, views);
+  });
+  return lazy.column;
 }
 
 }  // namespace corrmine::io

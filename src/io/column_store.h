@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,45 +13,81 @@
 
 namespace corrmine::io {
 
-/// CCS1 — the column-shard file format (DESIGN.md §12): one ColumnSource
+/// CCS — the column-shard file format (DESIGN.md §12): one ColumnSource
 /// (per-item hybrid counting columns over one row space) serialized
-/// container-at-a-time for mmap-backed lazy loading.
+/// container-at-a-time for mmap-backed lazy loading. The fourth magic
+/// byte is the format version; both are readable by MappedColumnShard:
 ///
-///   "CCS1"                       4-byte magic
+///   "CCS1" / "CCS2"              4-byte magic (version in last byte)
 ///   payload_base                 8-byte LE file offset (4096-aligned)
 ///   varint num_rows
 ///   varint num_columns
 ///   per column:  varint num_containers
-///     per container: varint key · 1-byte kind · varint count
+///     per container (v1): varint key · 1-byte kind · varint count
 ///                    · varint rel_offset (from payload_base, 8-aligned)
 ///                    · varint payload_bytes
+///     per container (v2): varint key · 1-byte kind · 1-byte encoding
+///                    · varint count · varint rel_offset · varint bytes
 ///   zero padding to payload_base
-///   payload section              raw container payloads
+///   payload section              container payloads
 ///
-/// The directory is tiny and parsed eagerly at open; payloads are only
-/// ever touched through the container views handed to CountingColumn, so
-/// the kernel faults pages in at access granularity — a mapped shard
-/// costs directory-size resident bytes until it is actually counted
-/// against. payload_base is fixed-width (not varint) so the directory can
-/// be sized before the base is known. Offsets are 8-byte aligned: every
+/// v2 adds a per-container payload encoding, picked by min-byte rule at
+/// write time:
+///
+///   0  raw           u16 LE array offsets / run pairs, u64 dense words
+///   1  delta-varint  EncodeU16DeltaVarint of the u16 payload (arrays:
+///                    first offset + gap varints; runs: start deltas +
+///                    length varints). Never used for dense words.
+///
+/// The directory is tiny and parsed eagerly at open; raw payloads are
+/// only ever touched through the container views handed to
+/// CountingColumn, so the kernel faults pages in at access granularity.
+/// Delta-varint payloads decode lazily: the first column(item) access
+/// materializes that column's compressed containers (thread-safe via
+/// std::once_flag — pass-2 morsels hit one shard from many threads), so
+/// an unqueried column still costs nothing beyond its directory entry.
+/// payload_base is fixed-width (not varint) so the directory can be
+/// sized before the base is known. Offsets are 8-byte aligned: every raw
 /// payload type (uint16 arrays/runs, uint64 dense words) reads aligned.
 inline constexpr char kColumnShardMagic[4] = {'C', 'C', 'S', '1'};
+inline constexpr char kColumnShardMagicV2[4] = {'C', 'C', 'S', '2'};
 
 /// Payload-section alignment (one page), and per-payload alignment.
 inline constexpr size_t kColumnShardPageAlign = 4096;
 inline constexpr size_t kColumnShardPayloadAlign = 8;
 
-/// Serializes every column of `source` to `path` (atomic whole-file
-/// write). Columns are written in item order, containers in key order.
-Status WriteColumnShardFile(const ColumnSource& source,
-                            const std::string& path);
+/// Per-container payload encodings (v2 directory byte).
+inline constexpr uint8_t kColumnShardEncodingRaw = 0;
+inline constexpr uint8_t kColumnShardEncodingDeltaVarint = 1;
 
-/// A CCS1 file mapped read-only; implements ColumnSource over view-backed
-/// columns whose payloads live in the mapping. The mapping (and therefore
-/// every column handed out) lives until destruction; resident cost is
-/// whatever pages counting actually touched, and munmap returns them —
-/// the out-of-core miner's map → count → unmap cycle keeps its high-water
-/// mark near one partition.
+struct ColumnShardWriteOptions {
+  /// 1 writes the legacy always-raw format; 2 (default) picks the
+  /// min-byte encoding per container.
+  int format_version = 2;
+};
+
+/// Byte accounting of one shard write (feeds column.spill_* gauges).
+struct ColumnShardWriteStats {
+  uint64_t file_bytes = 0;     // whole file, header + padding + payloads
+  uint64_t payload_bytes = 0;  // encoded payload bytes actually written
+  uint64_t raw_payload_bytes = 0;  // what encoding-0 payloads would cost
+};
+
+/// Serializes every column of `source` to `path` (whole-file write;
+/// callers must treat a failed write as leaving a partial file behind).
+/// Columns are written in item order, containers in key order.
+Status WriteColumnShardFile(const ColumnSource& source,
+                            const std::string& path,
+                            const ColumnShardWriteOptions& options = {},
+                            ColumnShardWriteStats* stats = nullptr);
+
+/// A CCS file (v1 or v2) mapped read-only; implements ColumnSource over
+/// view-backed columns whose raw payloads live in the mapping and whose
+/// delta-varint payloads decode on first access. The mapping (and
+/// therefore every column handed out) lives until destruction; resident
+/// cost is whatever pages counting actually touched, and munmap returns
+/// them — the out-of-core miner's map → count → unmap cycle keeps its
+/// high-water mark near one partition.
 class MappedColumnShard : public ColumnSource {
  public:
   static StatusOr<std::unique_ptr<MappedColumnShard>> Open(
@@ -68,15 +105,37 @@ class MappedColumnShard : public ColumnSource {
   const CountingColumn& column(ItemId item) const override;
 
   size_t file_bytes() const { return map_len_; }
+  int format_version() const { return format_version_; }
 
  private:
+  /// One directory record plus its payload location in the mapping.
+  struct ContainerEntry {
+    uint32_t key = 0;
+    CountingColumn::ContainerKind kind = CountingColumn::ContainerKind::kArray;
+    uint8_t encoding = kColumnShardEncodingRaw;
+    uint32_t count = 0;
+    const uint8_t* payload = nullptr;
+    size_t payload_bytes = 0;
+  };
+
+  /// One column, materialized at most once. unique_ptr because
+  /// std::once_flag is immovable. `decoded` owns the u16 buffers for
+  /// delta-varint containers; raw containers view the mapping directly.
+  struct LazyColumn {
+    std::vector<ContainerEntry> entries;
+    std::once_flag once;
+    std::vector<std::vector<uint16_t>> decoded;
+    CountingColumn column;
+  };
+
   MappedColumnShard() = default;
 
   void* map_ = nullptr;
   size_t map_len_ = 0;
   size_t num_rows_ = 0;
-  std::vector<CountingColumn> columns_;  // view-backed into map_
-  CountingColumn empty_;                 // items past the stored range
+  int format_version_ = 1;
+  std::vector<std::unique_ptr<LazyColumn>> columns_;
+  CountingColumn empty_;  // items past the stored range
 };
 
 }  // namespace corrmine::io

@@ -42,11 +42,15 @@ class BufferedReader {
     return Status::Corruption("varint overflow in binary stream");
   }
 
+  /// Input bytes decoded so far (refilled minus the unread buffer tail).
+  uint64_t consumed() const { return refilled_ - (len_ - pos_); }
+
  private:
   bool Refill() {
     buf_.resize(64 * 1024);
     in_->read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
     len_ = static_cast<size_t>(in_->gcount());
+    refilled_ += len_;
     pos_ = 0;
     return len_ > 0;
   }
@@ -55,10 +59,12 @@ class BufferedReader {
   std::string buf_;
   size_t pos_ = 0;
   size_t len_ = 0;
+  uint64_t refilled_ = 0;
 };
 
 Status StreamBinary(std::ifstream* in, ItemId* num_items,
-                    const std::function<Status(std::vector<ItemId>)>& sink) {
+                    const std::function<Status(std::vector<ItemId>)>& sink,
+                    uint64_t* bytes_consumed) {
   BufferedReader reader(in);
   uint64_t item_space_max = 0;
   bool any_segment = false;
@@ -102,6 +108,7 @@ Status StreamBinary(std::ifstream* in, ItemId* num_items,
         }
         basket.push_back(static_cast<ItemId>(current));
       }
+      if (bytes_consumed != nullptr) *bytes_consumed = reader.consumed();
       CORRMINE_RETURN_NOT_OK(sink(std::move(basket)));
     }
   }
@@ -113,18 +120,22 @@ Status StreamBinary(std::ifstream* in, ItemId* num_items,
 }
 
 Status StreamText(std::ifstream* in, ItemId* num_items,
-                  const std::function<Status(std::vector<ItemId>)>& sink) {
+                  const std::function<Status(std::vector<ItemId>)>& sink,
+                  uint64_t* bytes_consumed) {
   std::string line;
   size_t line_no = 0;
   ItemId max_item_plus_1 = 0;
+  uint64_t consumed = 0;
   while (std::getline(*in, line)) {
     ++line_no;
+    consumed += line.size() + 1;
     CORRMINE_ASSIGN_OR_RETURN(auto basket,
                               ParseTransactionLine(line, line_no));
     if (!basket.has_value()) continue;  // comment line
     for (const ItemId item : *basket) {
       max_item_plus_1 = std::max(max_item_plus_1, item + 1);
     }
+    if (bytes_consumed != nullptr) *bytes_consumed = consumed;
     CORRMINE_RETURN_NOT_OK(sink(std::move(*basket)));
   }
   *num_items = max_item_plus_1;
@@ -135,7 +146,8 @@ Status StreamText(std::ifstream* in, ItemId* num_items,
 
 Status StreamTransactionFile(
     const std::string& path, ItemId* num_items,
-    const std::function<Status(std::vector<ItemId>)>& sink) {
+    const std::function<Status(std::vector<ItemId>)>& sink,
+    uint64_t* bytes_consumed) {
   CORRMINE_ASSIGN_OR_RETURN(const TransactionFileFormat format,
                             DetectTransactionFileFormat(path));
   std::ifstream in(path, std::ios::binary);
@@ -143,8 +155,8 @@ Status StreamTransactionFile(
     return Status::IOError("cannot open " + path);
   }
   return format == TransactionFileFormat::kBinary
-             ? StreamBinary(&in, num_items, sink)
-             : StreamText(&in, num_items, sink);
+             ? StreamBinary(&in, num_items, sink, bytes_consumed)
+             : StreamText(&in, num_items, sink, bytes_consumed);
 }
 
 }  // namespace corrmine::io

@@ -22,9 +22,16 @@ namespace corrmine::io {
 /// exceed the largest id actually present, and the in-memory loaders
 /// honor it the same way), or max-id+1 for text. `sink` is invoked once
 /// per basket in file order; a non-OK sink status aborts the stream.
+///
+/// `bytes_consumed` (optional) is kept current before every sink call:
+/// input bytes decoded so far, within one read-buffer refill for binary
+/// files and exact for text. Paired with the file size it gives the
+/// pipelined out-of-core spill pass a deterministic progress fraction —
+/// a pure function of the input prefix, never of wall-clock or threads.
 Status StreamTransactionFile(
     const std::string& path, ItemId* num_items,
-    const std::function<Status(std::vector<ItemId>)>& sink);
+    const std::function<Status(std::vector<ItemId>)>& sink,
+    uint64_t* bytes_consumed = nullptr);
 
 }  // namespace corrmine::io
 

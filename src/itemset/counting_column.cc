@@ -598,6 +598,113 @@ CountingColumn::ContainerView CountingColumn::container_view(size_t i) const {
   return view;
 }
 
+namespace {
+
+void AppendVarintU16(std::string* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+Status ReadVarintU16(const uint8_t* data, size_t len, size_t* pos,
+                     uint32_t* value) {
+  uint32_t v = 0;
+  int shift = 0;
+  while (*pos < len && shift <= 28) {
+    const uint8_t byte = data[(*pos)++];
+    v |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = v;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("CCS2: truncated varint payload");
+}
+
+}  // namespace
+
+void EncodeU16DeltaVarint(CountingColumn::ContainerKind kind,
+                          std::span<const uint16_t> payload,
+                          std::string* out) {
+  if (kind == CountingColumn::ContainerKind::kRun) {
+    // (start, length-1) pairs with strictly increasing starts: delta-code
+    // the starts, keep the lengths verbatim (they are already small).
+    uint32_t prev_start = 0;
+    for (size_t i = 0; i + 1 < payload.size(); i += 2) {
+      const uint32_t start = payload[i];
+      AppendVarintU16(out, i == 0 ? start : start - prev_start);
+      AppendVarintU16(out, payload[i + 1]);
+      prev_start = start;
+    }
+    return;
+  }
+  // Sorted array offsets: first value, then strictly positive deltas.
+  uint32_t prev = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    const uint32_t v = payload[i];
+    AppendVarintU16(out, i == 0 ? v : v - prev);
+    prev = v;
+  }
+}
+
+Status DecodeU16DeltaVarint(CountingColumn::ContainerKind kind,
+                            const uint8_t* data, size_t len, size_t count,
+                            std::vector<uint16_t>* out) {
+  out->clear();
+  size_t pos = 0;
+  if (kind == CountingColumn::ContainerKind::kRun) {
+    // The directory stores set rows, not the run count: decode pairs
+    // until the payload is exhausted, then check the lengths add up.
+    uint64_t decoded_rows = 0;
+    uint32_t prev_start = 0;
+    bool first = true;
+    while (pos < len) {
+      uint32_t delta = 0;
+      uint32_t length_minus_1 = 0;
+      Status st = ReadVarintU16(data, len, &pos, &delta);
+      if (!st.ok()) return st;
+      st = ReadVarintU16(data, len, &pos, &length_minus_1);
+      if (!st.ok()) return st;
+      const uint32_t start = first ? delta : prev_start + delta;
+      if ((!first && delta == 0) || start > 0xffff ||
+          start + length_minus_1 > 0xffff) {
+        return Status::Corruption("CCS2: run payload out of range");
+      }
+      out->push_back(static_cast<uint16_t>(start));
+      out->push_back(static_cast<uint16_t>(length_minus_1));
+      decoded_rows += uint64_t{length_minus_1} + 1;
+      prev_start = start;
+      first = false;
+    }
+    if (decoded_rows != count) {
+      return Status::Corruption("CCS2: run lengths do not sum to count");
+    }
+  } else {
+    out->reserve(count);
+    uint32_t prev = 0;
+    bool first = true;
+    while (out->size() < count) {
+      uint32_t delta = 0;
+      const Status st = ReadVarintU16(data, len, &pos, &delta);
+      if (!st.ok()) return st;
+      const uint32_t v = first ? delta : prev + delta;
+      if ((!first && delta == 0) || v > 0xffff) {
+        return Status::Corruption("CCS2: array payload not increasing u16");
+      }
+      out->push_back(static_cast<uint16_t>(v));
+      prev = v;
+      first = false;
+    }
+    if (pos != len) {
+      return Status::Corruption("CCS2: trailing bytes after varint payload");
+    }
+  }
+  return Status::OK();
+}
+
 ColumnStorageStats ComputeColumnStorageStats(const ColumnSource& source) {
   ColumnStorageStats stats;
   for (ItemId item = 0; item < source.num_columns(); ++item) {

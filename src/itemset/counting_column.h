@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "itemset/bitmap.h"
 #include "itemset/count_provider.h"
 #include "itemset/itemset.h"
@@ -194,6 +196,31 @@ class ColumnSource {
   /// smaller item space than the whole dataset).
   virtual const CountingColumn& column(ItemId item) const = 0;
 };
+
+/// CCS v2 block codec (io/column_store.h): the run-aware compressed
+/// encoding of a u16 container payload. Sorted array offsets become
+/// first-value + delta varints (sorted/clustered corpora have small gaps,
+/// so most entries shrink from 2 bytes to 1); run payloads become
+/// start-delta + length varints. Dense word payloads are never
+/// varint-encoded — 8 KiB of bitset words has no exploitable order. The
+/// writer applies a min-byte rule per container (encoded vs raw), so the
+/// codec only ever shrinks a file.
+///
+/// Encodes `payload` (the container_view u16 span: sorted offsets for
+/// kArray, (start, length-1) pairs for kRun) appending to `*out`.
+void EncodeU16DeltaVarint(CountingColumn::ContainerKind kind,
+                          std::span<const uint16_t> payload,
+                          std::string* out);
+
+/// Decodes `data[0, len)` back into the exact u16 payload sequence,
+/// validating monotonicity and u16 range against the container `count`
+/// recorded in the shard directory (the number of set rows). Arrays
+/// decode exactly `count` offsets; runs decode (start, length-1) pairs
+/// until the bytes are exhausted and validate that the run lengths sum
+/// to `count` (the run count itself is not stored).
+Status DecodeU16DeltaVarint(CountingColumn::ContainerKind kind,
+                            const uint8_t* data, size_t len, size_t count,
+                            std::vector<uint16_t>* out);
 
 /// Storage census of a column source (feeds the "column.*" gauges).
 struct ColumnStorageStats {

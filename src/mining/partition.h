@@ -52,7 +52,17 @@ struct OutOfCoreMinerOptions {
   /// (benchgate: peak <= 1.1x budget).
   uint64_t memory_budget_bytes = uint64_t{256} << 20;
 
-  /// Directory for the CCS1 partition shard files (created if missing).
+  /// Bytes of basket rows buffered before a partition closes (--partition
+  /// -budget). 0 derives memory_budget_bytes / 6 floored at 1 MiB — the
+  /// close-time transient briefly holds row vectors, built columns and the
+  /// serialized file (~3x the row bytes), and the admission controller
+  /// needs headroom to overlap partitions. Explicit values are taken
+  /// verbatim (no floor, so tests can force many tiny partitions) but must
+  /// not exceed memory_budget_bytes; setting it equal to the memory budget
+  /// forces admitted = 1, i.e. serial partition mining.
+  uint64_t partition_budget_bytes = 0;
+
+  /// Directory for the CCS partition shard files (created if missing).
   /// Empty derives "<input>.spill" next to the input file.
   std::string spill_dir;
 
@@ -65,10 +75,20 @@ struct OutOfCoreMinerOptions {
 struct OutOfCoreStats {
   uint64_t num_baskets = 0;
   ItemId num_items = 0;
-  /// RAM-sized CCS1 partitions spilled (and mined) in pass one.
+  /// RAM-sized CCS partitions spilled (and mined) in pass one.
   uint64_t partitions = 0;
-  /// Total CCS1 payload bytes written across partitions.
+  /// Raw (encoding-0 equivalent) payload bytes across partitions — what a
+  /// v1 spill of the same columns would cost.
   uint64_t spilled_payload_bytes = 0;
+  /// Encoded payload bytes actually written (v2 min-byte rule); the
+  /// column.spill_ratio_x1000 gauge is encoded/raw.
+  uint64_t spilled_encoded_bytes = 0;
+  /// Concurrent partitions the admission controller allowed in pass 1/2
+  /// (1 = serial, the degraded mode).
+  int admitted = 1;
+  /// Wall seconds of the overlapped spill+pass-1 window and of pass 2.
+  double spill_pass1_seconds = 0.0;
+  double pass2_seconds = 0.0;
   /// Distinct count queries the partition mines touched (the memo
   /// warm-up verified in the streaming pass).
   uint64_t candidate_queries = 0;
@@ -83,20 +103,30 @@ struct OutOfCoreStats {
 ///
 ///   spill   — stream `path` once, building hybrid counting columns for
 ///             RAM-sized horizontal partitions and writing each as an
-///             mmap-backed CCS1 shard file;
-///   pass 1  — mine each mapped partition at proportionally scaled
-///             support, recording every count query the level-wise walk
-///             issues (the candidate border union);
-///   pass 2  — stream the partitions once more, answering the whole
-///             candidate union with exact global counts into a memo;
+///             mmap-backed CCS v2 shard file;
+///   pass 1  — pipelined with the spill: as each shard file closes, its
+///             partition mine (at proportionally scaled support,
+///             recording every count query the level-wise walk issues) is
+///             submitted to the scheduler, overlapping mining with spill
+///             I/O. An admission controller caps concurrent partitions so
+///             admitted x partition budget stays inside the memory
+///             budget; recordings merge in partition order, so the
+///             candidate union is identical for any thread count;
+///   pass 2  — count the partitions (admitted-many concurrently, per-slot
+///             partial arrays reduced deterministically), answering the
+///             whole candidate union with exact global counts into a
+///             memo;
 ///   final   — re-walk MineCorrelations over a MemoCountProvider whose
 ///             fallback batch-counts against the mapped partitions, so
 ///             even queries the warm-up missed are answered exactly.
 ///
 /// The final walk sees exact counts for every query, so rules, level
 /// stats and the frontier are byte-identical to the in-memory miner by
-/// construction. Partitions are mapped, counted and unmapped strictly one
-/// at a time — the high-water mark stays near base + one partition.
+/// construction. At admitted = 1 partitions are mapped, counted and
+/// unmapped strictly one at a time — the high-water mark stays near base
+/// + one partition; wider admission trades bounded extra residency for
+/// pass-1/pass-2 parallelism. On error, spill files are removed unless
+/// keep_spill is set — failed runs leave the spill dir empty.
 StatusOr<MiningResult> MineCorrelationsOutOfCore(
     const std::string& path, const OutOfCoreMinerOptions& options,
     OutOfCoreStats* stats = nullptr);

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -213,6 +214,138 @@ TEST(CountingColumnTest, ColumnShardFileRoundTrip) {
               CountAllPresentColumns(index, query));
   }
   std::filesystem::remove(path);
+}
+
+TEST(CountingColumnTest, U16DeltaVarintArrayRoundTrip) {
+  datagen::Rng rng(411);
+  for (const double density : {0.001, 0.05, 0.31}) {
+    std::vector<uint32_t> rows32 = RandomRows(&rng, 65536, density);
+    std::vector<uint16_t> offsets(rows32.begin(), rows32.end());
+    std::string encoded;
+    EncodeU16DeltaVarint(CountingColumn::ContainerKind::kArray,
+                         std::span<const uint16_t>(offsets), &encoded);
+    std::vector<uint16_t> decoded;
+    ASSERT_TRUE(DecodeU16DeltaVarint(
+                    CountingColumn::ContainerKind::kArray,
+                    reinterpret_cast<const uint8_t*>(encoded.data()),
+                    encoded.size(), offsets.size(), &decoded)
+                    .ok());
+    EXPECT_EQ(decoded, offsets) << "density " << density;
+  }
+  // Extremes: empty, singleton 0, singleton 0xffff, the {0, 0xffff} pair.
+  for (const std::vector<uint16_t>& offsets :
+       {std::vector<uint16_t>{}, {0}, {0xffff}, {0, 0xffff}}) {
+    std::string encoded;
+    EncodeU16DeltaVarint(CountingColumn::ContainerKind::kArray,
+                         std::span<const uint16_t>(offsets), &encoded);
+    std::vector<uint16_t> decoded;
+    ASSERT_TRUE(DecodeU16DeltaVarint(
+                    CountingColumn::ContainerKind::kArray,
+                    reinterpret_cast<const uint8_t*>(encoded.data()),
+                    encoded.size(), offsets.size(), &decoded)
+                    .ok());
+    EXPECT_EQ(decoded, offsets);
+  }
+}
+
+TEST(CountingColumnTest, U16DeltaVarintRunRoundTrip) {
+  // (start, length-1) pairs; the directory count is the set-row total.
+  const std::vector<uint16_t> runs = {0, 4, 100, 0, 4000, 255, 0xff00, 0xff};
+  size_t count = 0;
+  for (size_t i = 1; i < runs.size(); i += 2) count += runs[i] + 1;
+  std::string encoded;
+  EncodeU16DeltaVarint(CountingColumn::ContainerKind::kRun,
+                       std::span<const uint16_t>(runs), &encoded);
+  std::vector<uint16_t> decoded;
+  ASSERT_TRUE(DecodeU16DeltaVarint(
+                  CountingColumn::ContainerKind::kRun,
+                  reinterpret_cast<const uint8_t*>(encoded.data()),
+                  encoded.size(), count, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded, runs);
+  // A dense burst pattern (what the run container actually holds).
+  datagen::Rng rng(19);
+  std::vector<uint32_t> bursty = BurstyRows(&rng, 65536, 40);
+  CountingColumn col(65536, bursty);
+  EXPECT_EQ(col.ToRows(), bursty);
+}
+
+TEST(CountingColumnTest, U16DeltaVarintRejectsCorruption) {
+  const std::vector<uint16_t> offsets = {3, 9, 1000};
+  std::string encoded;
+  EncodeU16DeltaVarint(CountingColumn::ContainerKind::kArray,
+                       std::span<const uint16_t>(offsets), &encoded);
+  const auto* data = reinterpret_cast<const uint8_t*>(encoded.data());
+  std::vector<uint16_t> decoded;
+  // Truncated payload: fewer bytes than the directory count demands.
+  EXPECT_FALSE(DecodeU16DeltaVarint(CountingColumn::ContainerKind::kArray,
+                                    data, encoded.size() - 1, offsets.size(),
+                                    &decoded)
+                   .ok());
+  // Count larger than the payload encodes.
+  EXPECT_FALSE(DecodeU16DeltaVarint(CountingColumn::ContainerKind::kArray,
+                                    data, encoded.size(), offsets.size() + 1,
+                                    &decoded)
+                   .ok());
+  // A zero delta in a non-first position breaks strict monotonicity.
+  const uint8_t zero_delta[] = {3, 0, 0};
+  EXPECT_FALSE(DecodeU16DeltaVarint(CountingColumn::ContainerKind::kArray,
+                                    zero_delta, sizeof(zero_delta), 3,
+                                    &decoded)
+                   .ok());
+  // Run lengths that do not sum to the directory count.
+  const std::vector<uint16_t> runs = {0, 4, 10, 4};
+  std::string run_encoded;
+  EncodeU16DeltaVarint(CountingColumn::ContainerKind::kRun,
+                       std::span<const uint16_t>(runs), &run_encoded);
+  EXPECT_FALSE(
+      DecodeU16DeltaVarint(
+          CountingColumn::ContainerKind::kRun,
+          reinterpret_cast<const uint8_t*>(run_encoded.data()),
+          run_encoded.size(), 11 /* true sum is 10 */, &decoded)
+          .ok());
+}
+
+TEST(CountingColumnTest, ColumnShardV1BackwardCompat) {
+  auto db_or = datagen::GenerateQuestData({.num_transactions = 5000,
+                                          .num_items = 150,
+                                          .avg_transaction_size = 14.0,
+                                          .seed = 61});
+  ASSERT_TRUE(db_or.ok());
+  CompressedVerticalIndex index(*db_or);
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string v1_path = (dir / "corrmine_ccs_v1.ccs").string();
+  const std::string v2_path = (dir / "corrmine_ccs_v2.ccs").string();
+  io::ColumnShardWriteStats v1_stats, v2_stats;
+  io::ColumnShardWriteOptions v1_opts;
+  v1_opts.format_version = 1;
+  ASSERT_TRUE(
+      io::WriteColumnShardFile(index, v1_path, v1_opts, &v1_stats).ok());
+  ASSERT_TRUE(io::WriteColumnShardFile(index, v2_path, {}, &v2_stats).ok());
+  // v1 is the raw layout: payload bytes == raw bytes. v2 must not lose to
+  // it (the per-block min-byte rule keeps raw when varint would grow).
+  EXPECT_EQ(v1_stats.payload_bytes, v1_stats.raw_payload_bytes);
+  EXPECT_EQ(v2_stats.raw_payload_bytes, v1_stats.raw_payload_bytes);
+  EXPECT_LE(v2_stats.payload_bytes, v1_stats.payload_bytes);
+  // Quest rows are sorted and clustered — compression must actually bite,
+  // not just tie.
+  EXPECT_LT(v2_stats.payload_bytes, v1_stats.raw_payload_bytes);
+
+  auto v1_or = io::MappedColumnShard::Open(v1_path);
+  auto v2_or = io::MappedColumnShard::Open(v2_path);
+  ASSERT_TRUE(v1_or.ok()) << v1_or.status().ToString();
+  ASSERT_TRUE(v2_or.ok()) << v2_or.status().ToString();
+  EXPECT_EQ((*v1_or)->format_version(), 1);
+  EXPECT_EQ((*v2_or)->format_version(), 2);
+  ASSERT_EQ((*v1_or)->num_columns(), index.num_columns());
+  ASSERT_EQ((*v2_or)->num_columns(), index.num_columns());
+  for (ItemId item = 0; item < index.num_columns(); ++item) {
+    const std::vector<uint32_t> expected = index.column(item).ToRows();
+    EXPECT_EQ((*v1_or)->column(item).ToRows(), expected) << "item " << item;
+    EXPECT_EQ((*v2_or)->column(item).ToRows(), expected) << "item " << item;
+  }
+  std::filesystem::remove(v1_path);
+  std::filesystem::remove(v2_path);
 }
 
 TEST(CountingColumnTest, ShardFileRejectsCorruption) {

@@ -90,9 +90,13 @@ TEST_F(OutOfCoreTest, MatchesInMemoryAcrossThreadsAndBudgets) {
   // partition floor swallows this dataset) and, with the tiny budget,
   // multiple partitions via a sub-floor override is impossible — so force
   // partitioning through the spill threshold by mining a dataset bigger
-  // than the floor below.
-  for (const int threads : {1, 2}) {
-    for (const uint64_t budget : {uint64_t{8} << 20, uint64_t{512} << 20}) {
+  // than the floor below. Deterministic stats (partition count, candidate
+  // union size) must be a function of the budget alone — identical at any
+  // thread count, since recordings merge in partition order.
+  for (const uint64_t budget : {uint64_t{8} << 20, uint64_t{512} << 20}) {
+    OutOfCoreStats baseline;
+    bool have_baseline = false;
+    for (const int threads : {1, 2, 8}) {
       OutOfCoreMinerOptions options;
       options.miner = miner;
       options.miner.num_threads = threads;
@@ -106,10 +110,119 @@ TEST_F(OutOfCoreTest, MatchesInMemoryAcrossThreadsAndBudgets) {
       EXPECT_EQ(stats.num_baskets, 6000u);
       EXPECT_GE(stats.partitions, 1u);
       EXPECT_GT(stats.candidate_queries, 0u);
+      EXPECT_GE(stats.admitted, 1);
+      if (!have_baseline) {
+        baseline = stats;
+        have_baseline = true;
+      } else {
+        EXPECT_EQ(stats.partitions, baseline.partitions)
+            << "threads " << threads << ", budget " << budget;
+        EXPECT_EQ(stats.candidate_queries, baseline.candidate_queries)
+            << "threads " << threads << ", budget " << budget;
+        EXPECT_EQ(stats.memo_misses, baseline.memo_misses)
+            << "threads " << threads << ", budget " << budget;
+      }
       // Spill files are cleaned up unless keep_spill is set.
       EXPECT_FALSE(std::filesystem::exists(options.spill_dir));
     }
   }
+}
+
+TEST_F(OutOfCoreTest, PartitionBudgetKnob) {
+  auto db_or = datagen::GenerateQuestData({.num_transactions = 6000,
+                                           .num_items = 300,
+                                           .avg_transaction_size = 12.0,
+                                           .seed = 2024});
+  ASSERT_TRUE(db_or.ok());
+  const std::string input = (dir_ / "quest.bin").string();
+  ASSERT_TRUE(io::WriteBinaryTransactionFile(*db_or, input).ok());
+
+  MinerOptions miner;
+  miner.support.min_count = 300;
+  miner.support.cell_fraction = 0.26;
+  miner.max_level = 3;
+
+  auto session_or = MiningSession::Open(input, {});
+  ASSERT_TRUE(session_or.ok());
+  auto expected_or = session_or->Mine(miner);
+  ASSERT_TRUE(expected_or.ok());
+
+  // An explicit sub-floor partition budget is honored verbatim: ~290 KB
+  // of row bytes against a 64 KiB partition budget forces several
+  // partitions even under a roomy memory budget — and the result is
+  // still byte-identical.
+  OutOfCoreMinerOptions options;
+  options.miner = miner;
+  options.miner.num_threads = 2;
+  options.memory_budget_bytes = uint64_t{64} << 20;
+  options.partition_budget_bytes = uint64_t{64} << 10;
+  options.spill_dir = (dir_ / "spill_tiny").string();
+  OutOfCoreStats stats;
+  auto result_or = MineCorrelationsOutOfCore(input, options, &stats);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  EXPECT_EQ(Fingerprint(*result_or), Fingerprint(*expected_or));
+  EXPECT_GE(stats.partitions, 3u);
+
+  // partition budget == memory budget is the forced-serial knob: the
+  // admission controller must degrade to one partition in flight.
+  options.partition_budget_bytes = options.memory_budget_bytes;
+  options.spill_dir = (dir_ / "spill_serial").string();
+  OutOfCoreStats serial_stats;
+  auto serial_or = MineCorrelationsOutOfCore(input, options, &serial_stats);
+  ASSERT_TRUE(serial_or.ok()) << serial_or.status().ToString();
+  EXPECT_EQ(serial_stats.admitted, 1);
+  EXPECT_EQ(Fingerprint(*serial_or), Fingerprint(*expected_or));
+
+  // A partition budget above the memory budget is a contradiction.
+  options.partition_budget_bytes = options.memory_budget_bytes + 1;
+  EXPECT_FALSE(MineCorrelationsOutOfCore(input, options).ok());
+}
+
+TEST_F(OutOfCoreTest, FailedRunLeavesSpillDirEmpty) {
+  // A valid segment followed by a garbage tail: the spill pass closes
+  // several partitions (tiny explicit partition budget), submits their
+  // mines, then hits the stream error — the guard must still remove every
+  // spilled file and the directory itself.
+  auto db_or = datagen::GenerateQuestData({.num_transactions = 6000,
+                                           .num_items = 300,
+                                           .avg_transaction_size = 12.0,
+                                           .seed = 11});
+  ASSERT_TRUE(db_or.ok());
+  const std::string input = (dir_ / "truncated.bin").string();
+  {
+    std::ofstream out(input, std::ios::binary);
+    const std::string encoded = io::EncodeBinaryTransactions(*db_or);
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    const std::string garbage = "CMB1\xff\xff\xff\xff\xff\xff\xff\xff";
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+
+  OutOfCoreMinerOptions options;
+  options.miner.support.min_count = 300;
+  options.miner.support.cell_fraction = 0.26;
+  options.miner.max_level = 3;
+  options.miner.num_threads = 2;
+  options.memory_budget_bytes = uint64_t{64} << 20;
+  options.partition_budget_bytes = uint64_t{64} << 10;
+  options.spill_dir = (dir_ / "spill_failed").string();
+  auto result_or = MineCorrelationsOutOfCore(input, options);
+  EXPECT_FALSE(result_or.ok());
+  EXPECT_FALSE(std::filesystem::exists(options.spill_dir))
+      << "failed run left spill files behind";
+
+  // keep_spill opts out of the cleanup even on error, for postmortems.
+  options.keep_spill = true;
+  options.spill_dir = (dir_ / "spill_kept").string();
+  EXPECT_FALSE(MineCorrelationsOutOfCore(input, options).ok());
+  ASSERT_TRUE(std::filesystem::exists(options.spill_dir));
+  size_t kept = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.spill_dir)) {
+    (void)entry;
+    ++kept;
+  }
+  EXPECT_GE(kept, 2u) << "expected several closed partitions before the "
+                         "stream error";
 }
 
 TEST_F(OutOfCoreTest, MultiplePartitionsStayExact) {

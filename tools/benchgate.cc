@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "common/thread_pool.h"
 #include "io/json_reader.h"
 
@@ -62,6 +63,10 @@ struct OutOfCoreRun {
   double peak_rss_bytes = 0.0;
   double partitions = 0.0;
   double seconds = 0.0;
+  double spilled_payload_bytes = 0.0;
+  double spilled_encoded_bytes = 0.0;
+  double pass1_speedup = 0.0;
+  double admitted = 0.0;
 };
 
 struct Gate {
@@ -101,6 +106,21 @@ double RequiredRepairSpeedup(int usable_cores) {
   if (usable_cores >= 4) return 5.0;
   return usable_cores >= 2 ? 4.0 : 3.0;
 }
+
+/// Pass-1 (spill-overlapped partition mining) speedup floor for the
+/// parallel out-of-core run vs. the forced-serial baseline. The pipeline
+/// needs real cores to overlap anything: below 4 usable cores the
+/// admission controller typically lands at 1-2 concurrent partitions and
+/// the measurement is dominated by scheduler jitter, so the gate is
+/// recorded report-only there (see the 1-core container note) and only
+/// enforced at >= 4 cores.
+constexpr double kRequiredPass1Speedup = 1.5;
+
+/// Ceiling on the v2 spill compression ratio (encoded / raw payload
+/// bytes). Core-independent: the delta-varint/run-length min-byte rule is
+/// a property of the data, not the machine, and the bench corpus (sorted
+/// quest rows) must compress to at most 0.7x of a v1 raw spill.
+constexpr double kRequiredSpillRatio = 0.7;
 
 double GetNumber(const io::JsonValue& obj, const char* key) {
   const io::JsonValue* v = obj.Find(key);
@@ -214,7 +234,11 @@ int main(int argc, char** argv) {
                            GetNumber(run, "dataset_bytes"),
                            GetNumber(run, "peak_rss_bytes"),
                            GetNumber(run, "partitions"),
-                           GetNumber(run, "seconds")});
+                           GetNumber(run, "seconds"),
+                           GetNumber(run, "spilled_payload_bytes"),
+                           GetNumber(run, "spilled_encoded_bytes"),
+                           GetNumber(run, "pass1_speedup"),
+                           GetNumber(run, "admitted")});
         }
       }
     }
@@ -329,6 +353,29 @@ int main(int argc, char** argv) {
     overhang.actual = run.dataset_bytes / run.budget_bytes;
     overhang.pass = overhang.actual >= overhang.required;
     gates.push_back(overhang);
+    // Gate 6: the v2 spill must beat a raw v1 spill by >= 30% on the
+    // bench corpus. Core-independent — compression is about the data.
+    if (run.spilled_payload_bytes > 0.0) {
+      Gate ratio;
+      ratio.name = "spill_ratio_b" + std::to_string(i);
+      ratio.required = kRequiredSpillRatio;  // max encoded/raw bytes
+      ratio.actual = run.spilled_encoded_bytes / run.spilled_payload_bytes;
+      ratio.pass = ratio.actual <= ratio.required;
+      gates.push_back(ratio);
+    }
+    // Gate 7: the pipelined pass-1 must beat the forced-serial baseline
+    // — enforced only with enough cores to overlap anything (the 1-core
+    // container records it report-only; threads=0 resolves to one worker
+    // there and the "speedup" is pure noise around 1.0x).
+    if (run.pass1_speedup > 0.0) {
+      Gate scaling;
+      scaling.name = "outofcore_scaling_b" + std::to_string(i);
+      scaling.required = kRequiredPass1Speedup;
+      scaling.actual = run.pass1_speedup;
+      scaling.pass = scaling.actual >= scaling.required;
+      scaling.enforced = usable >= 4;
+      gates.push_back(scaling);
+    }
   }
 
   bool all_pass = true;
@@ -338,7 +385,10 @@ int main(int argc, char** argv) {
 
   // BENCH_scheduler.json: the machine-readable trajectory record — the
   // environment the thresholds were resolved against, every gate with its
-  // verdict, and the raw runs the verdicts came from.
+  // verdict, and the raw runs the verdicts came from. Every number goes
+  // through FormatJsonNumber so byte counts seed the trajectory file as
+  // exact integers, never scientific notation.
+  const auto num = [](double v) { return bench::FormatJsonNumber(v); };
   std::ostringstream json;
   json << "{\"bench\":\""
        << (outofcore_mode
@@ -346,24 +396,28 @@ int main(int argc, char** argv) {
                : (incremental_mode ? "bench_incremental" : "bench_scheduler"))
        << "\",\"usable_cores\":" << usable;
   if (scheduler_required) {
-    json << ",\"required_speedup\":" << RequiredSpeedup(usable);
+    json << ",\"required_speedup\":" << num(RequiredSpeedup(usable));
   }
   if (!observer_ratios.empty()) {
     json << ",\"required_observer_overhead\":"
-         << RequiredObserverOverhead(usable);
+         << num(RequiredObserverOverhead(usable));
   }
   if (!incremental_runs.empty()) {
-    json << ",\"required_repair_speedup\":" << RequiredRepairSpeedup(usable);
+    json << ",\"required_repair_speedup\":"
+         << num(RequiredRepairSpeedup(usable));
   }
   if (!outofcore_runs.empty()) {
-    json << ",\"required_rss_ratio\":1.1,\"required_dataset_ratio\":10";
+    json << ",\"required_rss_ratio\":1.1,\"required_dataset_ratio\":10"
+         << ",\"required_spill_ratio\":" << num(kRequiredSpillRatio)
+         << ",\"required_pass1_speedup\":" << num(kRequiredPass1Speedup);
   }
   json << ",\"pass\":" << (all_pass ? "true" : "false") << ",\"gates\":[";
   for (size_t i = 0; i < gates.size(); ++i) {
     const Gate& gate = gates[i];
     if (i > 0) json << ',';
-    json << "{\"name\":\"" << gate.name << "\",\"required\":" << gate.required
-         << ",\"actual\":" << gate.actual
+    json << "{\"name\":\"" << gate.name
+         << "\",\"required\":" << num(gate.required)
+         << ",\"actual\":" << num(gate.actual)
          << ",\"pass\":" << (gate.pass ? "true" : "false")
          << ",\"enforced\":" << (gate.enforced ? "true" : "false") << '}';
   }
@@ -373,15 +427,15 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < parallel_runs.size(); ++i) {
       if (i > 0) json << ',';
       json << "{\"threads\":" << parallel_runs[i].threads
-           << ",\"seconds\":" << parallel_runs[i].seconds
-           << ",\"speedup\":" << parallel_runs[i].speedup << '}';
+           << ",\"seconds\":" << num(parallel_runs[i].seconds)
+           << ",\"speedup\":" << num(parallel_runs[i].speedup) << '}';
     }
     json << "],\"sharded_runs\":[";
     for (size_t i = 0; i < sharded_runs.size(); ++i) {
       if (i > 0) json << ',';
       json << "{\"shards\":" << sharded_runs[i].shards
            << ",\"threads\":" << sharded_runs[i].threads
-           << ",\"seconds\":" << sharded_runs[i].seconds << '}';
+           << ",\"seconds\":" << num(sharded_runs[i].seconds) << '}';
     }
     json << "]";
   }
@@ -390,10 +444,10 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < incremental_runs.size(); ++i) {
       const IncrementalRun& run = incremental_runs[i];
       if (i > 0) json << ',';
-      json << "{\"delta_fraction\":" << run.delta_fraction
-           << ",\"full_seconds\":" << run.full_seconds
-           << ",\"repair_seconds\":" << run.repair_seconds
-           << ",\"speedup\":" << run.speedup << '}';
+      json << "{\"delta_fraction\":" << num(run.delta_fraction)
+           << ",\"full_seconds\":" << num(run.full_seconds)
+           << ",\"repair_seconds\":" << num(run.repair_seconds)
+           << ",\"speedup\":" << num(run.speedup) << '}';
     }
     json << "]";
   }
@@ -402,11 +456,15 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < outofcore_runs.size(); ++i) {
       const OutOfCoreRun& run = outofcore_runs[i];
       if (i > 0) json << ',';
-      json << "{\"budget_bytes\":" << run.budget_bytes
-           << ",\"dataset_bytes\":" << run.dataset_bytes
-           << ",\"peak_rss_bytes\":" << run.peak_rss_bytes
-           << ",\"partitions\":" << run.partitions
-           << ",\"seconds\":" << run.seconds << '}';
+      json << "{\"budget_bytes\":" << num(run.budget_bytes)
+           << ",\"dataset_bytes\":" << num(run.dataset_bytes)
+           << ",\"peak_rss_bytes\":" << num(run.peak_rss_bytes)
+           << ",\"partitions\":" << num(run.partitions)
+           << ",\"seconds\":" << num(run.seconds)
+           << ",\"spilled_payload_bytes\":" << num(run.spilled_payload_bytes)
+           << ",\"spilled_encoded_bytes\":" << num(run.spilled_encoded_bytes)
+           << ",\"pass1_speedup\":" << num(run.pass1_speedup)
+           << ",\"admitted\":" << num(run.admitted) << '}';
     }
     json << "]";
   }
@@ -423,8 +481,10 @@ int main(int argc, char** argv) {
 
   if (outofcore_mode) {
     std::cout << "benchgate: " << usable
-              << " usable core(s); memory gates are core-independent "
-                 "(peak RSS <= 1.1x budget, dataset >= 10x budget)\n";
+              << " usable core(s); memory and compression gates are "
+                 "core-independent (peak RSS <= 1.1x budget, dataset >= "
+                 "10x budget, spill <= 0.7x raw); pass-1 scaling "
+              << (usable >= 4 ? "enforced" : "report-only") << "\n";
   } else {
     std::cout << "benchgate: " << usable << " usable core(s), required "
               << FormatRatio(incremental_mode ? RequiredRepairSpeedup(usable)

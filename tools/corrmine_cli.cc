@@ -83,8 +83,10 @@ constexpr char kUsage[] =
     "                             the row store per level). Mined output\n"
     "                             is byte-identical for every provider\n"
     "      --out-of-core          never load the dataset: stream it into\n"
-    "                             RAM-sized CCS1 spill partitions, mine\n"
-    "                             partitions to a candidate border, then\n"
+    "                             RAM-sized compressed CCS spill\n"
+    "                             partitions, pipeline the partition\n"
+    "                             mines with the spill under a\n"
+    "                             budget-aware admission controller, then\n"
     "                             verify exact counts in one streaming\n"
     "                             pass (DESIGN.md §12). Output is\n"
     "                             byte-identical to the in-memory mine;\n"
@@ -94,10 +96,18 @@ constexpr char kUsage[] =
     "      --memory-budget B      out-of-core resident-set target in bytes\n"
     "                             (default 268435456); partitions are\n"
     "                             sized so peak RSS stays near it\n"
+    "      --partition-budget B   bytes of basket rows per spill partition\n"
+    "                             (default memory-budget/6, min 1 MiB).\n"
+    "                             Must not exceed --memory-budget; the\n"
+    "                             admission controller runs about\n"
+    "                             memory-budget / (2 x partition-budget)\n"
+    "                             partition mines concurrently, so setting\n"
+    "                             it equal to --memory-budget forces\n"
+    "                             serial (admitted = 1) mining\n"
     "      --spill-dir DIR        out-of-core partition directory\n"
     "                             (default <file>.spill, removed after\n"
     "                             the run unless --keep-spill)\n"
-    "      --keep-spill           leave the CCS1 partition files on disk\n"
+    "      --keep-spill           leave the CCS partition files on disk\n"
     "      --kernel NAME          counting kernel: auto (default), scalar,\n"
     "                             avx2, avx512, or neon. auto picks the\n"
     "                             fastest kernel this CPU supports; a forced\n"
@@ -391,6 +401,12 @@ Status RunMineOutOfCore(const FlagParser& flags) {
   CORRMINE_ASSIGN_OR_RETURN(
       options.memory_budget_bytes,
       flags.GetUint64("memory-budget", uint64_t{256} << 20));
+  CORRMINE_ASSIGN_OR_RETURN(options.partition_budget_bytes,
+                            flags.GetUint64("partition-budget", 0));
+  if (options.partition_budget_bytes > options.memory_budget_bytes) {
+    return Status::InvalidArgument(
+        "--partition-budget must not exceed --memory-budget");
+  }
   options.spill_dir = flags.GetString("spill-dir", "");
   options.keep_spill = flags.GetBool("keep-spill", false);
 
@@ -400,9 +416,11 @@ Status RunMineOutOfCore(const FlagParser& flags) {
       MineCorrelationsOutOfCore(flags.positional()[1], options, &stats));
   std::cerr << "[out-of-core] " << stats.num_baskets << " baskets, "
             << stats.num_items << " items, " << stats.partitions
-            << " partitions, " << stats.candidate_queries
-            << " candidate queries, " << stats.memo_misses
-            << " memo misses\n";
+            << " partitions (admitted " << stats.admitted << "), "
+            << stats.candidate_queries << " candidate queries, "
+            << stats.memo_misses << " memo misses, spill "
+            << stats.spilled_encoded_bytes << "/"
+            << stats.spilled_payload_bytes << " bytes\n";
   CORRMINE_RETURN_NOT_OK(PrintMineResult(flags, result, nullptr));
   return EmitMineStats(flags, result, nullptr, MetricsRegistry::Global());
 }
